@@ -1,0 +1,51 @@
+//! Assembly error type.
+
+use std::fmt;
+
+/// Error produced while building or assembling a program.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmError {
+    /// A label was referenced but never defined.
+    UndefinedLabel(String),
+    /// The same label was defined twice.
+    DuplicateLabel(String),
+    /// A branch target is out of the ±4 KiB range of the B-type encoding.
+    BranchOutOfRange {
+        /// The target label.
+        label: String,
+        /// The required byte offset.
+        offset: i64,
+    },
+    /// A jump target is out of the ±1 MiB range of the J-type encoding.
+    JumpOutOfRange {
+        /// The target label.
+        label: String,
+        /// The required byte offset.
+        offset: i64,
+    },
+    /// Text-assembler syntax error.
+    Syntax {
+        /// 1-based source line number.
+        line: usize,
+        /// Explanation.
+        msg: String,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AsmError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AsmError::BranchOutOfRange { label, offset } => {
+                write!(f, "branch to `{label}` out of range (offset {offset})")
+            }
+            AsmError::JumpOutOfRange { label, offset } => {
+                write!(f, "jump to `{label}` out of range (offset {offset})")
+            }
+            AsmError::Syntax { line, msg } => write!(f, "syntax error at line {line}: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}

@@ -1,0 +1,45 @@
+//! # vortex-asm
+//!
+//! Kernel authoring for the Vortex soft GPU. The paper's software stack
+//! compiles OpenCL kernels through a modified POCL/LLVM backend (§5.4); this
+//! reproduction replaces that toolchain with two lighter-weight paths that
+//! emit the same binary interface:
+//!
+//! * [`Assembler`] — a programmatic builder with labels, forward references
+//!   and the usual pseudo-instructions (`li`, `la`, `j`, `call`, `mv`, ...).
+//!   All benchmark kernels in `vortex-kernels` are written against it.
+//! * [`parse_asm`] — a small text assembler accepting GNU-as-like syntax for
+//!   the supported instruction set, including the six Vortex instructions.
+//!
+//! Programs assemble to a [`Program`]: a load image (code + data words) with
+//! an entry point, consumed by the `vortex-runtime` loader.
+//!
+//! ```
+//! use vortex_asm::Assembler;
+//! use vortex_isa::Reg;
+//!
+//! # fn main() -> Result<(), vortex_asm::AsmError> {
+//! let mut a = Assembler::new();
+//! a.li(Reg::X10, 10);
+//! a.label("loop")?;
+//! a.addi(Reg::X10, Reg::X10, -1);
+//! a.bnez(Reg::X10, "loop");
+//! a.ecall();
+//! let prog = a.assemble(0x8000_0000)?;
+//! assert_eq!(prog.entry, 0x8000_0000);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+mod error;
+mod program;
+mod text;
+
+pub use builder::Assembler;
+pub use error::AsmError;
+pub use program::Program;
+pub use text::parse_asm;

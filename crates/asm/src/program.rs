@@ -1,0 +1,88 @@
+//! Assembled program image.
+
+use std::collections::HashMap;
+
+/// An assembled Vortex program: a flat little-endian word image plus the
+/// entry PC and the resolved label table (useful for host-side patching and
+/// for `wspawn` targets).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Program {
+    /// Load address of `image[0]`.
+    pub base: u32,
+    /// Entry PC (== `base` unless an explicit entry label was set).
+    pub entry: u32,
+    /// Code and data words, in load order.
+    pub image: Vec<u32>,
+    /// Label name → absolute address.
+    pub symbols: HashMap<String, u32>,
+}
+
+impl Program {
+    /// Absolute address of `label`.
+    ///
+    /// # Panics
+    /// Panics if the label does not exist; use [`Program::symbols`] for a
+    /// fallible lookup.
+    pub fn addr_of(&self, label: &str) -> u32 {
+        *self
+            .symbols
+            .get(label)
+            .unwrap_or_else(|| panic!("no such label `{label}`"))
+    }
+
+    /// Size of the image in bytes.
+    pub fn size_bytes(&self) -> u32 {
+        (self.image.len() * 4) as u32
+    }
+
+    /// Serializes the image to little-endian bytes (the device-memory load
+    /// format used by the runtime's DMA model).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        self.image.iter().flat_map(|w| w.to_le_bytes()).collect()
+    }
+
+    /// Disassembles the image, one instruction (or `.word`) per line —
+    /// the paper's elastic-pipeline tags carry PCs, so readable addresses
+    /// matter for tracing.
+    pub fn disassemble(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        let addr_to_label: HashMap<u32, &str> = self
+            .symbols
+            .iter()
+            .map(|(name, &addr)| (addr, name.as_str()))
+            .collect();
+        for (i, &word) in self.image.iter().enumerate() {
+            let addr = self.base + (i as u32) * 4;
+            if let Some(label) = addr_to_label.get(&addr) {
+                let _ = writeln!(out, "{label}:");
+            }
+            match vortex_isa::decode(word) {
+                Ok(instr) => {
+                    let _ = writeln!(out, "  {addr:#010x}: {instr}");
+                }
+                Err(_) => {
+                    let _ = writeln!(out, "  {addr:#010x}: .word {word:#010x}");
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn to_bytes_is_little_endian() {
+        let p = Program {
+            base: 0,
+            entry: 0,
+            image: vec![0x1122_3344],
+            symbols: HashMap::new(),
+        };
+        assert_eq!(p.to_bytes(), vec![0x44, 0x33, 0x22, 0x11]);
+        assert_eq!(p.size_bytes(), 4);
+    }
+}

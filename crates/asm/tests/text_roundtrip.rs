@@ -1,0 +1,155 @@
+//! Property test: `parse_asm(program.disassemble())` reproduces the exact
+//! binary image — the disassembler and text assembler are inverses over
+//! the whole instruction set the text syntax covers.
+
+use proptest::prelude::*;
+use vortex_asm::{parse_asm, Assembler};
+use vortex_isa::{FReg, Reg};
+
+/// Builds a random straight-line program via the builder API (only
+/// text-representable operations, no raw data words).
+fn any_program() -> impl Strategy<Value = Vec<u8>> {
+    // Each element picks one emitter by index with random register fields.
+    let step = (0u8..30, 0u32..32, 0u32..32, 0u32..32, -512i32..512);
+    prop::collection::vec(step, 1..40).prop_map(|steps| {
+        let mut a = Assembler::new();
+        for (op, r1, r2, r3, imm) in steps {
+            let (rd, rs1, rs2) = (
+                Reg::from_index(r1),
+                Reg::from_index(r2),
+                Reg::from_index(r3),
+            );
+            let (fd, fs1, fs2) = (
+                FReg::from_index(r1),
+                FReg::from_index(r2),
+                FReg::from_index(r3),
+            );
+            match op {
+                0 => {
+                    a.add(rd, rs1, rs2);
+                }
+                1 => {
+                    a.sub(rd, rs1, rs2);
+                }
+                2 => {
+                    a.xor(rd, rs1, rs2);
+                }
+                3 => {
+                    a.mul(rd, rs1, rs2);
+                }
+                4 => {
+                    a.divu(rd, rs1, rs2);
+                }
+                5 => {
+                    a.addi(rd, rs1, imm);
+                }
+                6 => {
+                    a.andi(rd, rs1, imm);
+                }
+                7 => {
+                    a.slli(rd, rs1, (imm & 31).abs());
+                }
+                8 => {
+                    a.lw(rd, rs1, imm);
+                }
+                9 => {
+                    a.sw(rs2, rs1, imm);
+                }
+                10 => {
+                    a.lbu(rd, rs1, imm);
+                }
+                11 => {
+                    a.sh(rs2, rs1, imm);
+                }
+                12 => {
+                    a.lui(rd, imm << 12);
+                }
+                13 => {
+                    a.auipc(rd, imm << 12);
+                }
+                14 => {
+                    a.jalr(rd, rs1, imm);
+                }
+                15 => {
+                    a.flw(fd, rs1, imm);
+                }
+                16 => {
+                    a.fsw(fs2, rs1, imm);
+                }
+                17 => {
+                    a.fadd(fd, fs1, fs2);
+                }
+                18 => {
+                    a.fmul(fd, fs1, fs2);
+                }
+                19 => {
+                    a.fsqrt(fd, fs1);
+                }
+                20 => {
+                    a.fmadd(fd, fs1, fs2, FReg::from_index(r1));
+                }
+                21 => {
+                    a.feq(rd, fs1, fs2);
+                }
+                22 => {
+                    a.fcvt_s_w(fd, rs1);
+                }
+                23 => {
+                    a.fmv_x_w(rd, fs1);
+                }
+                24 => {
+                    a.tmc(rs1);
+                }
+                25 => {
+                    a.wspawn(rs1, rs2);
+                }
+                26 => {
+                    a.split(rs1);
+                }
+                27 => {
+                    a.join();
+                }
+                28 => {
+                    a.bar(rs1, rs2);
+                }
+                _ => {
+                    a.tex((r1 & 3) as u8, rd, rs1, rs2, Reg::from_index(r3));
+                }
+            }
+        }
+        a.ecall();
+        a.assemble(0x8000_0000).expect("assembles").to_bytes()
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn disassemble_then_parse_is_identity(image_bytes in any_program()) {
+        // Rebuild the Program to disassemble it.
+        let image: Vec<u32> = image_bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        let program = vortex_asm::Program {
+            base: 0x8000_0000,
+            entry: 0x8000_0000,
+            image: image.clone(),
+            symbols: Default::default(),
+        };
+        let text = program.disassemble();
+        // Strip the "  0x........: " address prefixes the disassembler adds.
+        let source: String = text
+            .lines()
+            .map(|l| match l.find(": ") {
+                Some(pos) if l.trim_start().starts_with("0x") => &l[pos + 2..],
+                _ => l,
+            })
+            .collect::<Vec<_>>()
+            .join("\n");
+        let reparsed = parse_asm(&source, 0x8000_0000)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n---\n{source}"));
+        prop_assert_eq!(reparsed.image, image);
+    }
+}

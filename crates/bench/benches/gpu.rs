@@ -1,0 +1,32 @@
+//! Criterion macro-benchmarks: full kernel simulations (simulator
+//! cycles-per-second is the cost of every experiment in this repository).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vortex_core::GpuConfig;
+use vortex_kernels::{Benchmark, FilterKind, Saxpy, Sgemm, TexBench, Vecadd};
+
+fn bench_kernels(c: &mut Criterion) {
+    let mut g = c.benchmark_group("kernel_sim");
+    g.sample_size(10);
+    g.bench_function("vecadd_256_1core", |b| {
+        b.iter(|| black_box(Vecadd::new(256).run_on(&GpuConfig::with_cores(1))))
+    });
+    g.bench_function("saxpy_256_2core", |b| {
+        b.iter(|| black_box(Saxpy::new(256).run_on(&GpuConfig::with_cores(2))))
+    });
+    g.bench_function("sgemm_12_1core", |b| {
+        b.iter(|| black_box(Sgemm::new(12).run_on(&GpuConfig::with_cores(1))))
+    });
+    g.bench_function("tex_bilinear_hw_16px", |b| {
+        b.iter(|| {
+            black_box(
+                TexBench::new(FilterKind::Bilinear, true, 4).run_on(&GpuConfig::with_cores(1)),
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

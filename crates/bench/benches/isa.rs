@@ -1,0 +1,43 @@
+//! Criterion micro-benchmarks: decoder/encoder throughput (the hottest
+//! per-instruction path in the simulator).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vortex_asm::Assembler;
+use vortex_isa::{decode, encode, Reg};
+
+fn bench_decode(c: &mut Criterion) {
+    // A representative instruction mix assembled once.
+    let mut a = Assembler::new();
+    a.li(Reg::X5, 123456);
+    a.add(Reg::X6, Reg::X5, Reg::X5);
+    a.lw(Reg::X7, Reg::X6, 16);
+    a.sw(Reg::X7, Reg::X6, 32);
+    a.mul(Reg::X8, Reg::X7, Reg::X5);
+    a.tmc(Reg::X5);
+    a.split(Reg::X6);
+    a.join();
+    a.tex(0, Reg::X9, Reg::X5, Reg::X6, Reg::X7);
+    a.ecall();
+    let words = a.assemble(0).expect("assembles").image;
+
+    c.bench_function("decode_mix", |b| {
+        b.iter(|| {
+            for &w in &words {
+                let _ = black_box(decode(black_box(w)).expect("valid"));
+            }
+        })
+    });
+
+    let instrs: Vec<_> = words.iter().map(|&w| decode(w).unwrap()).collect();
+    c.bench_function("encode_mix", |b| {
+        b.iter(|| {
+            for i in &instrs {
+                black_box(encode(black_box(i)));
+            }
+        })
+    });
+}
+
+criterion_group!(benches, bench_decode);
+criterion_main!(benches);

@@ -1,0 +1,57 @@
+//! Criterion micro-benchmarks: cache and DRAM timing-model throughput.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use vortex_mem::cache::{Cache, CacheConfig};
+use vortex_mem::dram::{Dram, DramConfig};
+use vortex_mem::{MemReq, MemRsp};
+
+fn drive_cache(ports: usize, reqs: usize) -> u64 {
+    let mut cache = Cache::new(CacheConfig {
+        ports,
+        ..CacheConfig::dcache_default()
+    });
+    let mut dram = Dram::new(DramConfig::default());
+    let mut pending: Vec<MemReq> = (0..reqs)
+        .map(|i| MemReq::read(i as u64, (i as u32 % 512) * 16))
+        .collect();
+    let mut done = 0;
+    let mut cycles = 0u64;
+    while done < reqs {
+        cache.begin_cycle();
+        let mut window: Vec<MemReq> = pending.drain(..pending.len().min(4)).collect();
+        cache.offer(&mut window);
+        for (i, r) in window.into_iter().enumerate() {
+            pending.insert(i, r);
+        }
+        cache.tick();
+        while let Some(req) = cache.peek_mem_req().copied() {
+            if dram.push_req(req).is_ok() {
+                cache.pop_mem_req();
+            } else {
+                break;
+            }
+        }
+        dram.tick();
+        while let Some(rsp) = dram.pop_rsp() {
+            cache.push_mem_rsp(rsp);
+        }
+        while let Some(MemRsp { .. }) = cache.pop_rsp() {
+            done += 1;
+        }
+        cycles += 1;
+        assert!(cycles < 1_000_000, "cache bench wedged");
+    }
+    cycles
+}
+
+fn bench_cache(c: &mut Criterion) {
+    for ports in [1usize, 2, 4] {
+        c.bench_function(&format!("cache_1k_reads_{ports}p"), |b| {
+            b.iter(|| black_box(drive_cache(black_box(ports), 1000)))
+        });
+    }
+}
+
+criterion_group!(benches, bench_cache);
+criterion_main!(benches);

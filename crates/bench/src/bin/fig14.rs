@@ -1,0 +1,32 @@
+//! Figure 14: IPC for the five design-space core configurations across
+//! the benchmark suite (single core).
+
+use vortex_bench::{f2, preamble, run_rodinia_suite, Table, DESIGN_SPACE};
+use vortex_core::{CoreConfig, GpuConfig};
+
+fn main() {
+    preamble("Figure 14 (IPC by core configuration)");
+    let mut t = Table::new(
+        std::iter::once("benchmark".to_string())
+            .chain(DESIGN_SPACE.iter().map(|(w, th)| format!("{w}W-{th}T"))),
+    );
+    let mut per_config = Vec::new();
+    for (w, th) in DESIGN_SPACE {
+        let mut config = GpuConfig::with_cores(1);
+        config.core = CoreConfig::with_dims(w, th);
+        eprintln!("running {w}W-{th}T ...");
+        per_config.push(run_rodinia_suite(&config));
+    }
+    let names: Vec<String> = per_config[0].iter().map(|r| r.name.clone()).collect();
+    for (i, name) in names.iter().enumerate() {
+        t.row(
+            std::iter::once(name.clone())
+                .chain(per_config.iter().map(|rs| f2(rs[i].thread_ipc()))),
+        );
+    }
+    println!("{}", t.to_markdown());
+    println!(
+        "(paper's shape: 2W-8T fastest for sgemm, 8W-2T slowest; 4W-4T the \
+         area/perf compromise)"
+    );
+}

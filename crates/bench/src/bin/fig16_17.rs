@@ -1,0 +1,30 @@
+//! Figures 16/17: the ASIC design point — floorplan area shares (the GDS
+//! substitute) and the power-density distribution at 300 MHz.
+
+use vortex_bench::{f2, preamble, Table};
+use vortex_model::asic_power_report;
+
+fn main() {
+    preamble("Figures 16/17 (ASIC 8W-4T core, 15 nm educational library)");
+    let report = asic_power_report(300.0);
+    println!(
+        "total power at {} MHz: {:.1} mW (paper: 46.8 mW)\n",
+        report.freq_mhz, report.total_mw
+    );
+    let mut t = Table::new(["component", "power (mW)", "share"]);
+    for c in &report.components {
+        t.row([
+            c.name.to_string(),
+            f2(c.mw),
+            format!("{:.0}%", c.share * 100.0),
+        ]);
+    }
+    println!("{}", t.to_markdown());
+
+    // Frequency scaling curve (what a power-density exploration sweeps).
+    let mut s = Table::new(["freq (MHz)", "total power (mW)"]);
+    for f in [100.0, 200.0, 300.0, 400.0] {
+        s.row([f2(f), f2(asic_power_report(f).total_mw)]);
+    }
+    println!("{}", s.to_markdown());
+}

@@ -1,0 +1,56 @@
+//! Figure 20: hardware texture acceleration vs software filtering across
+//! core counts, for point, bilinear and trilinear sampling.
+//!
+//! The paper renders 1080p→1080p; the default here is a 128×128 blit with
+//! the same per-pixel structure (pass `--large` for 512×512). Reported
+//! metric: pixels per kilocycle, plus the HW/SW speedup the figure plots.
+
+use vortex_bench::{f2, preamble, Table};
+use vortex_core::GpuConfig;
+use vortex_kernels::{Benchmark, FilterKind, TexBench};
+
+fn main() {
+    preamble("Figure 20 (HW vs SW texture filtering)");
+    let log_size = if std::env::args().any(|a| a == "--large") {
+        9
+    } else if vortex_bench::is_fast() {
+        5
+    } else {
+        7
+    };
+    let cores = [1usize, 2, 4, 8, 16];
+    for filter in [FilterKind::Point, FilterKind::Bilinear, FilterKind::Trilinear] {
+        let mut t = Table::new(
+            std::iter::once("cores".to_string()).chain(
+                ["SW px/kcycle", "HW px/kcycle", "HW/SW speedup"]
+                    .iter()
+                    .map(ToString::to_string),
+            ),
+        );
+        for &c in &cores {
+            let config = GpuConfig::with_cores(c);
+            let mut rates = Vec::new();
+            for hw in [false, true] {
+                let b = TexBench::new(filter, hw, log_size);
+                eprintln!("running {} @ {c} core(s) ...", b.name());
+                let r = b.run_on(&config);
+                assert!(r.validated, "{} failed validation", r.name);
+                rates.push(r.work as f64 / (r.stats.cycles as f64 / 1000.0));
+            }
+            t.row([
+                c.to_string(),
+                f2(rates[0]),
+                f2(rates[1]),
+                f2(rates[1] / rates[0]),
+            ]);
+        }
+        println!("### {}\n", filter.name());
+        println!("{}", t.to_markdown());
+    }
+    println!(
+        "(paper's shape: point sampling shows negligible HW benefit — the SW \
+         path is a copy; bilinear gains ~2x on one core, shrinking as cores \
+         saturate memory bandwidth; trilinear gains less than bilinear since \
+         it doubles memory requests)"
+    );
+}

@@ -1,0 +1,53 @@
+//! Figure 21: the effect of memory scaling — IPC of a 16-core,
+//! 16-wavefront, 16-thread configuration as DRAM latency and bandwidth
+//! vary (the design-space exploration that exceeds FPGA capacity and runs
+//! on the cycle-level simulator, §6.5).
+
+use vortex_bench::{f2, preamble, Table};
+use vortex_core::{CoreConfig, GpuConfig};
+use vortex_kernels::{Benchmark, Saxpy, Sgemm};
+
+fn main() {
+    preamble("Figure 21 (memory latency/bandwidth scaling, 16c-16w-16t)");
+    let latencies = [50u32, 100, 200, 400];
+    let channels = [2u32, 4, 8, 16];
+    // One compute-bound and one memory-bound representative, sized up for
+    // the 4096-thread machine.
+    let (sgemm, saxpy);
+    let benches: Vec<(&str, &dyn Benchmark)> = if vortex_bench::is_fast() {
+        sgemm = Sgemm::new(16);
+        saxpy = Saxpy::new(8192);
+        vec![("sgemm", &sgemm), ("saxpy", &saxpy)]
+    } else {
+        sgemm = Sgemm::new(48);
+        saxpy = Saxpy::new(65536);
+        vec![("sgemm", &sgemm), ("saxpy", &saxpy)]
+    };
+
+    for (name, bench) in benches {
+        println!("### {name}\n");
+        let mut t = Table::new(
+            std::iter::once("latency \\ channels".to_string())
+                .chain(channels.iter().map(|c| format!("{c}ch"))),
+        );
+        for &lat in &latencies {
+            let mut cells = vec![format!("{lat} cyc")];
+            for &ch in &channels {
+                let mut config = GpuConfig::with_cores(16);
+                config.core = CoreConfig::with_dims(16, 16);
+                config.dram.latency = lat;
+                config.dram.channels = ch;
+                eprintln!("running {name} @ latency {lat}, {ch} channels ...");
+                let r = bench.run_on(&config);
+                assert!(r.validated, "{name} failed validation");
+                cells.push(f2(r.thread_ipc()));
+            }
+            t.row(cells);
+        }
+        println!("{}", t.to_markdown());
+    }
+    println!(
+        "(paper's shape: IPC falls with latency and recovers with added \
+         bandwidth; the memory-bound kernel reacts much more strongly)"
+    );
+}

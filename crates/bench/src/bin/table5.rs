@@ -1,0 +1,28 @@
+//! Table 5: virtual multi-ported 4-bank cache synthesis results.
+
+use vortex_bench::{f0, preamble, Table};
+use vortex_model::cache_resources;
+use vortex_model::calib::TABLE5;
+
+fn main() {
+    preamble("Table 5 (virtual-port cache synthesis)");
+    let mut t = Table::new([
+        "ports", "LUT", "LUT(paper)", "Regs", "Regs(paper)", "BRAM", "BRAM(paper)", "f(MHz)",
+        "f(paper)",
+    ]);
+    for p in TABLE5 {
+        let m = cache_resources(p.ports);
+        t.row([
+            p.ports.to_string(),
+            f0(m.luts),
+            f0(p.luts),
+            f0(m.regs),
+            f0(p.regs),
+            f0(m.brams),
+            f0(p.brams),
+            f0(m.fmax),
+            f0(p.fmax),
+        ]);
+    }
+    println!("{}", t.to_markdown());
+}

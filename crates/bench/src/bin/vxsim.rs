@@ -1,0 +1,119 @@
+//! `vxsim` — a SIMX-style command-line driver: assemble a Vortex kernel
+//! from a `.s` file and run it on a configurable simulated GPU.
+//!
+//! ```sh
+//! cargo run --release -p vortex-bench --bin vxsim -- kernel.s \
+//!     [--cores N] [--warps W] [--threads T] [--ports P] [--trace N] [--disasm]
+//! ```
+//!
+//! The program boots like real Vortex: every core starts wavefront 0,
+//! thread 0 at the image base; use `wspawn`/`tmc` (or the `emit_spawn_tasks`
+//! prologue) to light up the machine, and `ecall` to finish.
+
+use vortex_asm::parse_asm;
+use vortex_core::{CoreConfig, Gpu, GpuConfig};
+use vortex_runtime::abi;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: vxsim <kernel.s> [--cores N] [--warps W] [--threads T] \
+         [--ports P] [--trace N] [--disasm] [--max-cycles N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut file = None;
+    let (mut cores, mut warps, mut threads, mut ports) = (1usize, 4usize, 4usize, 1usize);
+    let mut trace = 0usize;
+    let mut disasm = false;
+    let mut max_cycles = 100_000_000u64;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        let mut num = |what: &str| -> usize {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| {
+                    eprintln!("{what} needs a number");
+                    usage()
+                })
+        };
+        match arg.as_str() {
+            "--cores" => cores = num("--cores"),
+            "--warps" => warps = num("--warps"),
+            "--threads" => threads = num("--threads"),
+            "--ports" => ports = num("--ports"),
+            "--trace" => trace = num("--trace"),
+            "--max-cycles" => max_cycles = num("--max-cycles") as u64,
+            "--disasm" => disasm = true,
+            other if file.is_none() && !other.starts_with('-') => {
+                file = Some(other.to_string());
+            }
+            _ => usage(),
+        }
+    }
+    let Some(file) = file else { usage() };
+    let source = std::fs::read_to_string(&file).unwrap_or_else(|e| {
+        eprintln!("cannot read {file}: {e}");
+        std::process::exit(1);
+    });
+    let program = parse_asm(&source, abi::CODE_BASE).unwrap_or_else(|e| {
+        eprintln!("assembly error: {e}");
+        std::process::exit(1);
+    });
+    if disasm {
+        println!("{}", program.disassemble());
+    }
+
+    let mut config = GpuConfig::with_cores(cores);
+    config.core = CoreConfig::with_dims(warps, threads);
+    config.core.dcache.ports = ports;
+    let mut gpu = Gpu::new(config);
+    gpu.ram.write_bytes(program.base, &program.to_bytes());
+    if trace > 0 {
+        for c in 0..cores {
+            gpu.core_mut(c).trace = vortex_core::trace::Trace::with_capacity(trace);
+        }
+    }
+    gpu.launch(program.entry);
+    match gpu.run(max_cycles) {
+        Ok(stats) => {
+            if trace > 0 {
+                for c in 0..cores {
+                    print!("{}", gpu.core(c).trace.dump());
+                }
+            }
+            println!(
+                "PASS: {} cycles, {} instructions ({} thread-instructions)",
+                stats.cycles,
+                stats.total_instrs(),
+                stats
+                    .cores
+                    .iter()
+                    .map(|c| c.thread_instrs)
+                    .sum::<u64>()
+            );
+            println!(
+                "IPC {:.3} (thread IPC {:.3}); DRAM {} reads / {} writes",
+                stats.ipc(),
+                stats.thread_ipc(),
+                stats.dram_reads,
+                stats.dram_writes
+            );
+            for (i, c) in stats.cores.iter().enumerate() {
+                println!(
+                    "  core {i}: {} instrs, D$ hit rate {:.1}%, {} divergences, {} barriers",
+                    c.instrs,
+                    c.dcache.hit_rate() * 100.0,
+                    c.divergences,
+                    c.barriers
+                );
+            }
+        }
+        Err(e) => {
+            eprintln!("TIMEOUT: {e}");
+            std::process::exit(1);
+        }
+    }
+}

@@ -1,0 +1,756 @@
+//! One SIMT core: the five-stage in-order pipeline of Figure 4 with its
+//! SIMT extensions, L1 caches, shared memory and texture unit.
+//!
+//! Pipeline model per cycle (back to front, so transactions advance one
+//! stage per cycle):
+//!
+//! 1. **writeback** — one instruction per cycle claims the register write
+//!    port (priority: LSU loads > texture responses > arithmetic units) and
+//!    clears its scoreboard entry;
+//! 2. **issue/execute** — one decoded instruction issues if its scoreboard
+//!    and functional unit allow; it executes *functionally* right here
+//!    (registers read, memory touched, PC updated) while its timing is
+//!    dispatched to the owning functional unit;
+//! 3. **fetch** — the wavefront scheduler picks a wavefront and sends its
+//!    PC to the I-cache; the response decodes into the per-wavefront
+//!    instruction buffer.
+//!
+//! Each wavefront owns a small instruction buffer (the RTL's per-warp
+//! ibuffer): fetch runs ahead of issue as long as the buffer has space and
+//! no unresolved PC redirect (branch/jump/`join`) is pending, and I-cache
+//! hits resolve on a two-cycle fast path (SIMT fetch needs only one word
+//! per cycle). Multi-wavefront interleaving on top of this modest
+//! per-wavefront pipelining is what fills the machine — the behaviour the
+//! paper's design-space study (Figure 14) explores.
+
+use crate::barrier::{BarrierOutcome, BarrierTable};
+use crate::config::CoreConfig;
+use crate::exec::{self, CsrFile, ExecEnv, FuKind, Writeback};
+use crate::lsu::{tags, Lsu};
+use crate::regfile::RegFile;
+use crate::scheduler::WavefrontScheduler;
+use crate::scoreboard::{RegId, Scoreboard};
+use crate::stats::CoreStats;
+use crate::trace::{Trace, TraceEvent};
+use crate::warp::{StallReason, Wavefront};
+use std::collections::HashMap;
+use vortex_isa::{decode, CsrSrc, Instr, Reg};
+use vortex_mem::{Cache, MemReq, MemRsp, Ram, SharedMem, Tag};
+use vortex_tex::{TexRequest, TexUnit};
+
+/// A pending arithmetic completion waiting for the writeback port.
+#[derive(Debug)]
+struct Completion {
+    ready: u64,
+    wid: usize,
+    wb: Writeback,
+}
+
+/// A global-barrier arrival the GPU level must process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GlobalBarrierArrival {
+    /// Barrier id (MSB already stripped).
+    pub id: u32,
+    /// Arriving wavefront.
+    pub wid: usize,
+    /// Expected total arrivals.
+    pub count: u32,
+}
+
+/// One Vortex SIMT core.
+#[derive(Debug)]
+pub struct Core {
+    /// Core id within the processor.
+    pub id: usize,
+    config: CoreConfig,
+    num_cores: usize,
+
+    wavefronts: Vec<Wavefront>,
+    scheduler: WavefrontScheduler,
+    regs: RegFile,
+    scoreboard: Scoreboard,
+    csrf: CsrFile,
+    barriers: BarrierTable,
+
+    icache: Cache,
+    dcache: Cache,
+    smem: SharedMem,
+    tex_unit: TexUnit,
+    lsu: Lsu,
+
+    /// Per-wavefront outstanding fetch PC.
+    fetch_pending: Vec<Option<u32>>,
+    /// Per-wavefront decoded instruction buffer (depth
+    /// [`Core::IBUFFER_DEPTH`]).
+    ibuffer: Vec<std::collections::VecDeque<(Instr, u32)>>,
+    /// Per-wavefront flag: a PC-redirecting instruction is decoded but not
+    /// yet executed, so the next fetch address is unknown.
+    cf_block: Vec<bool>,
+    /// Fast-path I-cache hits waiting their fixed latency:
+    /// `(ready cycle, wavefront, pc)`.
+    fast_fetch: std::collections::VecDeque<(u64, usize, u32)>,
+    issue_rr: usize,
+
+    completions: Vec<Completion>,
+    div_busy_until: u64,
+    fdiv_busy_until: u64,
+    fsqrt_busy_until: u64,
+
+    /// Wavefronts waiting on `fence`.
+    fence_waiters: Vec<usize>,
+    /// Pending global-barrier arrivals for the GPU level.
+    global_barrier_out: Vec<GlobalBarrierArrival>,
+    /// Texture request tag → (wavefront, destination register).
+    tex_dest: HashMap<Tag, (usize, RegId)>,
+    next_tex_tag: Tag,
+    /// Texture-unit memory requests waiting for the D-cache.
+    tex_mem_pending: Vec<MemReq>,
+
+    cycle: u64,
+    /// Performance counters.
+    pub stats: CoreStats,
+    /// Instruction trace (disabled by default).
+    pub trace: Trace,
+}
+
+impl Core {
+    /// Instruction-buffer depth per wavefront.
+    pub const IBUFFER_DEPTH: usize = 2;
+
+    /// `true` for instructions the front end must not fetch past: PC
+    /// redirects (branch/jump/`join`) and instructions that may halt or
+    /// stall the wavefront (`ecall`/`ebreak`/`tmc`/`bar`/`fence`) — the
+    /// next fetch address or even the wavefront's liveness is unknown
+    /// until they execute.
+    fn blocks_fetch(instr: &Instr) -> bool {
+        matches!(
+            instr,
+            Instr::Branch { .. }
+                | Instr::Jal { .. }
+                | Instr::Jalr { .. }
+                | Instr::Join
+                | Instr::Ecall
+                | Instr::Ebreak
+                | Instr::Tmc { .. }
+                | Instr::Bar { .. }
+                | Instr::Fence
+        )
+    }
+
+    /// Builds core `id` of `num_cores` with the given configuration.
+    pub fn new(id: usize, num_cores: usize, config: CoreConfig) -> Self {
+        let nw = config.num_wavefronts;
+        Self {
+            id,
+            num_cores,
+            wavefronts: (0..nw)
+                .map(|wid| Wavefront::new(wid, config.num_threads))
+                .collect(),
+            scheduler: WavefrontScheduler::with_policy(nw, config.sched_policy),
+            regs: RegFile::new(nw, config.num_threads),
+            scoreboard: Scoreboard::new(nw),
+            csrf: CsrFile::default(),
+            barriers: BarrierTable::new(config.num_barriers),
+            icache: Cache::new(config.icache),
+            dcache: Cache::new(config.dcache),
+            smem: SharedMem::new(config.smem),
+            tex_unit: TexUnit::new(config.tex),
+            lsu: Lsu::new(config.lsu_entries),
+            fetch_pending: vec![None; nw],
+            ibuffer: (0..nw).map(|_| std::collections::VecDeque::new()).collect(),
+            cf_block: vec![false; nw],
+            fast_fetch: std::collections::VecDeque::new(),
+            issue_rr: 0,
+            completions: Vec::new(),
+            div_busy_until: 0,
+            fdiv_busy_until: 0,
+            fsqrt_busy_until: 0,
+            fence_waiters: Vec::new(),
+            global_barrier_out: Vec::new(),
+            tex_dest: HashMap::new(),
+            next_tex_tag: 0,
+            tex_mem_pending: Vec::new(),
+            cycle: 0,
+            stats: CoreStats::default(),
+            trace: Trace::disabled(),
+            config,
+        }
+    }
+
+    /// Resets and starts wavefront 0 at `pc` with one active thread — the
+    /// hardware boot condition; the kernel stub then uses `wspawn`/`tmc`
+    /// to light up the rest of the machine.
+    pub fn launch(&mut self, pc: u32) {
+        for wid in 0..self.config.num_wavefronts {
+            self.wavefronts[wid].halt();
+            self.scoreboard.clear_wavefront(wid);
+            self.ibuffer[wid].clear();
+            self.cf_block[wid] = false;
+            self.fetch_pending[wid] = None;
+        }
+        self.fast_fetch.clear();
+        self.completions.clear();
+        self.fence_waiters.clear();
+        self.tex_dest.clear();
+        self.tex_mem_pending.clear();
+        self.wavefronts[0].spawn(pc, 1);
+    }
+
+    /// `true` when every wavefront has halted and all machinery drained.
+    pub fn is_done(&self) -> bool {
+        self.wavefronts.iter().all(|w| !w.active)
+            && self.lsu.is_idle()
+            && self.tex_unit.is_idle()
+            && self.icache.is_idle()
+            && self.dcache.is_idle()
+            && self.smem.is_idle()
+            && self.completions.is_empty()
+    }
+
+    /// The per-core configuration.
+    pub fn config(&self) -> &CoreConfig {
+        &self.config
+    }
+
+    /// Source and destination registers of an instruction (for the
+    /// scoreboard). Returns `(sources, destination)`.
+    fn regs_of(instr: &Instr) -> (Vec<RegId>, Option<RegId>) {
+        use Instr::*;
+        match *instr {
+            Lui { rd, .. } | Auipc { rd, .. } => (vec![], Some(rd.into())),
+            Jal { rd, .. } => (vec![], Some(rd.into())),
+            Jalr { rd, rs1, .. } => (vec![rs1.into()], Some(rd.into())),
+            Branch { rs1, rs2, .. } => (vec![rs1.into(), rs2.into()], None),
+            Load { rd, rs1, .. } => (vec![rs1.into()], Some(rd.into())),
+            Store { rs1, rs2, .. } => (vec![rs1.into(), rs2.into()], None),
+            OpImm { rd, rs1, .. } => (vec![rs1.into()], Some(rd.into())),
+            Op { rd, rs1, rs2, .. } => (vec![rs1.into(), rs2.into()], Some(rd.into())),
+            Fence | Ecall | Ebreak => (vec![], None),
+            Csr { rd, src, .. } => {
+                let mut srcs = vec![];
+                if let CsrSrc::Reg(r) = src {
+                    srcs.push(r.into());
+                }
+                (srcs, (rd != Reg::X0).then(|| rd.into()))
+            }
+            Flw { rd, rs1, .. } => (vec![rs1.into()], Some(rd.into())),
+            Fsw { rs1, rs2, .. } => (vec![rs1.into(), rs2.into()], None),
+            Fma {
+                rd, rs1, rs2, rs3, ..
+            } => (
+                vec![rs1.into(), rs2.into(), rs3.into()],
+                Some(rd.into()),
+            ),
+            FpOp { rd, rs1, rs2, .. } => (vec![rs1.into(), rs2.into()], Some(rd.into())),
+            FpCmp { rd, rs1, rs2, .. } => (vec![rs1.into(), rs2.into()], Some(rd.into())),
+            FpToInt { rd, rs1, .. } => (vec![rs1.into()], Some(rd.into())),
+            IntToFp { rd, rs1, .. } => (vec![rs1.into()], Some(rd.into())),
+            FmvToInt { rd, rs1 } => (vec![rs1.into()], Some(rd.into())),
+            FmvFromInt { rd, rs1 } => (vec![rs1.into()], Some(rd.into())),
+            FClass { rd, rs1 } => (vec![rs1.into()], Some(rd.into())),
+            Tmc { rs1 } => (vec![rs1.into()], None),
+            Wspawn { rs1, rs2 } => (vec![rs1.into(), rs2.into()], None),
+            Split { rs1 } => (vec![rs1.into()], None),
+            Join => (vec![], None),
+            Bar { rs1, rs2 } => (vec![rs1.into(), rs2.into()], None),
+            Tex { rd, u, v, lod, .. } => (
+                vec![u.into(), v.into(), lod.into()],
+                Some(rd.into()),
+            ),
+        }
+    }
+
+    fn apply_writeback(&mut self, wid: usize, wb: &Writeback) {
+        for (lane, value) in wb.values.iter().enumerate() {
+            if let Some(v) = value {
+                if wb.reg.0 < 32 {
+                    self.regs
+                        .write_x(wid, lane, Reg::from_index(u32::from(wb.reg.0)), *v);
+                } else {
+                    self.regs.write_f(
+                        wid,
+                        lane,
+                        vortex_isa::FReg::from_index(u32::from(wb.reg.0 - 32)),
+                        *v,
+                    );
+                }
+            }
+        }
+        self.scoreboard.clear_pending(wid, wb.reg);
+    }
+
+    /// Writeback stage: one register write per cycle.
+    fn writeback_stage(&mut self) {
+        // Priority 1: completed loads.
+        if let Some((wid, wb)) = self.lsu.pop_ready() {
+            self.apply_writeback(wid, &wb);
+            return;
+        }
+        // Priority 2: texture responses.
+        if let Some(rsp) = self.tex_unit.pop_rsp() {
+            if let Some((wid, reg)) = self.tex_dest.remove(&rsp.tag) {
+                let wb = Writeback {
+                    reg,
+                    values: rsp.colors,
+                };
+                self.apply_writeback(wid, &wb);
+            }
+            return;
+        }
+        // Priority 3: earliest ready arithmetic completion.
+        if let Some(idx) = self
+            .completions
+            .iter()
+            .enumerate()
+            .filter(|(_, c)| c.ready <= self.cycle)
+            .min_by_key(|(_, c)| c.ready)
+            .map(|(i, _)| i)
+        {
+            let c = self.completions.remove(idx);
+            self.apply_writeback(c.wid, &c.wb);
+        }
+    }
+
+    /// Issue + execute stage.
+    fn issue_stage(&mut self, ram: &mut Ram) {
+        let nw = self.config.num_wavefronts;
+        // Find a wavefront with a decoded instruction, round-robin.
+        let mut picked = None;
+        let mut blocked_scoreboard = false;
+        let mut blocked_fu = false;
+        for i in 0..nw {
+            let wid = (self.issue_rr + i) % nw;
+            let Some((instr, _pc)) = self.ibuffer[wid].front() else {
+                continue;
+            };
+            // Hazard checks.
+            let (srcs, dst) = Self::regs_of(instr);
+            let mut need = srcs;
+            if let Some(d) = dst {
+                need.push(d);
+            }
+            if !self.scoreboard.ready(wid, &need) {
+                blocked_scoreboard = true;
+                continue;
+            }
+            let lat = self.config.latencies;
+            let fu_free = match instr {
+                Instr::Load { .. } | Instr::Flw { .. } => self.lsu.can_accept_load(),
+                Instr::Store { .. } | Instr::Fsw { .. } => self.lsu.can_accept_store(),
+                Instr::Op { op, .. } if op.is_muldiv() => {
+                    if matches!(
+                        op,
+                        vortex_isa::OpKind::Div
+                            | vortex_isa::OpKind::Divu
+                            | vortex_isa::OpKind::Rem
+                            | vortex_isa::OpKind::Remu
+                    ) {
+                        self.div_busy_until <= self.cycle
+                    } else {
+                        true
+                    }
+                }
+                Instr::FpOp { op, .. } => match op {
+                    vortex_isa::FpOpKind::Div => self.fdiv_busy_until <= self.cycle,
+                    vortex_isa::FpOpKind::Sqrt => self.fsqrt_busy_until <= self.cycle,
+                    _ => true,
+                },
+                Instr::Tex { .. } => self.tex_unit.can_accept(),
+                _ => true,
+            };
+            let _ = lat;
+            if !fu_free {
+                blocked_fu = true;
+                continue;
+            }
+            picked = Some(wid);
+            break;
+        }
+
+        let Some(wid) = picked else {
+            if blocked_scoreboard {
+                self.stats.stalls.scoreboard += 1;
+            } else if blocked_fu {
+                self.stats.stalls.fu_busy += 1;
+            } else {
+                self.stats.stalls.ibuffer_empty += 1;
+            }
+            return;
+        };
+        self.issue_rr = (wid + 1) % nw;
+        let (instr, instr_pc) = self.ibuffer[wid].pop_front().expect("picked non-empty");
+
+        // Execute functionally.
+        let env = ExecEnv {
+            core_id: self.id,
+            num_cores: self.num_cores,
+            num_wavefronts: self.config.num_wavefronts,
+            num_threads: self.config.num_threads,
+            cycle: self.cycle,
+            instret: self.stats.instrs,
+        };
+        let wf = &mut self.wavefronts[wid];
+        let tmask_at_issue = wf.tmask;
+        if Self::blocks_fetch(&instr) {
+            // The front end stalled at this instruction; resolve the PC
+            // now (execution overwrites it on taken redirects).
+            wf.pc = instr_pc.wrapping_add(4);
+            self.cf_block[wid] = false;
+        }
+        let result = exec::execute(wf, &self.regs, ram, &mut self.csrf, &env, &instr, instr_pc);
+        if result.halted {
+            // Discard any prefetched work of the halted wavefront.
+            self.ibuffer[wid].clear();
+            self.cf_block[wid] = false;
+            self.fetch_pending[wid] = None;
+        }
+
+        self.stats.instrs += 1;
+        self.stats.thread_instrs += u64::from(tmask_at_issue.count_ones());
+        if result.diverged {
+            self.stats.divergences += 1;
+        }
+        if self.trace.is_enabled() {
+            self.trace.record(TraceEvent {
+                cycle: self.cycle,
+                core: self.id,
+                wid,
+                pc: instr_pc,
+                tmask: tmask_at_issue,
+                text: instr.to_string(),
+            });
+        }
+
+        // Dispatch timing.
+        let lat = self.config.latencies;
+        match result.fu {
+            FuKind::Lsu if result.fence => {
+                // Fence: flush the D-cache, stall until drained.
+                self.dcache.flush();
+                self.wavefronts[wid].stall = StallReason::Fence;
+                self.fence_waiters.push(wid);
+            }
+            FuKind::Lsu => {
+                let accesses = result.mem.expect("LSU instruction carries accesses");
+                match result.wb {
+                    Some(wb) => {
+                        self.stats.loads += 1;
+                        self.scoreboard.set_pending(wid, wb.reg);
+                        self.lsu.issue_load(wid, &accesses, wb);
+                    }
+                    None => {
+                        self.stats.stores += 1;
+                        self.lsu.issue_store(&accesses);
+                    }
+                }
+            }
+            FuKind::Tex => {
+                self.stats.tex_ops += 1;
+                let (stage, lanes) = result.tex.expect("tex instruction carries coords");
+                let wb = result.wb.expect("tex writes a destination");
+                let tag = self.next_tex_tag;
+                self.next_tex_tag = self.next_tex_tag.wrapping_add(1);
+                self.scoreboard.set_pending(wid, wb.reg);
+                self.tex_dest.insert(tag, (wid, wb.reg));
+                let states = self.csrf.tex_states();
+                self.tex_unit
+                    .issue(TexRequest { tag, stage, lanes }, &states, ram)
+                    .expect("tex unit acceptance checked at issue");
+            }
+            fu => {
+                if let Some((id, count)) = result.barrier {
+                    self.stats.barriers += 1;
+                    self.arrive_barrier(wid, id, count);
+                }
+                if let Some((count, pc)) = result.wspawn {
+                    self.do_wspawn(wid, count, pc);
+                }
+                if let Some(wb) = result.wb {
+                    let latency = match fu {
+                        FuKind::Alu | FuKind::Sfu => lat.alu,
+                        FuKind::Mul => lat.mul,
+                        FuKind::Div => {
+                            self.div_busy_until = self.cycle + u64::from(lat.div);
+                            lat.div
+                        }
+                        FuKind::Fpu => lat.fpu,
+                        FuKind::FDiv => {
+                            self.fdiv_busy_until = self.cycle + u64::from(lat.fdiv);
+                            lat.fdiv
+                        }
+                        FuKind::FSqrt => {
+                            self.fsqrt_busy_until = self.cycle + u64::from(lat.fsqrt);
+                            lat.fsqrt
+                        }
+                        FuKind::Lsu | FuKind::Tex => unreachable!("handled above"),
+                    };
+                    self.scoreboard.set_pending(wid, wb.reg);
+                    self.completions.push(Completion {
+                        ready: self.cycle + u64::from(latency),
+                        wid,
+                        wb,
+                    });
+                } else {
+                    // No writeback: blocking units still go busy.
+                    match fu {
+                        FuKind::Div => self.div_busy_until = self.cycle + u64::from(lat.div),
+                        FuKind::FDiv => {
+                            self.fdiv_busy_until = self.cycle + u64::from(lat.fdiv);
+                        }
+                        FuKind::FSqrt => {
+                            self.fsqrt_busy_until = self.cycle + u64::from(lat.fsqrt);
+                        }
+                        _ => {}
+                    }
+                }
+            }
+        }
+    }
+
+    fn arrive_barrier(&mut self, wid: usize, id: u32, count: u32) {
+        use vortex_isa::vx::BAR_GLOBAL_BIT;
+        self.wavefronts[wid].stall = StallReason::Barrier;
+        if id & BAR_GLOBAL_BIT != 0 {
+            self.global_barrier_out.push(GlobalBarrierArrival {
+                id: id & !BAR_GLOBAL_BIT,
+                wid,
+                count,
+            });
+        } else {
+            let slot = (id as usize) % self.barriers.len();
+            match self.barriers.arrive(slot, wid, count) {
+                BarrierOutcome::Wait => {}
+                BarrierOutcome::Release(wids) => {
+                    for w in wids {
+                        self.release_wavefront(w);
+                    }
+                }
+            }
+        }
+    }
+
+    fn do_wspawn(&mut self, caller: usize, count: u32, pc: u32) {
+        let n = (count as usize).min(self.config.num_wavefronts);
+        for wid in 0..n {
+            if wid != caller && !self.wavefronts[wid].active {
+                self.wavefronts[wid].spawn(pc, 1);
+                self.scoreboard.clear_wavefront(wid);
+                self.ibuffer[wid].clear();
+                self.cf_block[wid] = false;
+                self.fetch_pending[wid] = None;
+            }
+        }
+    }
+
+    /// Unstalls a wavefront released from a (local or global) barrier or
+    /// fence.
+    pub fn release_wavefront(&mut self, wid: usize) {
+        if self.wavefronts[wid].active {
+            self.wavefronts[wid].stall = StallReason::None;
+        }
+    }
+
+    /// Fetch stage: scheduler pick, fast-path hit probe, or I-cache miss
+    /// request.
+    fn fetch_stage(&mut self) {
+        let mut ready_mask = 0u64;
+        for (wid, wf) in self.wavefronts.iter().enumerate() {
+            if wf.schedulable()
+                && self.ibuffer[wid].len() < Self::IBUFFER_DEPTH
+                && !self.cf_block[wid]
+                && self.fetch_pending[wid].is_none()
+            {
+                ready_mask |= 1 << wid;
+            }
+        }
+        if ready_mask == 0 {
+            return;
+        }
+        let Some(wid) = self.scheduler.pick(ready_mask) else {
+            return;
+        };
+        let pc = self.wavefronts[wid].pc;
+        if self.icache.lookup_for_fetch(pc) {
+            // Two-cycle hit path.
+            self.fast_fetch.push_back((self.cycle + 2, wid, pc));
+            self.fetch_pending[wid] = Some(pc);
+            return;
+        }
+        let mut reqs = vec![MemReq::read(wid as Tag, pc)];
+        self.icache.offer(&mut reqs);
+        if reqs.is_empty() {
+            self.fetch_pending[wid] = Some(pc);
+        }
+        // Rejected (bank busy / FIFO full): retry next cycle.
+    }
+
+    /// Decodes a fetched word into the wavefront's instruction buffer and
+    /// lets the front end run ahead when the instruction cannot redirect
+    /// the PC.
+    fn decode_into_ibuffer(&mut self, wid: usize, pc: u32, ram: &Ram) {
+        if !self.wavefronts[wid].active {
+            return; // halted while the fetch was in flight
+        }
+        let word = ram.read_u32(pc);
+        match decode(word) {
+            Ok(instr) => {
+                if Self::blocks_fetch(&instr) {
+                    self.cf_block[wid] = true;
+                } else {
+                    self.wavefronts[wid].pc = pc.wrapping_add(4);
+                }
+                self.ibuffer[wid].push_back((instr, pc));
+            }
+            Err(e) => panic!(
+                "core {} wavefront {wid}: illegal instruction at {pc:#010x}: {e}",
+                self.id
+            ),
+        }
+    }
+
+    /// Advances the core one cycle. `ram` is the functional memory.
+    pub fn tick(&mut self, ram: &mut Ram) {
+        self.icache.begin_cycle();
+        self.dcache.begin_cycle();
+
+        self.writeback_stage();
+        self.issue_stage(ram);
+        self.fetch_stage();
+
+        // LSU → D-cache / shared memory (LSU has priority over texture).
+        // Only the *oldest* lane group is presented: the core↔cache
+        // interface is wavefront-wide, so a partially accepted group
+        // blocks the next memory instruction (the throughput cost virtual
+        // multi-porting removes).
+        if let Some(group) = self.lsu.dcache_groups.front_mut() {
+            let stores_before = group.iter().filter(|r| r.write).count();
+            self.dcache.offer(group);
+            let stores_after = group.iter().filter(|r| r.write).count();
+            let accepted_stores = stores_before - stores_after;
+            if group.is_empty() {
+                self.lsu.dcache_groups.pop_front();
+            }
+            self.lsu.stores_accepted(accepted_stores);
+        }
+        if let Some(group) = self.lsu.smem_groups.front_mut() {
+            self.smem.offer(group);
+            if group.is_empty() {
+                self.lsu.smem_groups.pop_front();
+            }
+        }
+
+        // Texture unit → D-cache (tags marked with the TEX bit).
+        while let Some(req) = self.tex_unit.pop_mem_req() {
+            self.tex_mem_pending.push(MemReq {
+                tag: req.tag | tags::TEX_BIT,
+                addr: req.addr,
+                write: req.write,
+            });
+        }
+        self.dcache.offer(&mut self.tex_mem_pending);
+
+        self.icache.tick();
+        self.dcache.tick();
+        self.smem.tick();
+        self.tex_unit.tick();
+
+        // Fast-path fetches that reached their latency → decode.
+        while let Some(&(ready, wid, pc)) = self.fast_fetch.front() {
+            if ready > self.cycle {
+                break;
+            }
+            self.fast_fetch.pop_front();
+            if self.fetch_pending[wid] == Some(pc) {
+                self.fetch_pending[wid] = None;
+                self.decode_into_ibuffer(wid, pc, ram);
+            }
+        }
+        // I-cache miss responses → decode into the ibuffer.
+        while let Some(MemRsp { tag }) = self.icache.pop_rsp() {
+            let wid = tag as usize;
+            let Some(pc) = self.fetch_pending[wid].take() else {
+                continue;
+            };
+            self.decode_into_ibuffer(wid, pc, ram);
+        }
+
+        // D-cache responses → LSU or texture unit.
+        while let Some(MemRsp { tag }) = self.dcache.pop_rsp() {
+            if tag & tags::TEX_BIT != 0 {
+                self.tex_unit.push_mem_rsp(MemRsp {
+                    tag: tag & !tags::TEX_BIT,
+                });
+            } else {
+                self.lsu.push_rsp(tag);
+            }
+        }
+        while let Some(MemRsp { tag }) = self.smem.pop_rsp() {
+            self.lsu.push_rsp(tag);
+        }
+
+        // Fence release: core-local memory machinery fully drained.
+        if !self.fence_waiters.is_empty()
+            && self.lsu.is_idle()
+            && self.dcache.is_idle()
+            && self.smem.is_idle()
+        {
+            for wid in std::mem::take(&mut self.fence_waiters) {
+                self.release_wavefront(wid);
+            }
+        }
+
+        self.cycle += 1;
+        self.stats.cycles = self.cycle;
+        self.stats.icache = self.icache.stats;
+        self.stats.dcache = self.dcache.stats;
+        self.stats.tex = self.tex_unit.stats;
+        self.stats.smem_accesses = self.smem.accesses;
+        self.stats.smem_conflicts = self.smem.bank_conflicts;
+    }
+
+    // --- Memory-side plumbing for the GPU level -------------------------
+
+    /// Delivers a fill response to the right L1.
+    pub fn push_l1_mem_rsp(&mut self, rsp: MemRsp, icache: bool) {
+        if icache {
+            self.icache.push_mem_rsp(rsp);
+        } else {
+            self.dcache.push_mem_rsp(rsp);
+        }
+    }
+
+    /// Peeks the next I-cache memory request without removing it.
+    pub fn peek_icache_mem_req(&self) -> Option<&MemReq> {
+        self.icache.peek_mem_req()
+    }
+
+    /// Peeks the next D-cache memory request without removing it.
+    pub fn peek_dcache_mem_req(&self) -> Option<&MemReq> {
+        self.dcache.peek_mem_req()
+    }
+
+    /// Pops the next I-cache memory request.
+    pub fn pop_icache_mem_req(&mut self) -> Option<MemReq> {
+        self.icache.pop_mem_req()
+    }
+
+    /// Pops the next D-cache memory request.
+    pub fn pop_dcache_mem_req(&mut self) -> Option<MemReq> {
+        self.dcache.pop_mem_req()
+    }
+
+    /// Drains this core's pending global-barrier arrivals.
+    pub fn take_global_barrier_arrivals(&mut self) -> Vec<GlobalBarrierArrival> {
+        std::mem::take(&mut self.global_barrier_out)
+    }
+
+    /// Read access to a wavefront (tests, debugging).
+    pub fn wavefront(&self, wid: usize) -> &Wavefront {
+        &self.wavefronts[wid]
+    }
+
+    /// Read access to the register file (tests, runtime result readout).
+    pub fn regs(&self) -> &RegFile {
+        &self.regs
+    }
+}

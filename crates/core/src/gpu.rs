@@ -1,0 +1,451 @@
+//! The multi-core GPU top level.
+//!
+//! Assembles cores, the shared memory hierarchy (optional L2 per cluster,
+//! optional L3, DRAM) and the global barrier table, and provides the
+//! kernel-execution entry points the runtime drives. In the paper's system
+//! this sits below the AFU command processor (Figure 4); the command
+//! processor itself lives in `vortex-runtime`.
+
+use crate::barrier::{BarrierOutcome, BarrierTable};
+use crate::config::GpuConfig;
+use crate::core::Core;
+use crate::stats::GpuStats;
+use std::fmt;
+use vortex_mem::hierarchy::{HierarchyConfig, MemHierarchy};
+use vortex_mem::{MemReq, MemRsp, Ram, Tag};
+
+/// Tag bit distinguishing I-cache from D-cache fills above the L1s.
+const ICACHE_BIT: Tag = 1 << 61;
+
+/// Error returned when a kernel exceeds its cycle budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchError {
+    /// Cycles executed before giving up.
+    pub cycles: u64,
+}
+
+impl fmt::Display for LaunchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "kernel did not finish within {} cycles", self.cycles)
+    }
+}
+
+impl std::error::Error for LaunchError {}
+
+/// The Vortex processor: cores + memory system + global barriers.
+#[derive(Debug)]
+pub struct Gpu {
+    config: GpuConfig,
+    cores: Vec<Core>,
+    hierarchy: MemHierarchy,
+    global_barriers: BarrierTable,
+    /// Functional device memory.
+    pub ram: Ram,
+    cycle: u64,
+}
+
+impl Gpu {
+    /// Builds a GPU from `config` with zeroed memory.
+    pub fn new(config: GpuConfig) -> Self {
+        let cores = (0..config.num_cores)
+            .map(|id| Core::new(id, config.num_cores, config.core.clone()))
+            .collect();
+        let hierarchy = MemHierarchy::new(HierarchyConfig {
+            num_cores: config.num_cores,
+            cores_per_cluster: config.cores_per_cluster,
+            l2: config.l2,
+            l3: config.l3,
+            dram: config.dram,
+        });
+        Self {
+            cores,
+            hierarchy,
+            global_barriers: BarrierTable::new(16),
+            ram: Ram::new(),
+            cycle: 0,
+            config,
+        }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GpuConfig {
+        &self.config
+    }
+
+    /// Current cycle count.
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Access to a core (tests, tracing).
+    pub fn core(&self, id: usize) -> &Core {
+        &self.cores[id]
+    }
+
+    /// Mutable access to a core (to enable tracing).
+    pub fn core_mut(&mut self, id: usize) -> &mut Core {
+        &mut self.cores[id]
+    }
+
+    /// Starts a kernel: every core boots wavefront 0, thread 0 at `entry`
+    /// (the Vortex boot convention — the kernel stub reads `VX_CID` /
+    /// `VX_NW` / `VX_NT` and spreads out with `wspawn`/`tmc`).
+    pub fn launch(&mut self, entry: u32) {
+        for core in &mut self.cores {
+            core.launch(entry);
+        }
+    }
+
+    /// Advances the whole processor one cycle.
+    pub fn step(&mut self) {
+        for core in &mut self.cores {
+            core.tick(&mut self.ram);
+        }
+
+        // L1 miss traffic → hierarchy (only pop what the hierarchy takes).
+        for (cid, core) in self.cores.iter_mut().enumerate() {
+            while let Some(req) = core.peek_icache_mem_req().copied() {
+                let wrapped = MemReq {
+                    tag: req.tag | ICACHE_BIT,
+                    ..req
+                };
+                if self.hierarchy.push_req(cid, wrapped).is_ok() {
+                    core.pop_icache_mem_req();
+                } else {
+                    break;
+                }
+            }
+            while let Some(req) = core.peek_dcache_mem_req().copied() {
+                if self.hierarchy.push_req(cid, req).is_ok() {
+                    core.pop_dcache_mem_req();
+                } else {
+                    break;
+                }
+            }
+        }
+
+        self.hierarchy.tick();
+
+        // Fill responses → owning L1.
+        for (cid, core) in self.cores.iter_mut().enumerate() {
+            while let Some(rsp) = self.hierarchy.pop_rsp(cid) {
+                let icache = rsp.tag & ICACHE_BIT != 0;
+                core.push_l1_mem_rsp(
+                    MemRsp {
+                        tag: rsp.tag & !ICACHE_BIT,
+                    },
+                    icache,
+                );
+            }
+        }
+
+        // Global barriers (barrier ids with the MSB set): participants are
+        // wavefronts across all cores, identified as core*NW + wid.
+        let nw = self.config.core.num_wavefronts;
+        let mut releases: Vec<usize> = Vec::new();
+        for (cid, core) in self.cores.iter_mut().enumerate() {
+            for arrival in core.take_global_barrier_arrivals() {
+                let slot = (arrival.id as usize) % self.global_barriers.len();
+                match self
+                    .global_barriers
+                    .arrive(slot, cid * nw + arrival.wid, arrival.count)
+                {
+                    BarrierOutcome::Wait => {}
+                    BarrierOutcome::Release(ids) => releases.extend(ids),
+                }
+            }
+        }
+        for gid in releases {
+            self.cores[gid / nw].release_wavefront(gid % nw);
+        }
+
+        self.cycle += 1;
+    }
+
+    /// `true` when every core has drained and the memory system is quiet.
+    pub fn is_done(&self) -> bool {
+        self.cores.iter().all(Core::is_done) && self.hierarchy.is_idle()
+    }
+
+    /// Runs until the kernel finishes, up to `max_cycles`.
+    ///
+    /// # Errors
+    /// Returns [`LaunchError`] if the budget is exhausted first (likely a
+    /// kernel bug: missed `ecall`, barrier mismatch, or spin-wait).
+    pub fn run(&mut self, max_cycles: u64) -> Result<GpuStats, LaunchError> {
+        while !self.is_done() {
+            if self.cycle >= max_cycles {
+                return Err(LaunchError { cycles: self.cycle });
+            }
+            self.step();
+        }
+        Ok(self.stats())
+    }
+
+    /// Snapshot of all counters.
+    pub fn stats(&self) -> GpuStats {
+        GpuStats {
+            cycles: self.cycle,
+            cores: self.cores.iter().map(|c| c.stats).collect(),
+            dram_reads: self.hierarchy.dram_reads(),
+            dram_writes: self.hierarchy.dram_writes(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use vortex_asm::Assembler;
+    use vortex_isa::Reg;
+
+    const ENTRY: u32 = 0x8000_0000;
+
+    fn run_program(gpu: &mut Gpu, asm: &Assembler) -> GpuStats {
+        let prog = asm.assemble(ENTRY).expect("assembles");
+        gpu.ram.write_bytes(prog.base, &prog.to_bytes());
+        gpu.launch(prog.entry);
+        gpu.run(1_000_000).expect("kernel finishes")
+    }
+
+    #[test]
+    fn trivial_kernel_halts() {
+        let mut gpu = Gpu::new(GpuConfig::with_cores(1));
+        let mut a = Assembler::new();
+        a.ecall();
+        let stats = run_program(&mut gpu, &a);
+        assert_eq!(stats.total_instrs(), 1);
+        assert!(stats.cycles > 0);
+    }
+
+    #[test]
+    fn arithmetic_and_store_produce_memory_effects() {
+        let mut gpu = Gpu::new(GpuConfig::with_cores(1));
+        let mut a = Assembler::new();
+        a.li(Reg::X5, 21);
+        a.add(Reg::X5, Reg::X5, Reg::X5);
+        a.li(Reg::X6, 0x2000);
+        a.sw(Reg::X5, Reg::X6, 0);
+        a.ecall();
+        run_program(&mut gpu, &a);
+        assert_eq!(gpu.ram.read_u32(0x2000), 42);
+    }
+
+    #[test]
+    fn loop_with_raw_hazards_computes_correctly() {
+        // sum 1..=10 via a data-dependent loop.
+        let mut gpu = Gpu::new(GpuConfig::with_cores(1));
+        let mut a = Assembler::new();
+        a.li(Reg::X5, 10); // i
+        a.li(Reg::X6, 0); // sum
+        a.label("loop").unwrap();
+        a.add(Reg::X6, Reg::X6, Reg::X5);
+        a.addi(Reg::X5, Reg::X5, -1);
+        a.bnez(Reg::X5, "loop");
+        a.li(Reg::X7, 0x3000);
+        a.sw(Reg::X6, Reg::X7, 0);
+        a.ecall();
+        run_program(&mut gpu, &a);
+        assert_eq!(gpu.ram.read_u32(0x3000), 55);
+    }
+
+    #[test]
+    fn tmc_activates_simd_lanes() {
+        // Activate all 4 threads, each stores its TID to 0x4000 + 4*tid.
+        let mut gpu = Gpu::new(GpuConfig::with_cores(1));
+        let mut a = Assembler::new();
+        a.li(Reg::X5, 4);
+        a.tmc(Reg::X5);
+        a.csrr(Reg::X6, vortex_isa::csr::VX_TID);
+        a.slli(Reg::X7, Reg::X6, 2);
+        a.li(Reg::X8, 0x4000);
+        a.add(Reg::X7, Reg::X7, Reg::X8);
+        a.sw(Reg::X6, Reg::X7, 0);
+        a.ecall();
+        run_program(&mut gpu, &a);
+        for tid in 0..4u32 {
+            assert_eq!(gpu.ram.read_u32(0x4000 + tid * 4), tid, "tid {tid}");
+        }
+    }
+
+    #[test]
+    fn wspawn_runs_other_wavefronts() {
+        // Wavefront 0 spawns 3 others at `worker`; each stores its WID.
+        let mut gpu = Gpu::new(GpuConfig::with_cores(1));
+        let mut a = Assembler::new();
+        a.li(Reg::X5, 4);
+        a.la(Reg::X6, "worker");
+        a.wspawn(Reg::X5, Reg::X6);
+        a.j("worker");
+        a.label("worker").unwrap();
+        a.csrr(Reg::X6, vortex_isa::csr::VX_WID);
+        a.slli(Reg::X7, Reg::X6, 2);
+        a.li(Reg::X8, 0x5000);
+        a.add(Reg::X7, Reg::X7, Reg::X8);
+        a.addi(Reg::X9, Reg::X6, 100);
+        a.sw(Reg::X9, Reg::X7, 0);
+        a.ecall();
+        run_program(&mut gpu, &a);
+        for wid in 0..4u32 {
+            assert_eq!(gpu.ram.read_u32(0x5000 + wid * 4), 100 + wid, "wid {wid}");
+        }
+    }
+
+    #[test]
+    fn divergence_executes_both_paths() {
+        // Threads 0,1 write A; threads 2,3 write B; all write C after join.
+        let mut gpu = Gpu::new(GpuConfig::with_cores(1));
+        let mut a = Assembler::new();
+        a.li(Reg::X5, 4);
+        a.tmc(Reg::X5);
+        a.csrr(Reg::X6, vortex_isa::csr::VX_TID);
+        a.slti(Reg::X7, Reg::X6, 2); // pred: tid < 2
+        a.slli(Reg::X8, Reg::X6, 2);
+        a.li(Reg::X9, 0x6000);
+        a.add(Reg::X8, Reg::X8, Reg::X9); // &out[tid]
+        a.split(Reg::X7);
+        a.beqz(Reg::X7, "else_side");
+        a.li(Reg::X10, 111);
+        a.sw(Reg::X10, Reg::X8, 0);
+        a.j("merge");
+        a.label("else_side").unwrap();
+        a.li(Reg::X10, 222);
+        a.sw(Reg::X10, Reg::X8, 0);
+        a.label("merge").unwrap();
+        a.join();
+        a.li(Reg::X11, 7);
+        a.sw(Reg::X11, Reg::X8, 16); // out[tid+4] = 7 from all threads
+        a.ecall();
+        run_program(&mut gpu, &a);
+        assert_eq!(gpu.ram.read_u32(0x6000), 111);
+        assert_eq!(gpu.ram.read_u32(0x6004), 111);
+        assert_eq!(gpu.ram.read_u32(0x6008), 222);
+        assert_eq!(gpu.ram.read_u32(0x600C), 222);
+        for t in 0..4 {
+            assert_eq!(gpu.ram.read_u32(0x6010 + t * 4), 7, "post-join lane {t}");
+        }
+    }
+
+    #[test]
+    fn local_barrier_synchronizes_wavefronts() {
+        // 4 wavefronts: each increments a flag before the barrier; after
+        // the barrier, each checks all flags were set.
+        let mut gpu = Gpu::new(GpuConfig::with_cores(1));
+        let mut a = Assembler::new();
+        a.li(Reg::X5, 4);
+        a.la(Reg::X6, "work");
+        a.wspawn(Reg::X5, Reg::X6);
+        a.j("work");
+        a.label("work").unwrap();
+        a.csrr(Reg::X6, vortex_isa::csr::VX_WID);
+        a.slli(Reg::X7, Reg::X6, 2);
+        a.li(Reg::X8, 0x7000);
+        a.add(Reg::X7, Reg::X7, Reg::X8);
+        a.li(Reg::X9, 1);
+        a.sw(Reg::X9, Reg::X7, 0); // flags[wid] = 1
+        a.li(Reg::X10, 0); // barrier id
+        a.li(Reg::X11, 4); // count
+        a.bar(Reg::X10, Reg::X11);
+        // After the barrier every flag must read 1; sum and store.
+        a.li(Reg::X12, 0);
+        a.li(Reg::X13, 0x7000);
+        for i in 0..4 {
+            a.lw(Reg::X14, Reg::X13, i * 4);
+            a.add(Reg::X12, Reg::X12, Reg::X14);
+        }
+        a.slli(Reg::X7, Reg::X6, 2);
+        a.li(Reg::X8, 0x7100);
+        a.add(Reg::X7, Reg::X7, Reg::X8);
+        a.sw(Reg::X12, Reg::X7, 0);
+        a.ecall();
+        run_program(&mut gpu, &a);
+        for wid in 0..4u32 {
+            assert_eq!(
+                gpu.ram.read_u32(0x7100 + wid * 4),
+                4,
+                "wavefront {wid} saw all flags"
+            );
+        }
+    }
+
+    #[test]
+    fn global_barrier_synchronizes_cores() {
+        // 2 cores × 1 wavefront arrive at a global barrier.
+        let mut gpu = Gpu::new(GpuConfig::with_cores(2));
+        let mut a = Assembler::new();
+        a.csrr(Reg::X5, vortex_isa::csr::VX_CID);
+        a.slli(Reg::X6, Reg::X5, 2);
+        a.li(Reg::X7, 0x7200);
+        a.add(Reg::X6, Reg::X6, Reg::X7);
+        a.li(Reg::X8, 1);
+        a.sw(Reg::X8, Reg::X6, 0);
+        a.fence();
+        // Global barrier: id MSB set, 2 expected arrivals.
+        a.li(Reg::X9, vortex_isa::vx::BAR_GLOBAL_BIT as i32);
+        a.li(Reg::X10, 2);
+        a.bar(Reg::X9, Reg::X10);
+        a.lw(Reg::X11, Reg::X7, 0);
+        a.lw(Reg::X12, Reg::X7, 4);
+        a.add(Reg::X11, Reg::X11, Reg::X12);
+        a.slli(Reg::X6, Reg::X5, 2);
+        a.li(Reg::X13, 0x7300);
+        a.add(Reg::X6, Reg::X6, Reg::X13);
+        a.sw(Reg::X11, Reg::X6, 0);
+        a.ecall();
+        run_program(&mut gpu, &a);
+        assert_eq!(gpu.ram.read_u32(0x7300), 2);
+        assert_eq!(gpu.ram.read_u32(0x7304), 2);
+    }
+
+    #[test]
+    fn float_pipeline_works() {
+        let mut gpu = Gpu::new(GpuConfig::with_cores(1));
+        let mut a = Assembler::new();
+        a.lfi(vortex_isa::FReg::X1, 3.0);
+        a.lfi(vortex_isa::FReg::X2, 4.0);
+        a.fmul(vortex_isa::FReg::X3, vortex_isa::FReg::X1, vortex_isa::FReg::X1);
+        a.fmadd(
+            vortex_isa::FReg::X3,
+            vortex_isa::FReg::X2,
+            vortex_isa::FReg::X2,
+            vortex_isa::FReg::X3,
+        );
+        a.fsqrt(vortex_isa::FReg::X4, vortex_isa::FReg::X3);
+        a.li(Reg::X6, 0x8000);
+        a.fsw(vortex_isa::FReg::X4, Reg::X6, 0);
+        a.ecall();
+        run_program(&mut gpu, &a);
+        assert_eq!(gpu.ram.read_f32(0x8000), 5.0, "hypot(3,4)");
+    }
+
+    #[test]
+    fn timeout_is_reported() {
+        let mut gpu = Gpu::new(GpuConfig::with_cores(1));
+        let mut a = Assembler::new();
+        a.label("spin").unwrap();
+        a.j("spin");
+        let prog = a.assemble(ENTRY).unwrap();
+        gpu.ram.write_bytes(prog.base, &prog.to_bytes());
+        gpu.launch(prog.entry);
+        assert!(gpu.run(1000).is_err());
+    }
+
+    #[test]
+    fn multicore_runs_independent_kernels() {
+        let mut gpu = Gpu::new(GpuConfig::with_cores(4));
+        let mut a = Assembler::new();
+        a.csrr(Reg::X5, vortex_isa::csr::VX_CID);
+        a.slli(Reg::X6, Reg::X5, 2);
+        a.li(Reg::X7, 0x9000);
+        a.add(Reg::X6, Reg::X6, Reg::X7);
+        a.addi(Reg::X8, Reg::X5, 500);
+        a.sw(Reg::X8, Reg::X6, 0);
+        a.ecall();
+        let stats = run_program(&mut gpu, &a);
+        for cid in 0..4u32 {
+            assert_eq!(gpu.ram.read_u32(0x9000 + cid * 4), 500 + cid);
+        }
+        assert_eq!(stats.cores.len(), 4);
+        assert!(stats.cores.iter().all(|c| c.instrs > 0));
+    }
+}

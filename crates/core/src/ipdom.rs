@@ -1,0 +1,227 @@
+//! The immediate-post-dominator (IPDOM) stack (paper §4.1.2).
+//!
+//! `split` evaluates a per-thread predicate and, on divergence, pushes two
+//! entries: the original mask as a *fall-through* and the false-predicate
+//! threads with their resume PC; execution continues with the
+//! true-predicate threads. `join` pops one entry: a non-fall-through entry
+//! redirects the wavefront to the stored PC with the stored mask (running
+//! the other side of the divergence); a fall-through entry restores the
+//! pre-split mask and lets execution continue in a straight line.
+
+/// One IPDOM stack entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IpdomEntry {
+    /// Thread mask to restore.
+    pub tmask: u32,
+    /// Resume PC (ignored for fall-through entries).
+    pub pc: u32,
+    /// `true` for the reconvergence (original-mask) entry.
+    pub fallthrough: bool,
+}
+
+/// Outcome of executing `split`.
+///
+/// `split` *always* pushes at least the fall-through entry, so the `join`
+/// that compilers emit at the merge point is balanced on both the uniform
+/// and the divergent path (each executed `join` pops exactly one entry; a
+/// divergent region executes `join` twice — once per side).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitOutcome {
+    /// All threads agreed; only the fall-through entry was pushed and the
+    /// mask is unchanged.
+    Uniform,
+    /// Divergence: the wavefront continues with `then_mask`.
+    Diverged {
+        /// The true-predicate threads that keep running.
+        then_mask: u32,
+    },
+}
+
+/// Outcome of executing `join`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinOutcome {
+    /// Restore `tmask` and continue at the next sequential PC.
+    FallThrough {
+        /// Mask to restore.
+        tmask: u32,
+    },
+    /// Switch to the other divergence side: set `tmask`, jump to `pc`.
+    Branch {
+        /// Mask of the deferred side.
+        tmask: u32,
+        /// Its resume PC.
+        pc: u32,
+    },
+}
+
+/// The per-wavefront hardware IPDOM stack.
+#[derive(Debug, Clone)]
+pub struct IpdomStack {
+    entries: Vec<IpdomEntry>,
+    capacity: usize,
+}
+
+impl IpdomStack {
+    /// Creates a stack with `capacity` entries. The RTL sizes it by the
+    /// thread count (each divergence level can split at most once per
+    /// thread).
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            entries: Vec::with_capacity(capacity),
+            capacity: capacity.max(2),
+        }
+    }
+
+    /// Executes `split` given the current mask and the per-thread predicate
+    /// results (bit i set = thread i's predicate true). Pushes two entries
+    /// on divergence.
+    ///
+    /// # Panics
+    /// Panics on stack overflow — in hardware this is a programming error
+    /// the compiler's nesting-depth limit prevents.
+    pub fn split(&mut self, tmask: u32, pred_mask: u32, next_pc: u32) -> SplitOutcome {
+        let then_mask = tmask & pred_mask;
+        let else_mask = tmask & !pred_mask;
+        assert!(
+            self.entries.len() + 2 <= self.capacity * 2,
+            "IPDOM stack overflow (divergence nesting too deep)"
+        );
+        self.entries.push(IpdomEntry {
+            tmask,
+            pc: 0,
+            fallthrough: true,
+        });
+        if then_mask == 0 || else_mask == 0 {
+            return SplitOutcome::Uniform;
+        }
+        self.entries.push(IpdomEntry {
+            tmask: else_mask,
+            pc: next_pc,
+            fallthrough: false,
+        });
+        SplitOutcome::Diverged { then_mask }
+    }
+
+    /// Executes `join`, popping one entry.
+    ///
+    /// # Panics
+    /// Panics on an empty stack (unbalanced `join`).
+    pub fn join(&mut self) -> JoinOutcome {
+        let entry = self
+            .entries
+            .pop()
+            .expect("join on empty IPDOM stack (unbalanced split/join)");
+        if entry.fallthrough {
+            JoinOutcome::FallThrough { tmask: entry.tmask }
+        } else {
+            JoinOutcome::Branch {
+                tmask: entry.tmask,
+                pc: entry.pc,
+            }
+        }
+    }
+
+    /// Current depth in entries.
+    pub fn depth(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// `true` when no divergence is outstanding.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Clears the stack (wavefront respawn).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_split_pushes_one_entry_for_a_balanced_join() {
+        let mut s = IpdomStack::new(4);
+        assert_eq!(s.split(0b1111, 0b1111, 0x104), SplitOutcome::Uniform);
+        assert_eq!(s.depth(), 1);
+        assert_eq!(s.join(), JoinOutcome::FallThrough { tmask: 0b1111 });
+        assert_eq!(s.split(0b1111, 0b0000, 0x104), SplitOutcome::Uniform);
+        assert_eq!(s.join(), JoinOutcome::FallThrough { tmask: 0b1111 });
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn divergence_then_two_joins_reconverges() {
+        let mut s = IpdomStack::new(4);
+        // Threads 0,1 true; threads 2,3 false.
+        let out = s.split(0b1111, 0b0011, 0x104);
+        assert_eq!(out, SplitOutcome::Diverged { then_mask: 0b0011 });
+        assert_eq!(s.depth(), 2);
+        // First join: switch to the else side at the split's next PC.
+        assert_eq!(
+            s.join(),
+            JoinOutcome::Branch {
+                tmask: 0b1100,
+                pc: 0x104
+            }
+        );
+        // Second join: restore the full mask, fall through.
+        assert_eq!(s.join(), JoinOutcome::FallThrough { tmask: 0b1111 });
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn nested_divergence_unwinds_in_order() {
+        let mut s = IpdomStack::new(8);
+        s.split(0b1111, 0b0011, 0x104);
+        // Inner split among the then-side threads.
+        s.split(0b0011, 0b0001, 0x204);
+        assert_eq!(s.depth(), 4);
+        assert_eq!(
+            s.join(),
+            JoinOutcome::Branch {
+                tmask: 0b0010,
+                pc: 0x204
+            }
+        );
+        assert_eq!(s.join(), JoinOutcome::FallThrough { tmask: 0b0011 });
+        assert_eq!(
+            s.join(),
+            JoinOutcome::Branch {
+                tmask: 0b1100,
+                pc: 0x104
+            }
+        );
+        assert_eq!(s.join(), JoinOutcome::FallThrough { tmask: 0b1111 });
+    }
+
+    #[test]
+    #[should_panic(expected = "unbalanced")]
+    fn join_on_empty_stack_panics() {
+        let mut s = IpdomStack::new(4);
+        let _ = s.join();
+    }
+
+    #[test]
+    fn masks_partition_exactly() {
+        // The union of the two sides equals the original mask and the
+        // intersection is empty, for arbitrary inputs.
+        for tmask in 0..16u32 {
+            for pred in 0..16u32 {
+                let mut s = IpdomStack::new(8);
+                match s.split(tmask, pred, 0) {
+                    SplitOutcome::Uniform => {}
+                    SplitOutcome::Diverged { then_mask } => {
+                        let JoinOutcome::Branch { tmask: else_mask, .. } = s.join() else {
+                            panic!("first join must branch");
+                        };
+                        assert_eq!(then_mask | else_mask, tmask);
+                        assert_eq!(then_mask & else_mask, 0);
+                    }
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,145 @@
+//! Performance counters: the quantities the paper's evaluation reports
+//! (IPC in Figures 14/18/19/21, texture/cache behaviour elsewhere).
+
+use vortex_mem::cache::CacheStats;
+use vortex_tex::TexUnitStats;
+
+/// Issue-stall breakdown for one core.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct StallStats {
+    /// Cycles with no decoded instruction ready to issue.
+    pub ibuffer_empty: u64,
+    /// Cycles blocked by a scoreboard (data) hazard.
+    pub scoreboard: u64,
+    /// Cycles blocked by a busy functional unit.
+    pub fu_busy: u64,
+}
+
+/// One core's counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct CoreStats {
+    /// Cycles simulated.
+    pub cycles: u64,
+    /// Wavefront-instructions issued.
+    pub instrs: u64,
+    /// Thread-instructions issued (instrs × active lanes).
+    pub thread_instrs: u64,
+    /// Loads issued (wavefront granularity).
+    pub loads: u64,
+    /// Stores issued.
+    pub stores: u64,
+    /// `tex` instructions issued.
+    pub tex_ops: u64,
+    /// Barrier arrivals.
+    pub barriers: u64,
+    /// `split` instructions that actually diverged.
+    pub divergences: u64,
+    /// Issue-stall breakdown.
+    pub stalls: StallStats,
+    /// Instruction-cache counters.
+    pub icache: CacheStats,
+    /// Data-cache counters.
+    pub dcache: CacheStats,
+    /// Texture-unit counters.
+    pub tex: TexUnitStats,
+    /// Shared-memory accesses.
+    pub smem_accesses: u64,
+    /// Shared-memory bank conflicts.
+    pub smem_conflicts: u64,
+}
+
+impl CoreStats {
+    /// Instructions per cycle at wavefront granularity (issue-slot
+    /// utilization).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instrs as f64 / self.cycles as f64
+        }
+    }
+
+    /// Instructions per cycle at *thread* granularity (each active lane
+    /// counts) — the metric of the paper's IPC figures, which is why
+    /// wide-thread configurations score higher there even at equal issue
+    /// rates.
+    pub fn thread_ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.thread_instrs as f64 / self.cycles as f64
+        }
+    }
+}
+
+/// Whole-GPU counters.
+#[derive(Debug, Default, Clone, PartialEq)]
+pub struct GpuStats {
+    /// Cycles simulated (same for every core).
+    pub cycles: u64,
+    /// Per-core counters.
+    pub cores: Vec<CoreStats>,
+    /// DRAM reads serviced.
+    pub dram_reads: u64,
+    /// DRAM writes serviced.
+    pub dram_writes: u64,
+}
+
+impl GpuStats {
+    /// Total wavefront-instructions across cores.
+    pub fn total_instrs(&self) -> u64 {
+        self.cores.iter().map(|c| c.instrs).sum()
+    }
+
+    /// Aggregate IPC: total instructions / cycles — the processor-level IPC
+    /// the paper plots in Figure 18 (it grows with core count).
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.total_instrs() as f64 / self.cycles as f64
+        }
+    }
+
+    /// Aggregate thread-level IPC (see [`CoreStats::thread_ipc`]).
+    pub fn thread_ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            let t: u64 = self.cores.iter().map(|c| c.thread_instrs).sum();
+            t as f64 / self.cycles as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ipc_is_instrs_over_cycles() {
+        let s = CoreStats {
+            cycles: 100,
+            instrs: 42,
+            ..CoreStats::default()
+        };
+        assert!((s.ipc() - 0.42).abs() < 1e-12);
+        assert_eq!(CoreStats::default().ipc(), 0.0);
+    }
+
+    #[test]
+    fn gpu_ipc_sums_cores() {
+        let core = CoreStats {
+            cycles: 100,
+            instrs: 50,
+            ..CoreStats::default()
+        };
+        let g = GpuStats {
+            cycles: 100,
+            cores: vec![core; 4],
+            dram_reads: 0,
+            dram_writes: 0,
+        };
+        assert!((g.ipc() - 2.0).abs() < 1e-12);
+    }
+}

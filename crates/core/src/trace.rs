@@ -1,0 +1,125 @@
+//! Instruction tracing.
+//!
+//! The paper's elastic pipelines carry `(PC, wavefront)` tags so requests
+//! can be tracked through the processor (§4.4). The simulator's analogue is
+//! a bounded event trace: when enabled, every issued instruction records a
+//! [`TraceEvent`], giving the same debugging capability without the RTL
+//! waveforms.
+
+use std::collections::VecDeque;
+
+/// One traced pipeline event.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEvent {
+    /// Cycle of issue.
+    pub cycle: u64,
+    /// Core id.
+    pub core: usize,
+    /// Wavefront id.
+    pub wid: usize,
+    /// Instruction PC.
+    pub pc: u32,
+    /// Active thread mask at issue.
+    pub tmask: u32,
+    /// Disassembled instruction.
+    pub text: String,
+}
+
+/// A bounded instruction trace (ring buffer).
+#[derive(Debug, Default)]
+pub struct Trace {
+    events: VecDeque<TraceEvent>,
+    capacity: usize,
+}
+
+impl Trace {
+    /// Creates a disabled trace (capacity 0 records nothing).
+    pub fn disabled() -> Self {
+        Self::default()
+    }
+
+    /// Creates a trace keeping the most recent `capacity` events.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Self {
+            events: VecDeque::with_capacity(capacity.min(1 << 20)),
+            capacity,
+        }
+    }
+
+    /// `true` when recording.
+    pub fn is_enabled(&self) -> bool {
+        self.capacity > 0
+    }
+
+    /// Records an event (drops the oldest beyond capacity).
+    pub fn record(&mut self, event: TraceEvent) {
+        if self.capacity == 0 {
+            return;
+        }
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(event);
+    }
+
+    /// The retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter()
+    }
+
+    /// Formats the retained events, one per line.
+    pub fn dump(&self) -> String {
+        use std::fmt::Write;
+        let mut out = String::new();
+        for e in &self.events {
+            let _ = writeln!(
+                out,
+                "[{:>8}] core{} w{} {:#010x} tmask={:04b} {}",
+                e.cycle, e.core, e.wid, e.pc, e.tmask, e.text
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ev(cycle: u64) -> TraceEvent {
+        TraceEvent {
+            cycle,
+            core: 0,
+            wid: 0,
+            pc: 0,
+            tmask: 0xF,
+            text: "nop".into(),
+        }
+    }
+
+    #[test]
+    fn disabled_trace_records_nothing() {
+        let mut t = Trace::disabled();
+        t.record(ev(1));
+        assert_eq!(t.events().count(), 0);
+        assert!(!t.is_enabled());
+    }
+
+    #[test]
+    fn ring_buffer_keeps_newest() {
+        let mut t = Trace::with_capacity(2);
+        for c in 0..5 {
+            t.record(ev(c));
+        }
+        let cycles: Vec<u64> = t.events().map(|e| e.cycle).collect();
+        assert_eq!(cycles, vec![3, 4]);
+    }
+
+    #[test]
+    fn dump_is_one_line_per_event() {
+        let mut t = Trace::with_capacity(4);
+        t.record(ev(7));
+        assert_eq!(t.dump().lines().count(), 1);
+        assert!(t.dump().contains("nop"));
+    }
+}

@@ -1,0 +1,126 @@
+//! Timing-model tests: the cycle costs the microarchitecture promises —
+//! blocking functional units, pipelined units, memory latency — observed
+//! through the `cycle` CSR from inside kernels.
+
+use vortex_asm::Assembler;
+use vortex_core::{CoreConfig, Gpu, GpuConfig};
+use vortex_isa::{csr, FReg, Reg};
+
+const ENTRY: u32 = 0x8000_0000;
+
+/// Runs a single-wavefront kernel that measures the cycle cost of `body`
+/// via two `csrr cycle` reads, storing the delta at 0x1000.
+fn measure(body: impl FnOnce(&mut Assembler)) -> u64 {
+    let mut a = Assembler::new();
+    a.csrr(Reg::X30, csr::CYCLE);
+    body(&mut a);
+    a.csrr(Reg::X31, csr::CYCLE);
+    a.sub(Reg::X31, Reg::X31, Reg::X30);
+    a.li(Reg::X5, 0x1000);
+    a.sw(Reg::X31, Reg::X5, 0);
+    a.ecall();
+    let prog = a.assemble(ENTRY).expect("assembles");
+    let mut gpu = Gpu::new(GpuConfig::with_cores(1));
+    gpu.ram.write_bytes(prog.base, &prog.to_bytes());
+    gpu.launch(prog.entry);
+    gpu.run(1_000_000).expect("finishes");
+    u64::from(gpu.ram.read_u32(0x1000))
+}
+
+#[test]
+fn blocking_fsqrt_serializes_back_to_back_issues() {
+    // Two dependent-free fsqrts must still be ≥ fsqrt latency apart
+    // because the unit is iterative (not pipelined).
+    let latency = u64::from(CoreConfig::baseline().latencies.fsqrt);
+    let one = measure(|a| {
+        a.lfi(FReg::X1, 2.0);
+        a.fsqrt(FReg::X2, FReg::X1);
+        a.fadd(FReg::X4, FReg::X2, FReg::X2); // consume (wait for writeback)
+    });
+    let two = measure(|a| {
+        a.lfi(FReg::X1, 2.0);
+        a.fsqrt(FReg::X2, FReg::X1);
+        a.fsqrt(FReg::X3, FReg::X1);
+        a.fadd(FReg::X4, FReg::X2, FReg::X3); // consume both
+    });
+    assert!(
+        two >= one + latency,
+        "second fsqrt must wait for the blocking unit: {one} → {two}"
+    );
+}
+
+#[test]
+fn pipelined_fpu_accepts_independent_ops_without_blocking() {
+    // Independent fadds are pipelined: four of them cost much less than
+    // 4 × latency on top of the baseline.
+    let latency = u64::from(CoreConfig::baseline().latencies.fpu);
+    let one = measure(|a| {
+        a.lfi(FReg::X1, 2.0);
+        a.fadd(FReg::X2, FReg::X1, FReg::X1);
+    });
+    let four = measure(|a| {
+        a.lfi(FReg::X1, 2.0);
+        a.fadd(FReg::X2, FReg::X1, FReg::X1);
+        a.fadd(FReg::X3, FReg::X1, FReg::X1);
+        a.fadd(FReg::X4, FReg::X1, FReg::X1);
+        a.fadd(FReg::X5, FReg::X1, FReg::X1);
+    });
+    assert!(
+        four < one + 4 * latency,
+        "pipelined FPU must overlap: {one} → {four} (latency {latency})"
+    );
+}
+
+#[test]
+fn raw_dependent_chain_pays_fpu_latency_per_link() {
+    let latency = u64::from(CoreConfig::baseline().latencies.fpu);
+    let chain = measure(|a| {
+        a.lfi(FReg::X1, 1.5);
+        a.fadd(FReg::X1, FReg::X1, FReg::X1);
+        a.fadd(FReg::X1, FReg::X1, FReg::X1);
+        a.fadd(FReg::X1, FReg::X1, FReg::X1);
+    });
+    assert!(
+        chain >= 3 * latency,
+        "RAW chain of 3 fadds must cost ≥ 3×{latency}: {chain}"
+    );
+}
+
+#[test]
+fn cold_load_costs_dram_latency_warm_load_does_not() {
+    let dram_latency = u64::from(GpuConfig::with_cores(1).dram.latency);
+    let cold = measure(|a| {
+        a.li(Reg::X6, 0x5000);
+        a.lw(Reg::X7, Reg::X6, 0);
+        a.add(Reg::X8, Reg::X7, Reg::X7); // force the wait (RAW)
+    });
+    let warm = measure(|a| {
+        a.li(Reg::X6, 0x5000);
+        a.lw(Reg::X7, Reg::X6, 0);
+        a.add(Reg::X8, Reg::X7, Reg::X7);
+        a.csrr(Reg::X30, csr::CYCLE); // restart the measurement window
+        a.lw(Reg::X9, Reg::X6, 4);
+        a.add(Reg::X8, Reg::X9, Reg::X9);
+    });
+    assert!(
+        cold >= dram_latency,
+        "cold miss must include DRAM latency: {cold} < {dram_latency}"
+    );
+    assert!(
+        warm < dram_latency / 2,
+        "warm hit must avoid DRAM: {warm}"
+    );
+}
+
+#[test]
+fn integer_div_blocks_its_unit() {
+    let latency = u64::from(CoreConfig::baseline().latencies.div);
+    let two = measure(|a| {
+        a.li(Reg::X6, 100);
+        a.li(Reg::X7, 7);
+        a.div(Reg::X8, Reg::X6, Reg::X7);
+        a.div(Reg::X9, Reg::X6, Reg::X7);
+        a.add(Reg::X10, Reg::X8, Reg::X9); // consume both results
+    });
+    assert!(two >= 2 * latency, "two divs ≥ 2×{latency}: {two}");
+}

@@ -1,0 +1,137 @@
+//! Tile binning (Larrabee-style tile rendering, paper §2 and §5.5:
+//! "the rasterization tiles generated on the host").
+
+use crate::geometry::TriangleSetup;
+
+/// Screen tile size in pixels (square, power of two).
+pub const TILE_SIZE: usize = 16;
+/// log2 of [`TILE_SIZE`].
+pub const TILE_SHIFT: u32 = 4;
+/// Pixels per tile.
+pub const TILE_PIXELS: usize = TILE_SIZE * TILE_SIZE;
+
+/// The per-tile triangle lists for one frame.
+#[derive(Debug, Clone)]
+pub struct TileBins {
+    /// Tiles per row.
+    pub tiles_x: usize,
+    /// Tile rows.
+    pub tiles_y: usize,
+    /// `lists[tile]` = indices into the frame's triangle array.
+    pub lists: Vec<Vec<u32>>,
+}
+
+impl TileBins {
+    /// Bins `setups` over a `width × height` framebuffer.
+    ///
+    /// # Panics
+    /// Panics unless both dimensions are multiples of [`TILE_SIZE`] (the
+    /// renderer's tiling requirement).
+    pub fn build(setups: &[TriangleSetup], width: usize, height: usize) -> Self {
+        assert!(
+            width.is_multiple_of(TILE_SIZE) && height.is_multiple_of(TILE_SIZE),
+            "framebuffer dimensions must be multiples of the tile size"
+        );
+        let tiles_x = width / TILE_SIZE;
+        let tiles_y = height / TILE_SIZE;
+        let mut lists = vec![Vec::new(); tiles_x * tiles_y];
+        for (i, s) in setups.iter().enumerate() {
+            let (min_x, min_y, max_x, max_y) = s.bbox;
+            let tx0 = (min_x as usize) / TILE_SIZE;
+            let tx1 = (max_x as usize) / TILE_SIZE;
+            let ty0 = (min_y as usize) / TILE_SIZE;
+            let ty1 = (max_y as usize) / TILE_SIZE;
+            for ty in ty0..=ty1.min(tiles_y - 1) {
+                for tx in tx0..=tx1.min(tiles_x - 1) {
+                    lists[ty * tiles_x + tx].push(i as u32);
+                }
+            }
+        }
+        Self {
+            tiles_x,
+            tiles_y,
+            lists,
+        }
+    }
+
+    /// Total tiles.
+    pub fn num_tiles(&self) -> usize {
+        self.tiles_x * self.tiles_y
+    }
+
+    /// Longest per-tile list (the rasterizer kernel's uniform loop bound).
+    pub fn max_tris(&self) -> usize {
+        self.lists.iter().map(Vec::len).max().unwrap_or(0)
+    }
+
+    /// Flattens to the device layout: a `num_tiles × max_tris` index array
+    /// (unused slots zero) plus a per-tile count array.
+    pub fn to_device_arrays(&self) -> (Vec<u32>, Vec<u32>) {
+        let max = self.max_tris().max(1);
+        let mut idx = vec![0u32; self.num_tiles() * max];
+        let mut counts = vec![0u32; self.num_tiles()];
+        for (t, list) in self.lists.iter().enumerate() {
+            counts[t] = list.len() as u32;
+            idx[t * max..t * max + list.len()].copy_from_slice(list);
+        }
+        (idx, counts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup_with_bbox(bbox: (i32, i32, i32, i32)) -> TriangleSetup {
+        TriangleSetup {
+            edges: [[0.0; 3]; 3],
+            z_plane: [0.0; 3],
+            u_plane: [0.0; 3],
+            v_plane: [0.0; 3],
+            color: 0,
+            bbox,
+        }
+    }
+
+    #[test]
+    fn small_triangle_bins_to_one_tile() {
+        let bins = TileBins::build(&[setup_with_bbox((2, 2, 10, 10))], 64, 64);
+        assert_eq!(bins.num_tiles(), 16);
+        assert_eq!(bins.lists[0], vec![0]);
+        assert!(bins.lists[1].is_empty());
+    }
+
+    #[test]
+    fn spanning_triangle_bins_to_many_tiles() {
+        let bins = TileBins::build(&[setup_with_bbox((0, 0, 63, 15))], 64, 64);
+        for tx in 0..4 {
+            assert_eq!(bins.lists[tx], vec![0], "tile {tx}");
+        }
+        assert!(bins.lists[4].is_empty());
+    }
+
+    #[test]
+    fn device_arrays_are_padded_uniformly() {
+        let bins = TileBins::build(
+            &[
+                setup_with_bbox((0, 0, 15, 15)),
+                setup_with_bbox((0, 0, 15, 15)),
+                setup_with_bbox((16, 0, 30, 15)),
+            ],
+            32,
+            32,
+        );
+        assert_eq!(bins.max_tris(), 2);
+        let (idx, counts) = bins.to_device_arrays();
+        assert_eq!(counts, vec![2, 1, 0, 0]);
+        assert_eq!(idx.len(), 8);
+        assert_eq!(&idx[0..2], &[0, 1]);
+        assert_eq!(idx[2], 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "multiples of the tile size")]
+    fn non_tile_multiple_dimensions_panic() {
+        let _ = TileBins::build(&[], 60, 64);
+    }
+}

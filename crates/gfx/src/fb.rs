@@ -1,0 +1,103 @@
+//! Host-side framebuffer: RGBA8 color + f32 depth, with PPM export.
+
+use vortex_tex::Rgba8;
+
+/// A host framebuffer image.
+#[derive(Debug, Clone)]
+pub struct Framebuffer {
+    /// Width in pixels.
+    pub width: usize,
+    /// Height in pixels.
+    pub height: usize,
+    /// Packed RGBA8 color, row-major.
+    pub color: Vec<u32>,
+    /// Depth values, row-major.
+    pub depth: Vec<f32>,
+    /// Stencil values, row-major (cleared to 0).
+    pub stencil: Vec<u8>,
+}
+
+impl Framebuffer {
+    /// Creates a framebuffer cleared to `clear_color` and depth 1.0 (the
+    /// far plane).
+    pub fn new(width: usize, height: usize, clear_color: Rgba8) -> Self {
+        Self {
+            width,
+            height,
+            color: vec![clear_color.to_u32(); width * height],
+            depth: vec![1.0; width * height],
+            stencil: vec![0; width * height],
+        }
+    }
+
+    /// The pixel at `(x, y)`.
+    ///
+    /// # Panics
+    /// Panics when out of bounds.
+    pub fn pixel(&self, x: usize, y: usize) -> Rgba8 {
+        assert!(x < self.width && y < self.height, "pixel out of bounds");
+        Rgba8::from_u32(self.color[y * self.width + x])
+    }
+
+    /// Serializes the color plane as a binary PPM (P6) image.
+    pub fn to_ppm(&self) -> Vec<u8> {
+        let mut out = format!("P6\n{} {}\n255\n", self.width, self.height).into_bytes();
+        for &px in &self.color {
+            let c = Rgba8::from_u32(px);
+            out.extend_from_slice(&[c.r, c.g, c.b]);
+        }
+        out
+    }
+
+    /// Fraction of pixels that differ from `clear` (coverage diagnostics).
+    pub fn coverage(&self, clear: Rgba8) -> f64 {
+        let drawn = self
+            .color
+            .iter()
+            .filter(|&&px| px != clear.to_u32())
+            .count();
+        drawn as f64 / self.color.len() as f64
+    }
+
+    /// CRC-style checksum of the color plane (golden-image tests).
+    pub fn color_checksum(&self) -> u64 {
+        // FNV-1a over the pixel words: stable, dependency-free.
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &px in &self.color {
+            for b in px.to_le_bytes() {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x1_0000_01b3);
+            }
+        }
+        h
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_framebuffer_is_cleared() {
+        let fb = Framebuffer::new(4, 4, Rgba8::BLACK);
+        assert_eq!(fb.pixel(3, 3), Rgba8::BLACK);
+        assert_eq!(fb.depth[0], 1.0);
+        assert_eq!(fb.coverage(Rgba8::BLACK), 0.0);
+    }
+
+    #[test]
+    fn ppm_has_header_and_payload() {
+        let fb = Framebuffer::new(2, 2, Rgba8::WHITE);
+        let ppm = fb.to_ppm();
+        assert!(ppm.starts_with(b"P6\n2 2\n255\n"));
+        assert_eq!(ppm.len(), 11 + 12);
+    }
+
+    #[test]
+    fn checksum_distinguishes_images() {
+        let a = Framebuffer::new(2, 2, Rgba8::BLACK);
+        let mut b = a.clone();
+        b.color[0] = Rgba8::WHITE.to_u32();
+        assert_ne!(a.color_checksum(), b.color_checksum());
+    }
+}

@@ -1,0 +1,297 @@
+//! Host-side geometry stage (paper §5.5: "the geometry processing running
+//! on the host processor").
+//!
+//! Transforms vertices by the model-view-projection matrix, rejects
+//! triangles that cross the `w = 0` plane (conservative near rejection
+//! instead of clipping), maps to window coordinates (y-down), and computes
+//! the per-triangle *setup* the rasterizer consumes: three edge equations
+//! (inside = all non-negative, winding normalized) and affine attribute
+//! planes for depth and texture coordinates.
+
+use crate::math::{Mat4, Vec4};
+use vortex_tex::Rgba8;
+
+/// An input vertex.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Vertex {
+    /// Object-space position.
+    pub pos: Vec4,
+    /// Texture coordinate u.
+    pub u: f32,
+    /// Texture coordinate v.
+    pub v: f32,
+    /// Flat color (used when texturing is off).
+    pub color: Rgba8,
+}
+
+impl Vertex {
+    /// A vertex at `(x, y, z)` with texture coordinates.
+    pub fn new(x: f32, y: f32, z: f32, u: f32, v: f32) -> Self {
+        Self {
+            pos: Vec4::point(x, y, z),
+            u,
+            v,
+            color: Rgba8::WHITE,
+        }
+    }
+
+    /// Sets the flat color.
+    pub fn with_color(mut self, color: Rgba8) -> Self {
+        self.color = color;
+        self
+    }
+}
+
+/// One rasterizer-ready triangle (the 80-byte device record's host form).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TriangleSetup {
+    /// Edge equations `e(x,y) = a·x + b·y + c`; a pixel is covered when
+    /// all three are ≥ 0.
+    pub edges: [[f32; 3]; 3],
+    /// Affine depth plane `z(x,y)`.
+    pub z_plane: [f32; 3],
+    /// Affine u plane.
+    pub u_plane: [f32; 3],
+    /// Affine v plane.
+    pub v_plane: [f32; 3],
+    /// Flat color (vertex 0's color).
+    pub color: u32,
+    /// Window-space bounding box `(min_x, min_y, max_x, max_y)`,
+    /// inclusive, clamped to the viewport.
+    pub bbox: (i32, i32, i32, i32),
+}
+
+fn plane_coeffs(p: [(f32, f32); 3], f: [f32; 3], denom: f32) -> [f32; 3] {
+    let a = (f[0] * (p[1].1 - p[2].1) + f[1] * (p[2].1 - p[0].1) + f[2] * (p[0].1 - p[1].1))
+        / denom;
+    let b = (f[0] * (p[2].0 - p[1].0) + f[1] * (p[0].0 - p[2].0) + f[2] * (p[1].0 - p[0].0))
+        / denom;
+    let c = f[0] - a * p[0].0 - b * p[0].1;
+    [a, b, c]
+}
+
+/// Expands point primitives into screen-facing quads of `size` object
+/// units (two triangles each), returning the expanded `(vertices,
+/// indices)`. The rasterizer stays triangle-only, as on GPUs that lower
+/// points in their geometry front end.
+pub fn expand_points(points: &[Vertex], size: f32) -> (Vec<Vertex>, Vec<u32>) {
+    let h = size * 0.5;
+    let mut verts = Vec::with_capacity(points.len() * 4);
+    let mut idx = Vec::with_capacity(points.len() * 6);
+    for p in points {
+        let base = verts.len() as u32;
+        for (dx, dy, u, v) in [
+            (-h, -h, 0.0, 0.0),
+            (h, -h, 1.0, 0.0),
+            (h, h, 1.0, 1.0),
+            (-h, h, 0.0, 1.0),
+        ] {
+            let mut q = *p;
+            q.pos.x += dx;
+            q.pos.y += dy;
+            q.u = u;
+            q.v = v;
+            verts.push(q);
+        }
+        idx.extend([base, base + 1, base + 2, base, base + 2, base + 3]);
+    }
+    (verts, idx)
+}
+
+/// Expands a line strip into quads of `width` object units (two triangles
+/// per segment), using the segment normal in the XY plane.
+pub fn expand_lines(strip: &[Vertex], width: f32) -> (Vec<Vertex>, Vec<u32>) {
+    let h = width * 0.5;
+    let mut verts = Vec::new();
+    let mut idx = Vec::new();
+    for pair in strip.windows(2) {
+        let (a, b) = (&pair[0], &pair[1]);
+        let dx = b.pos.x - a.pos.x;
+        let dy = b.pos.y - a.pos.y;
+        let len = (dx * dx + dy * dy).sqrt();
+        if len < 1e-9 {
+            continue;
+        }
+        let (nx, ny) = (-dy / len * h, dx / len * h);
+        let base = verts.len() as u32;
+        for (src, sx, sy) in [(a, nx, ny), (a, -nx, -ny), (b, -nx, -ny), (b, nx, ny)] {
+            let mut q = *src;
+            q.pos.x += sx;
+            q.pos.y += sy;
+            verts.push(q);
+        }
+        idx.extend([base, base + 1, base + 2, base, base + 2, base + 3]);
+    }
+    (verts, idx)
+}
+
+/// Runs the geometry stage over an indexed triangle list.
+///
+/// Returns the setups of the visible triangles, in input order (the
+/// rasterizer preserves this order, which defines blending/overdraw
+/// semantics).
+///
+/// # Panics
+/// Panics if `indices.len()` is not a multiple of 3 or an index is out of
+/// range.
+pub fn process_geometry(
+    vertices: &[Vertex],
+    indices: &[u32],
+    mvp: &Mat4,
+    width: usize,
+    height: usize,
+) -> Vec<TriangleSetup> {
+    assert!(indices.len().is_multiple_of(3), "triangle list length must be 3n");
+    let mut out = Vec::new();
+    for tri in indices.chunks_exact(3) {
+        let verts: Vec<&Vertex> = tri.iter().map(|&i| &vertices[i as usize]).collect();
+        let clip: Vec<Vec4> = verts.iter().map(|v| mvp.transform(v.pos)).collect();
+        // Conservative near rejection: any vertex behind the camera drops
+        // the whole triangle (real clipping is future work, as in many
+        // minimal GL stacks).
+        if clip.iter().any(|c| c.w <= 1e-6) {
+            continue;
+        }
+        // Perspective divide + viewport transform (y-down window coords).
+        let screen: Vec<(f32, f32, f32)> = clip
+            .iter()
+            .map(|c| {
+                let inv_w = 1.0 / c.w;
+                let ndc = (c.x * inv_w, c.y * inv_w, c.z * inv_w);
+                (
+                    (ndc.0 + 1.0) * 0.5 * width as f32,
+                    (1.0 - ndc.1) * 0.5 * height as f32,
+                    ndc.2 * 0.5 + 0.5, // depth in [0, 1]
+                )
+            })
+            .collect();
+        let p = [
+            (screen[0].0, screen[0].1),
+            (screen[1].0, screen[1].1),
+            (screen[2].0, screen[2].1),
+        ];
+        // Twice the signed area; ~0 = degenerate.
+        let denom = p[0].0 * (p[1].1 - p[2].1)
+            + p[1].0 * (p[2].1 - p[0].1)
+            + p[2].0 * (p[0].1 - p[1].1);
+        if denom.abs() < 1e-6 {
+            continue;
+        }
+        // Edge equation between consecutive vertices; normalize the sign
+        // so "inside" is always all-non-negative regardless of winding
+        // (for a positive-area triangle the raw edge functions evaluate
+        // negative at the opposite vertex, hence the inverted sign).
+        let sign = if denom > 0.0 { -1.0 } else { 1.0 };
+        let edge = |i: usize, j: usize| -> [f32; 3] {
+            let a = (p[j].1 - p[i].1) * sign;
+            let b = (p[i].0 - p[j].0) * sign;
+            let c = -(a * p[i].0 + b * p[i].1);
+            [a, b, c]
+        };
+        let zs = [screen[0].2, screen[1].2, screen[2].2];
+        let us = [verts[0].u, verts[1].u, verts[2].u];
+        let vs = [verts[0].v, verts[1].v, verts[2].v];
+        let min_x = p.iter().map(|q| q.0).fold(f32::INFINITY, f32::min).floor() as i32;
+        let max_x = p.iter().map(|q| q.0).fold(f32::NEG_INFINITY, f32::max).ceil() as i32;
+        let min_y = p.iter().map(|q| q.1).fold(f32::INFINITY, f32::min).floor() as i32;
+        let max_y = p.iter().map(|q| q.1).fold(f32::NEG_INFINITY, f32::max).ceil() as i32;
+        let bbox = (
+            min_x.max(0),
+            min_y.max(0),
+            max_x.min(width as i32 - 1),
+            max_y.min(height as i32 - 1),
+        );
+        if bbox.0 > bbox.2 || bbox.1 > bbox.3 {
+            continue; // fully off-screen
+        }
+        out.push(TriangleSetup {
+            edges: [edge(0, 1), edge(1, 2), edge(2, 0)],
+            z_plane: plane_coeffs(p, zs, denom),
+            u_plane: plane_coeffs(p, us, denom),
+            v_plane: plane_coeffs(p, vs, denom),
+            color: verts[0].color.to_u32(),
+            bbox,
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn full_screen_tri() -> (Vec<Vertex>, Vec<u32>) {
+        // Covers the whole NDC square.
+        (
+            vec![
+                Vertex::new(-3.0, -1.0, 0.0, 0.0, 0.0),
+                Vertex::new(1.0, 3.0, 0.0, 1.0, 1.0),
+                Vertex::new(1.0, -1.0, 0.0, 1.0, 0.0),
+            ],
+            vec![0, 1, 2],
+        )
+    }
+
+    fn eval(c: [f32; 3], x: f32, y: f32) -> f32 {
+        c[0] * x + c[1] * y + c[2]
+    }
+
+    #[test]
+    fn center_pixel_is_inside_a_covering_triangle() {
+        let (v, i) = full_screen_tri();
+        let setups = process_geometry(&v, &i, &Mat4::IDENTITY, 64, 64);
+        assert_eq!(setups.len(), 1);
+        let s = &setups[0];
+        for e in s.edges {
+            assert!(eval(e, 32.5, 32.5) >= 0.0, "center must be inside");
+        }
+        // A point far outside fails at least one edge.
+        assert!(s.edges.iter().any(|&e| eval(e, -100.0, -100.0) < 0.0));
+    }
+
+    #[test]
+    fn winding_is_normalized() {
+        let (v, mut i) = full_screen_tri();
+        i.swap(0, 1); // reverse winding
+        let setups = process_geometry(&v, &i, &Mat4::IDENTITY, 64, 64);
+        assert_eq!(setups.len(), 1);
+        for e in setups[0].edges {
+            assert!(eval(e, 32.5, 32.5) >= 0.0, "flipped winding still inside");
+        }
+    }
+
+    #[test]
+    fn attribute_planes_interpolate_vertices() {
+        let (v, i) = full_screen_tri();
+        let setups = process_geometry(&v, &i, &Mat4::IDENTITY, 64, 64);
+        let s = &setups[0];
+        // Vertex 2 maps to screen (64, 64) with u=1, v=0.
+        let u = eval(s.u_plane, 64.0, 64.0);
+        let vv = eval(s.v_plane, 64.0, 64.0);
+        assert!((u - 1.0).abs() < 1e-4, "u at vertex 2: {u}");
+        assert!(vv.abs() < 1e-4, "v at vertex 2: {vv}");
+    }
+
+    #[test]
+    fn behind_camera_triangles_are_rejected() {
+        let v = vec![
+            Vertex::new(0.0, 0.0, 0.0, 0.0, 0.0),
+            Vertex::new(1.0, 0.0, 0.0, 0.0, 0.0),
+            Vertex::new(0.0, 1.0, 0.0, 0.0, 0.0),
+        ];
+        let proj = Mat4::perspective(1.0, 1.0, 0.1, 10.0);
+        // z = 0 is *behind* the near plane in a right-handed camera.
+        let setups = process_geometry(&v, &[0, 1, 2], &proj, 64, 64);
+        assert!(setups.is_empty());
+    }
+
+    #[test]
+    fn degenerate_triangles_are_rejected() {
+        let v = vec![
+            Vertex::new(0.0, 0.0, 0.0, 0.0, 0.0),
+            Vertex::new(0.5, 0.0, 0.0, 0.0, 0.0),
+            Vertex::new(1.0, 0.0, 0.0, 0.0, 0.0),
+        ];
+        assert!(process_geometry(&v, &[0, 1, 2], &Mat4::IDENTITY, 64, 64).is_empty());
+    }
+}

@@ -1,0 +1,201 @@
+//! Minimal linear algebra for the geometry stage.
+
+use std::ops::{Add, Mul, Sub};
+
+/// A 4-component vector (positions use homogeneous coordinates).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Vec4 {
+    /// X component.
+    pub x: f32,
+    /// Y component.
+    pub y: f32,
+    /// Z component.
+    pub z: f32,
+    /// W component.
+    pub w: f32,
+}
+
+impl Vec4 {
+    /// Builds a vector.
+    pub const fn new(x: f32, y: f32, z: f32, w: f32) -> Self {
+        Self { x, y, z, w }
+    }
+
+    /// A point (`w = 1`).
+    pub const fn point(x: f32, y: f32, z: f32) -> Self {
+        Self::new(x, y, z, 1.0)
+    }
+
+    /// Dot product.
+    pub fn dot(self, o: Vec4) -> f32 {
+        self.x * o.x + self.y * o.y + self.z * o.z + self.w * o.w
+    }
+}
+
+impl Add for Vec4 {
+    type Output = Vec4;
+    fn add(self, o: Vec4) -> Vec4 {
+        Vec4::new(self.x + o.x, self.y + o.y, self.z + o.z, self.w + o.w)
+    }
+}
+
+impl Sub for Vec4 {
+    type Output = Vec4;
+    fn sub(self, o: Vec4) -> Vec4 {
+        Vec4::new(self.x - o.x, self.y - o.y, self.z - o.z, self.w - o.w)
+    }
+}
+
+impl Mul<f32> for Vec4 {
+    type Output = Vec4;
+    fn mul(self, s: f32) -> Vec4 {
+        Vec4::new(self.x * s, self.y * s, self.z * s, self.w * s)
+    }
+}
+
+/// A row-major 4×4 matrix.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mat4 {
+    /// Rows.
+    pub rows: [Vec4; 4],
+}
+
+impl Mat4 {
+    /// The identity matrix.
+    pub const IDENTITY: Mat4 = Mat4 {
+        rows: [
+            Vec4::new(1.0, 0.0, 0.0, 0.0),
+            Vec4::new(0.0, 1.0, 0.0, 0.0),
+            Vec4::new(0.0, 0.0, 1.0, 0.0),
+            Vec4::new(0.0, 0.0, 0.0, 1.0),
+        ],
+    };
+
+    /// Transforms a vector.
+    pub fn transform(&self, v: Vec4) -> Vec4 {
+        Vec4::new(
+            self.rows[0].dot(v),
+            self.rows[1].dot(v),
+            self.rows[2].dot(v),
+            self.rows[3].dot(v),
+        )
+    }
+
+    /// Matrix product `self * other`.
+    pub fn mul(&self, o: &Mat4) -> Mat4 {
+        let col = |i: usize| Vec4::new(o.rows[0].get(i), o.rows[1].get(i), o.rows[2].get(i), o.rows[3].get(i));
+        let mut rows = [Vec4::default(); 4];
+        for (r, row) in rows.iter_mut().enumerate() {
+            *row = Vec4::new(
+                self.rows[r].dot(col(0)),
+                self.rows[r].dot(col(1)),
+                self.rows[r].dot(col(2)),
+                self.rows[r].dot(col(3)),
+            );
+        }
+        Mat4 { rows }
+    }
+
+    /// Translation matrix.
+    pub fn translate(x: f32, y: f32, z: f32) -> Mat4 {
+        let mut m = Mat4::IDENTITY;
+        m.rows[0].w = x;
+        m.rows[1].w = y;
+        m.rows[2].w = z;
+        m
+    }
+
+    /// Uniform scale matrix.
+    pub fn scale(s: f32) -> Mat4 {
+        let mut m = Mat4::IDENTITY;
+        m.rows[0].x = s;
+        m.rows[1].y = s;
+        m.rows[2].z = s;
+        m
+    }
+
+    /// Rotation about the Z axis by `radians`.
+    pub fn rotate_z(radians: f32) -> Mat4 {
+        let (s, c) = radians.sin_cos();
+        let mut m = Mat4::IDENTITY;
+        m.rows[0] = Vec4::new(c, -s, 0.0, 0.0);
+        m.rows[1] = Vec4::new(s, c, 0.0, 0.0);
+        m
+    }
+
+    /// Rotation about the Y axis by `radians`.
+    pub fn rotate_y(radians: f32) -> Mat4 {
+        let (s, c) = radians.sin_cos();
+        let mut m = Mat4::IDENTITY;
+        m.rows[0] = Vec4::new(c, 0.0, s, 0.0);
+        m.rows[2] = Vec4::new(-s, 0.0, c, 0.0);
+        m
+    }
+
+    /// A standard right-handed perspective projection.
+    pub fn perspective(fov_y: f32, aspect: f32, near: f32, far: f32) -> Mat4 {
+        let f = 1.0 / (fov_y * 0.5).tan();
+        Mat4 {
+            rows: [
+                Vec4::new(f / aspect, 0.0, 0.0, 0.0),
+                Vec4::new(0.0, f, 0.0, 0.0),
+                Vec4::new(0.0, 0.0, (far + near) / (near - far), 2.0 * far * near / (near - far)),
+                Vec4::new(0.0, 0.0, -1.0, 0.0),
+            ],
+        }
+    }
+}
+
+impl Vec4 {
+    fn get(self, i: usize) -> f32 {
+        match i {
+            0 => self.x,
+            1 => self.y,
+            2 => self.z,
+            _ => self.w,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_transform_is_noop() {
+        let v = Vec4::point(1.0, 2.0, 3.0);
+        assert_eq!(Mat4::IDENTITY.transform(v), v);
+    }
+
+    #[test]
+    fn translate_moves_points() {
+        let m = Mat4::translate(1.0, 2.0, 3.0);
+        assert_eq!(m.transform(Vec4::point(0.0, 0.0, 0.0)), Vec4::point(1.0, 2.0, 3.0));
+    }
+
+    #[test]
+    fn matrix_product_composes() {
+        let t = Mat4::translate(1.0, 0.0, 0.0);
+        let s = Mat4::scale(2.0);
+        // (t * s)(p) = t(s(p)).
+        let p = Vec4::point(1.0, 1.0, 1.0);
+        let composed = t.mul(&s).transform(p);
+        assert_eq!(composed, t.transform(s.transform(p)));
+        assert_eq!(composed, Vec4::point(3.0, 2.0, 2.0));
+    }
+
+    #[test]
+    fn perspective_maps_near_plane() {
+        let m = Mat4::perspective(std::f32::consts::FRAC_PI_2, 1.0, 1.0, 10.0);
+        let v = m.transform(Vec4::point(0.0, 0.0, -1.0));
+        // Near plane maps to NDC z = -1 after divide.
+        assert!((v.z / v.w + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn rotate_z_quarter_turn() {
+        let m = Mat4::rotate_z(std::f32::consts::FRAC_PI_2);
+        let v = m.transform(Vec4::point(1.0, 0.0, 0.0));
+        assert!((v.x).abs() < 1e-6 && (v.y - 1.0).abs() < 1e-6);
+    }
+}

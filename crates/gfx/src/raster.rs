@@ -1,0 +1,385 @@
+//! The rasterization stage: the device kernel and its bit-exact host
+//! reference.
+//!
+//! One work-item per framebuffer pixel (pixels enumerated tile-major, so a
+//! wavefront's lanes stay inside one tile almost always). Each work-item
+//! walks its tile's triangle list — a uniform loop over the frame's
+//! `max_tris` with a `split`-guarded in-range predicate — and for each
+//! triangle evaluates the three edge equations, the depth plane and, when
+//! covered and passing the depth test, shades the fragment (flat color,
+//! hardware `tex`, or software point sampling). Coverage, depth pass and
+//! shading are nested `split`/`join` regions: this kernel is the deepest
+//! consumer of the IPDOM stack in the repository.
+
+use crate::binning::{TileBins, TILE_PIXELS, TILE_SHIFT, TILE_SIZE};
+use crate::fb::Framebuffer;
+use crate::geometry::TriangleSetup;
+use crate::state::{DepthFunc, RenderState, StencilFunc};
+use vortex_asm::{Assembler, Program};
+use vortex_isa::{csr, FReg, Reg};
+use vortex_kernels::texture::emit_color_lerp;
+use vortex_kernels::util;
+use vortex_mem::Ram;
+use vortex_runtime::{abi, emit_spawn_tasks};
+use vortex_tex::{sample_bilinear, sample_point, Rgba8, TexState};
+
+/// Bytes per triangle record in device memory.
+pub const RECORD_BYTES: usize = 80;
+
+/// Serializes triangle setups to the 80-byte device records.
+pub fn records_to_bytes(setups: &[TriangleSetup]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(setups.len() * RECORD_BYTES);
+    for s in setups {
+        for e in &s.edges {
+            for c in e {
+                out.extend_from_slice(&c.to_bits().to_le_bytes());
+            }
+        }
+        for plane in [&s.z_plane, &s.u_plane, &s.v_plane] {
+            for c in plane {
+                out.extend_from_slice(&c.to_bits().to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&s.color.to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes()); // pad to 80 bytes
+    }
+    out
+}
+
+/// Builds the rasterizer kernel, specialized for `state`.
+///
+/// Argument block:
+/// `color_buf, depth_buf, records, tile_idx, tile_counts, tiles_x,
+/// max_tris, width, tex_addr, tex_log_size, total_pixels`.
+#[allow(clippy::too_many_lines)]
+pub fn program(state: &RenderState) -> Program {
+    let mut a = Assembler::new();
+    emit_spawn_tasks(&mut a, "body").expect("stub emits once");
+    a.label("body").expect("fresh label");
+    util::emit_load_args(&mut a, 7);
+    // x11=color x12=depth x13=records x14=tile_idx x15=counts x16=tiles_x
+    // x17=max_tris; the rest load on demand from a0.
+    a.lw(Reg::X19, Reg::X10, 40); // total pixels (loop bound)
+    a.fmv_w_x(FReg::X9, Reg::X0); // f9 = 0.0 (coverage compare)
+    util::emit_gtid_stride(&mut a);
+
+    if state.texturing && state.hw_texture {
+        // Program texture stage 0 from the argument block.
+        a.lw(Reg::X5, Reg::X10, 32);
+        a.csrw(csr::tex_csr(0, csr::TexReg::Addr), Reg::X5);
+        a.lw(Reg::X5, Reg::X10, 36);
+        a.csrw(csr::tex_csr(0, csr::TexReg::LogWidth), Reg::X5);
+        a.csrw(csr::tex_csr(0, csr::TexReg::LogHeight), Reg::X5);
+        a.csrw(csr::tex_csr(0, csr::TexReg::MipOff), Reg::X0);
+        a.csrw(csr::tex_csr(0, csr::TexReg::Format), Reg::X0); // RGBA8
+        a.csrw(csr::tex_csr(0, csr::TexReg::Wrap), Reg::X0); // clamp
+        a.li(Reg::X5, 1);
+        a.csrw(csr::tex_csr(0, csr::TexReg::Filter), Reg::X5); // bilinear
+    }
+
+    util::emit_loop_head(&mut a, Reg::X19, "px").expect("fresh tag");
+    // Decompose the work index: tile + pixel-in-tile → window (x, y).
+    let tile_px_shift = (TILE_SHIFT * 2) as i32;
+    a.srli(Reg::X22, util::R_IDX, tile_px_shift); // tile
+    a.li(Reg::X5, (TILE_PIXELS - 1) as i32);
+    a.and(Reg::X6, util::R_IDX, Reg::X5); // pixel-in-tile
+    a.andi(Reg::X20, Reg::X6, (TILE_SIZE - 1) as i32); // lx
+    a.srli(Reg::X21, Reg::X6, TILE_SHIFT as i32); // ly
+    a.remu(Reg::X5, Reg::X22, Reg::X16); // tx
+    a.divu(Reg::X6, Reg::X22, Reg::X16); // ty
+    a.slli(Reg::X5, Reg::X5, TILE_SHIFT as i32);
+    a.add(Reg::X20, Reg::X20, Reg::X5); // x
+    a.slli(Reg::X6, Reg::X6, TILE_SHIFT as i32);
+    a.add(Reg::X21, Reg::X21, Reg::X6); // y
+    // Pixel center (f10, f11) = (x + 0.5, y + 0.5).
+    a.li(Reg::X5, 0.5f32.to_bits() as i32);
+    a.fmv_w_x(FReg::X8, Reg::X5);
+    a.fcvt_s_wu(FReg::X10, Reg::X20);
+    a.fadd(FReg::X10, FReg::X10, FReg::X8);
+    a.fcvt_s_wu(FReg::X11, Reg::X21);
+    a.fadd(FReg::X11, FReg::X11, FReg::X8);
+    // count = tile_counts[tile].
+    a.slli(Reg::X5, Reg::X22, 2);
+    a.add(Reg::X5, Reg::X5, Reg::X15);
+    a.lw(Reg::X25, Reg::X5, 0);
+
+    // Triangle loop: uniform bound max_tris, guarded by t < count.
+    a.li(Reg::X23, 0);
+    a.label("tri_loop").expect("fresh label");
+    a.bge(Reg::X23, Reg::X17, "tri_done");
+    a.slt(Reg::X5, Reg::X23, Reg::X25);
+    a.split(Reg::X5);
+    a.beqz(Reg::X5, "tri_skip");
+    // record pointer: records + tile_idx[tile*max_tris + t] * 80.
+    a.mul(Reg::X6, Reg::X22, Reg::X17);
+    a.add(Reg::X6, Reg::X6, Reg::X23);
+    a.slli(Reg::X6, Reg::X6, 2);
+    a.add(Reg::X6, Reg::X6, Reg::X14);
+    a.lw(Reg::X24, Reg::X6, 0);
+    a.li(Reg::X5, RECORD_BYTES as i32);
+    a.mul(Reg::X24, Reg::X24, Reg::X5);
+    a.add(Reg::X24, Reg::X24, Reg::X13);
+    // Edge evaluation: e = a·fx + (b·fy + c), twice fmadd.
+    let emit_plane = |a: &mut Assembler, off: i32, dst: FReg| {
+        a.flw(FReg::X0, Reg::X24, off);
+        a.flw(FReg::X1, Reg::X24, off + 4);
+        a.flw(FReg::X2, Reg::X24, off + 8);
+        a.fmadd(dst, FReg::X1, FReg::X11, FReg::X2);
+        a.fmadd(dst, FReg::X0, FReg::X10, dst);
+    };
+    emit_plane(&mut a, 0, FReg::X3); // e0
+    emit_plane(&mut a, 12, FReg::X4); // e1
+    emit_plane(&mut a, 24, FReg::X5); // e2
+    a.fle(Reg::X6, FReg::X9, FReg::X3);
+    a.fle(Reg::X7, FReg::X9, FReg::X4);
+    a.and(Reg::X6, Reg::X6, Reg::X7);
+    a.fle(Reg::X7, FReg::X9, FReg::X5);
+    a.and(Reg::X6, Reg::X6, Reg::X7);
+    a.split(Reg::X6);
+    a.beqz(Reg::X6, "frag_skip");
+    // Depth plane.
+    emit_plane(&mut a, 36, FReg::X3);
+    // Pixel byte offset: (y·width + x)·4.
+    a.lw(Reg::X7, Reg::X10, 28); // width
+    a.mul(Reg::X7, Reg::X21, Reg::X7);
+    a.add(Reg::X7, Reg::X7, Reg::X20);
+    a.slli(Reg::X7, Reg::X7, 2);
+    // Stencil test (GL order: stencil before depth). Buffer is one byte
+    // per pixel at arg offset 44.
+    let stencil_guard = state.stencil.is_some();
+    if let Some(stencil) = state.stencil {
+        a.lw(Reg::X5, Reg::X10, 44);
+        a.srli(Reg::X6, Reg::X7, 2); // pixel index
+        a.add(Reg::X5, Reg::X5, Reg::X6);
+        a.lbu(Reg::X6, Reg::X5, 0);
+        a.xori(Reg::X6, Reg::X6, i32::from(stencil.reference));
+        match stencil.func {
+            StencilFunc::Equal => {
+                a.seqz(Reg::X6, Reg::X6);
+            }
+            StencilFunc::NotEqual => {
+                a.snez(Reg::X6, Reg::X6);
+            }
+        }
+        a.split(Reg::X6);
+        a.beqz(Reg::X6, "stencil_skip");
+    }
+    let depth_guard = state.depth_test && state.depth_func == DepthFunc::Less;
+    if depth_guard {
+        a.add(Reg::X5, Reg::X7, Reg::X12);
+        a.flw(FReg::X6, Reg::X5, 0);
+        a.flt(Reg::X6, FReg::X3, FReg::X6); // pass = z < old
+        a.split(Reg::X6);
+        a.beqz(Reg::X6, "depth_skip");
+    }
+    // Shade first: with an alpha test enabled the depth write must be
+    // deferred until the fragment survives.
+    if state.texturing {
+        emit_plane(&mut a, 48, FReg::X4); // u
+        emit_plane(&mut a, 60, FReg::X5); // v
+        if state.hw_texture {
+            a.fmv_x_w(Reg::X29, FReg::X4);
+            a.fmv_x_w(Reg::X30, FReg::X5);
+            a.tex(0, Reg::X31, Reg::X29, Reg::X30, Reg::X0); // lod = 0.0
+        } else {
+            // Software point sampling: xi = trunc(u·size) clamped.
+            a.lw(Reg::X6, Reg::X10, 36); // log size
+            a.li(Reg::X29, 1);
+            a.sll(Reg::X29, Reg::X29, Reg::X6); // size
+            a.fcvt_s_wu(FReg::X6, Reg::X29);
+            a.fmul(FReg::X7, FReg::X4, FReg::X6);
+            a.fcvt_w_s(Reg::X30, FReg::X7); // xi
+            a.fmul(FReg::X7, FReg::X5, FReg::X6);
+            a.fcvt_w_s(Reg::X31, FReg::X7); // yi
+            // Branchless clamp into [0, size-1].
+            for r in [Reg::X30, Reg::X31] {
+                a.srai(Reg::X5, r, 31);
+                a.not(Reg::X5, Reg::X5);
+                a.and(r, r, Reg::X5);
+                a.addi(Reg::X5, Reg::X29, -1);
+                a.sub(Reg::X6, Reg::X5, r);
+                a.srai(Reg::X5, Reg::X6, 31);
+                a.and(Reg::X6, Reg::X6, Reg::X5);
+                a.add(r, r, Reg::X6);
+            }
+            a.lw(Reg::X6, Reg::X10, 36); // log size again (x6 clobbered)
+            a.sll(Reg::X5, Reg::X31, Reg::X6);
+            a.add(Reg::X5, Reg::X5, Reg::X30);
+            a.slli(Reg::X5, Reg::X5, 2);
+            a.lw(Reg::X6, Reg::X10, 32); // texture base
+            a.add(Reg::X5, Reg::X5, Reg::X6);
+            a.lw(Reg::X31, Reg::X5, 0);
+        }
+    } else {
+        a.lw(Reg::X31, Reg::X24, 72); // flat color
+    }
+    // Fog: color = lerp(fog_color, color, clamp((end-z)·inv_range)·256).
+    if let Some(fog) = state.fog {
+        let inv_range = 1.0 / (fog.end - fog.start);
+        a.li(Reg::X5, fog.end.to_bits() as i32);
+        a.fmv_w_x(FReg::X0, Reg::X5);
+        a.fsub(FReg::X0, FReg::X0, FReg::X3); // end - z
+        a.li(Reg::X5, (inv_range * 256.0).to_bits() as i32);
+        a.fmv_w_x(FReg::X1, Reg::X5);
+        a.fmul(FReg::X0, FReg::X0, FReg::X1);
+        a.fcvt_w_s(Reg::X29, FReg::X0); // factor in 0..256 fixed point
+        // Branchless clamp to [0, 255].
+        a.srai(Reg::X5, Reg::X29, 31);
+        a.not(Reg::X5, Reg::X5);
+        a.and(Reg::X29, Reg::X29, Reg::X5);
+        a.li(Reg::X5, 255);
+        a.sub(Reg::X26, Reg::X5, Reg::X29);
+        a.srai(Reg::X5, Reg::X26, 31);
+        a.and(Reg::X26, Reg::X26, Reg::X5);
+        a.add(Reg::X29, Reg::X29, Reg::X26);
+        a.li(Reg::X30, fog.color.to_u32() as i32);
+        emit_color_lerp(
+            &mut a,
+            Reg::X30,
+            Reg::X31,
+            Reg::X29,
+            Reg::X6,
+            Reg::X5,
+            Reg::X26,
+            Reg::X27,
+        );
+        a.mv(Reg::X31, Reg::X6);
+    }
+    // Alpha test: discard (skip both writes) when alpha < ref.
+    let alpha_guard = state.alpha_ref.is_some();
+    if let Some(alpha_ref) = state.alpha_ref {
+        a.srli(Reg::X29, Reg::X31, 24);
+        a.sltiu(Reg::X29, Reg::X29, i32::from(alpha_ref));
+        a.seqz(Reg::X29, Reg::X29); // pass = alpha >= ref
+        a.split(Reg::X29);
+        a.beqz(Reg::X29, "alpha_skip");
+    }
+    // Depth write + color write (+ stencil write).
+    a.add(Reg::X5, Reg::X7, Reg::X12);
+    a.fsw(FReg::X3, Reg::X5, 0);
+    a.add(Reg::X5, Reg::X7, Reg::X11);
+    a.sw(Reg::X31, Reg::X5, 0);
+    if let Some(write) = state.stencil.and_then(|s| s.write) {
+        a.lw(Reg::X5, Reg::X10, 44);
+        a.srli(Reg::X29, Reg::X7, 2);
+        a.add(Reg::X5, Reg::X5, Reg::X29);
+        a.li(Reg::X30, i32::from(write));
+        a.sb(Reg::X30, Reg::X5, 0);
+    }
+    if alpha_guard {
+        a.label("alpha_skip").expect("fresh label");
+        a.join();
+    }
+    if depth_guard {
+        a.label("depth_skip").expect("fresh label");
+        a.join();
+    }
+    if stencil_guard {
+        a.label("stencil_skip").expect("fresh label");
+        a.join();
+    }
+    a.label("frag_skip").expect("fresh label");
+    a.join();
+    a.label("tri_skip").expect("fresh label");
+    a.join();
+    a.addi(Reg::X23, Reg::X23, 1);
+    a.j("tri_loop");
+    a.label("tri_done").expect("fresh label");
+    util::emit_loop_tail(&mut a, Reg::X19, "px").expect("fresh tag");
+    a.ret();
+    a.assemble(abi::CODE_BASE).expect("rasterizer assembles")
+}
+
+/// Host reference rasterizer with the device kernel's exact arithmetic
+/// (fused multiply-adds in the same order, same sampling paths), used for
+/// validation and as the pure-software fallback renderer.
+pub fn rasterize_host(
+    fb: &mut Framebuffer,
+    setups: &[TriangleSetup],
+    bins: &TileBins,
+    state: &RenderState,
+    texture: Option<(&Ram, &TexState)>,
+) {
+    let eval = |p: &[f32; 3], fx: f32, fy: f32| p[0].mul_add(fx, p[1].mul_add(fy, p[2]));
+    let max = bins.max_tris().max(1);
+    let (idx, counts) = bins.to_device_arrays();
+    for tile in 0..bins.num_tiles() {
+        let tx = tile % bins.tiles_x;
+        let ty = tile / bins.tiles_x;
+        for pix in 0..TILE_PIXELS {
+            let x = tx * TILE_SIZE + (pix & (TILE_SIZE - 1));
+            let y = ty * TILE_SIZE + (pix >> TILE_SHIFT);
+            let (fx, fy) = (x as f32 + 0.5, y as f32 + 0.5);
+            for t in 0..counts[tile] as usize {
+                let s = &setups[idx[tile * max + t] as usize];
+                if s.edges.iter().any(|e| eval(e, fx, fy) < 0.0) {
+                    continue;
+                }
+                let z = eval(&s.z_plane, fx, fy);
+                let ofs = y * fb.width + x;
+                // Stencil test (GL order: stencil before depth).
+                if let Some(st) = state.stencil {
+                    let pass = match st.func {
+                        StencilFunc::Equal => fb.stencil[ofs] == st.reference,
+                        StencilFunc::NotEqual => fb.stencil[ofs] != st.reference,
+                    };
+                    if !pass {
+                        continue;
+                    }
+                }
+                #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must fail the test
+                let depth_fail = state.depth_test
+                    && state.depth_func == DepthFunc::Less
+                    && !(z < fb.depth[ofs]);
+                if depth_fail {
+                    continue;
+                }
+                let shaded = if state.texturing {
+                    let u = eval(&s.u_plane, fx, fy);
+                    let v = eval(&s.v_plane, fx, fy);
+                    let (ram, tex) = texture.expect("texturing needs a bound texture");
+                    if state.hw_texture {
+                        sample_bilinear(ram, tex, u, v, 0).to_u32()
+                    } else {
+                        // The device SW path: truncate-to-int + clamp.
+                        let size = 1i32 << tex.log_width;
+                        let xi = ((u * size as f32) as i32).clamp(0, size - 1);
+                        let yi = ((v * size as f32) as i32).clamp(0, size - 1);
+                        sample_point(
+                            ram,
+                            tex,
+                            (xi as f32 + 0.5) / size as f32,
+                            (yi as f32 + 0.5) / size as f32,
+                            0,
+                        )
+                        .to_u32()
+                    }
+                } else {
+                    s.color
+                };
+                // Fog blend (same fixed-point arithmetic as the kernel).
+                let fogged = match state.fog {
+                    Some(fog) => {
+                        let inv_range = 1.0 / (fog.end - fog.start);
+                        let factor = (((fog.end - z) * (inv_range * 256.0)) as i32)
+                            .clamp(0, 255) as u8;
+                        fog.color.lerp(Rgba8::from_u32(shaded), factor).to_u32()
+                    }
+                    None => shaded,
+                };
+                // Alpha test: discard below the reference.
+                if let Some(alpha_ref) = state.alpha_ref {
+                    let alpha = (fogged >> 24) as u8;
+                    if alpha < alpha_ref {
+                        continue;
+                    }
+                }
+                fb.depth[ofs] = z;
+                fb.color[ofs] = fogged;
+                if let Some(write) = state.stencil.and_then(|s| s.write) {
+                    fb.stencil[ofs] = write;
+                }
+            }
+        }
+    }
+}

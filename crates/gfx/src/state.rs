@@ -1,0 +1,97 @@
+//! Render-state objects (the OpenGL-ES-style fixed-function controls).
+
+/// Depth comparison function (subset of the GL set; `Less` is the
+/// standard 3D default).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DepthFunc {
+    /// Pass when the incoming depth is smaller.
+    #[default]
+    Less,
+    /// Always pass (depth test effectively off but depth still written).
+    Always,
+}
+
+/// Linear fog over window depth (the OpenGL-ES fixed-function fog the
+/// paper's fragment stage lists).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Fog {
+    /// Fog color.
+    pub color: vortex_tex::Rgba8,
+    /// Depth where fog starts (factor 1 → pure fragment color).
+    pub start: f32,
+    /// Depth where fog saturates (factor 0 → pure fog color).
+    pub end: f32,
+}
+
+/// Stencil comparison function (subset of the GL set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StencilFunc {
+    /// Pass when the buffered stencil value equals the reference.
+    Equal,
+    /// Pass when the buffered stencil value differs from the reference.
+    NotEqual,
+}
+
+/// Stencil test configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Stencil {
+    /// Comparison against the stencil buffer.
+    pub func: StencilFunc,
+    /// Reference value.
+    pub reference: u8,
+    /// Value written to the stencil buffer when the fragment passes all
+    /// tests (`None` leaves the buffer unchanged).
+    pub write: Option<u8>,
+}
+
+/// Pipeline state for one draw call.
+///
+/// Covers the fragment operations the paper's §5.5 names for its
+/// rasterizer: depth test, stencil test, alpha test, and fog.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RenderState {
+    /// Enable the depth test and depth writes.
+    pub depth_test: bool,
+    /// Depth comparison.
+    pub depth_func: DepthFunc,
+    /// Sample the bound texture in the fragment stage (otherwise the
+    /// triangle's flat color is used).
+    pub texturing: bool,
+    /// Use the hardware `tex` instruction (`false` = all-software
+    /// sampling, the Figure 20 comparison axis).
+    pub hw_texture: bool,
+    /// Alpha test: discard fragments whose alpha is below this reference
+    /// (`None` disables).
+    pub alpha_ref: Option<u8>,
+    /// Linear depth fog (`None` disables).
+    pub fog: Option<Fog>,
+    /// Stencil test (`None` disables).
+    pub stencil: Option<Stencil>,
+}
+
+impl Default for RenderState {
+    fn default() -> Self {
+        Self {
+            depth_test: true,
+            depth_func: DepthFunc::Less,
+            texturing: false,
+            hw_texture: true,
+            alpha_ref: None,
+            fog: None,
+            stencil: None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_gl_like() {
+        let s = RenderState::default();
+        assert!(s.depth_test);
+        assert_eq!(s.depth_func, DepthFunc::Less);
+        assert!(!s.texturing);
+    }
+}

@@ -1,0 +1,188 @@
+//! Fragment-operation tests: fog, alpha test, and point/line primitives —
+//! device kernel vs host oracle.
+
+use vortex_core::GpuConfig;
+use vortex_gfx::geometry::{expand_lines, expand_points};
+use vortex_gfx::pipeline::Texture;
+use vortex_gfx::state::Fog;
+use vortex_gfx::{Mat4, RenderState, Renderer, Vertex};
+use vortex_tex::Rgba8;
+
+fn quad(z: f32, color: Rgba8) -> (Vec<Vertex>, Vec<u32>) {
+    let v = vec![
+        Vertex::new(-0.8, -0.8, z, 0.0, 0.0).with_color(color),
+        Vertex::new(0.8, -0.8, z, 1.0, 0.0).with_color(color),
+        Vertex::new(0.8, 0.8, z, 1.0, 1.0).with_color(color),
+        Vertex::new(-0.8, 0.8, z, 0.0, 1.0).with_color(color),
+    ];
+    (v, vec![0, 1, 2, 0, 2, 3])
+}
+
+#[test]
+fn fog_blends_device_and_host_identically() {
+    let (v, i) = quad(0.5, Rgba8::new(255, 0, 0, 255));
+    let state = RenderState {
+        fog: Some(Fog {
+            color: Rgba8::new(0, 0, 255, 255),
+            start: 0.0,
+            end: 1.0,
+        }),
+        ..RenderState::default()
+    };
+    let mut r = Renderer::new(GpuConfig::with_cores(1), 32, 32);
+    let dev = r.draw(&v, &i, &Mat4::IDENTITY, &state, None);
+    let host = r.draw_host(&v, &i, &Mat4::IDENTITY, &state, None);
+    assert_eq!(dev.framebuffer.color, host.color);
+    // z = 0.5 → NDC depth 0.75 → factor 0.25·256 = 64: mostly fog.
+    let px = dev.framebuffer.pixel(16, 16);
+    assert!(px.b > px.r, "distant fragment should be fogged: {px:?}");
+    assert!(px.r > 0, "but not pure fog");
+}
+
+#[test]
+fn alpha_test_discards_transparent_fragments() {
+    // A transparent quad drawn over the clear color must leave no trace —
+    // not even in the depth buffer.
+    let (v, i) = quad(0.0, Rgba8::new(10, 10, 10, 40));
+    let state = RenderState {
+        alpha_ref: Some(128),
+        ..RenderState::default()
+    };
+    let mut r = Renderer::new(GpuConfig::with_cores(1), 32, 32);
+    let dev = r.draw(&v, &i, &Mat4::IDENTITY, &state, None);
+    let host = r.draw_host(&v, &i, &Mat4::IDENTITY, &state, None);
+    assert_eq!(dev.framebuffer.color, host.color);
+    assert_eq!(dev.framebuffer.pixel(16, 16), Rgba8::BLACK);
+    assert_eq!(dev.framebuffer.depth[16 * 32 + 16], 1.0, "depth untouched");
+
+    // An opaque quad with the same state renders normally.
+    let (v2, i2) = quad(0.0, Rgba8::new(10, 200, 10, 255));
+    let dev2 = r.draw(&v2, &i2, &Mat4::IDENTITY, &state, None);
+    assert_eq!(dev2.framebuffer.pixel(16, 16), Rgba8::new(10, 200, 10, 255));
+}
+
+#[test]
+fn alpha_test_with_texture_cuts_out_texels() {
+    // Texture with transparent and opaque cells: the alpha test turns it
+    // into a cutout, device == host.
+    let size = 16usize;
+    let mut data = Vec::new();
+    for y in 0..size {
+        for x in 0..size {
+            let c = if (x / 4 + y / 4) % 2 == 0 {
+                Rgba8::new(255, 255, 0, 255)
+            } else {
+                Rgba8::new(0, 0, 0, 0)
+            };
+            data.extend_from_slice(&c.to_u32().to_le_bytes());
+        }
+    }
+    let tex = Texture::new(4, data);
+    let (v, i) = quad(0.0, Rgba8::WHITE);
+    let state = RenderState {
+        texturing: true,
+        hw_texture: true,
+        alpha_ref: Some(200),
+        ..RenderState::default()
+    };
+    let mut r = Renderer::new(GpuConfig::with_cores(1), 32, 32);
+    let dev = r.draw(&v, &i, &Mat4::IDENTITY, &state, Some(&tex));
+    let host = r.draw_host(&v, &i, &Mat4::IDENTITY, &state, Some(&tex));
+    assert_eq!(dev.framebuffer.color, host.color);
+    let cleared = dev
+        .framebuffer
+        .color
+        .iter()
+        .filter(|&&c| c == Rgba8::BLACK.to_u32())
+        .count();
+    assert!(cleared > 200, "transparent cells must be cut out");
+    assert!(
+        dev.framebuffer.coverage(Rgba8::BLACK) > 0.2,
+        "opaque cells must render"
+    );
+}
+
+#[test]
+fn point_primitives_render_as_quads() {
+    let points = vec![
+        Vertex::new(-0.5, -0.5, 0.0, 0.0, 0.0).with_color(Rgba8::new(255, 0, 0, 255)),
+        Vertex::new(0.5, 0.5, 0.0, 0.0, 0.0).with_color(Rgba8::new(0, 255, 0, 255)),
+    ];
+    let (v, i) = expand_points(&points, 0.25);
+    assert_eq!(v.len(), 8);
+    assert_eq!(i.len(), 12);
+    let mut r = Renderer::new(GpuConfig::with_cores(1), 32, 32);
+    let dev = r.draw(&v, &i, &Mat4::IDENTITY, &RenderState::default(), None);
+    // Point 1 center: NDC (-0.5,-0.5) → pixel (8, 24) (y-down).
+    assert_eq!(dev.framebuffer.pixel(8, 24), Rgba8::new(255, 0, 0, 255));
+    assert_eq!(dev.framebuffer.pixel(24, 8), Rgba8::new(0, 255, 0, 255));
+    assert_eq!(dev.framebuffer.pixel(0, 0), Rgba8::BLACK);
+}
+
+#[test]
+fn line_primitives_render_as_quads() {
+    let strip = vec![
+        Vertex::new(-0.8, 0.0, 0.0, 0.0, 0.0).with_color(Rgba8::WHITE),
+        Vertex::new(0.8, 0.0, 0.0, 0.0, 0.0).with_color(Rgba8::WHITE),
+    ];
+    let (v, i) = expand_lines(&strip, 0.2);
+    assert_eq!(v.len(), 4);
+    let mut r = Renderer::new(GpuConfig::with_cores(1), 32, 32);
+    let dev = r.draw(&v, &i, &Mat4::IDENTITY, &RenderState::default(), None);
+    // The horizontal line crosses the center.
+    assert_eq!(dev.framebuffer.pixel(16, 16), Rgba8::WHITE);
+    assert_eq!(dev.framebuffer.pixel(16, 2), Rgba8::BLACK);
+    // Degenerate segments are skipped.
+    let (v2, _) = expand_lines(&[strip[0], strip[0]], 0.2);
+    assert!(v2.is_empty());
+}
+
+#[test]
+fn stencil_masking_two_pass() {
+    use vortex_gfx::state::{Stencil, StencilFunc};
+    // Pass 1: draw a small quad that only writes stencil = 1.
+    let small: Vec<Vertex> = vec![
+        Vertex::new(-0.4, -0.4, 0.9, 0.0, 0.0),
+        Vertex::new(0.4, -0.4, 0.9, 0.0, 0.0),
+        Vertex::new(0.4, 0.4, 0.9, 0.0, 0.0),
+        Vertex::new(-0.4, 0.4, 0.9, 0.0, 0.0),
+    ]
+    .into_iter()
+    .map(|v| v.with_color(Rgba8::BLACK))
+    .collect();
+    let idx = vec![0u32, 1, 2, 0, 2, 3];
+    let mask_state = RenderState {
+        stencil: Some(Stencil {
+            func: StencilFunc::NotEqual, // buffer starts at 0 ≠ 1 → pass
+            reference: 1,
+            write: Some(1),
+        }),
+        ..RenderState::default()
+    };
+    // Pass 2: full-screen red quad clipped to the stencil mask.
+    let (big, idx2) = quad(0.0, Rgba8::new(255, 0, 0, 255));
+    let draw_state = RenderState {
+        stencil: Some(Stencil {
+            func: StencilFunc::Equal,
+            reference: 1,
+            write: None,
+        }),
+        ..RenderState::default()
+    };
+
+    let mut r = Renderer::new(GpuConfig::with_cores(1), 32, 32);
+    r.draw(&small, &idx, &Mat4::IDENTITY, &mask_state, None);
+    let dev = r.draw(&big, &idx2, &Mat4::IDENTITY, &draw_state, None);
+
+    let mut rh = Renderer::new(GpuConfig::with_cores(1), 32, 32);
+    rh.draw_host_mut(&small, &idx, &Mat4::IDENTITY, &mask_state, None);
+    let host = rh.draw_host_mut(&big, &idx2, &Mat4::IDENTITY, &draw_state, None);
+
+    assert_eq!(dev.framebuffer.color, host.color, "device == host");
+    assert_eq!(dev.framebuffer.stencil, host.stencil);
+    // Center is inside the mask → red; corners outside → stencil-clipped.
+    assert_eq!(dev.framebuffer.pixel(16, 16), Rgba8::new(255, 0, 0, 255));
+    assert_eq!(dev.framebuffer.pixel(2, 2), Rgba8::BLACK);
+    assert_eq!(dev.framebuffer.stencil[16 * 32 + 16], 1);
+    assert_eq!(dev.framebuffer.stencil[2 * 32 + 2], 0);
+}

@@ -1,0 +1,109 @@
+//! Property tests for the rasterizer: coverage against an independent
+//! barycentric point-in-triangle oracle, and setup-plane correctness.
+
+use proptest::prelude::*;
+use vortex_gfx::binning::TileBins;
+use vortex_gfx::geometry::{process_geometry, Vertex};
+use vortex_gfx::raster::rasterize_host;
+use vortex_gfx::{Framebuffer, Mat4, RenderState};
+use vortex_tex::Rgba8;
+
+const W: usize = 32;
+const H: usize = 32;
+
+fn ndc(v: f32) -> f32 {
+    v.clamp(-1.2, 1.2)
+}
+
+/// Barycentric point-in-triangle oracle in *screen* space, with the same
+/// inclusive (>= 0) convention as the edge functions.
+fn inside_oracle(p: [(f32, f32); 3], px: f32, py: f32) -> bool {
+    let sign = |a: (f32, f32), b: (f32, f32)| (b.0 - a.0) * (py - a.1) - (b.1 - a.1) * (px - a.0);
+    let d0 = sign(p[0], p[1]);
+    let d1 = sign(p[1], p[2]);
+    let d2 = sign(p[2], p[0]);
+    (d0 >= 0.0 && d1 >= 0.0 && d2 >= 0.0) || (d0 <= 0.0 && d1 <= 0.0 && d2 <= 0.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The rasterizer's pixel coverage matches the barycentric oracle for
+    /// random triangles (away from exactly-on-edge pixels, where float
+    /// associativity differences are legitimate).
+    #[test]
+    fn coverage_matches_barycentric_oracle(
+        coords in prop::collection::vec(-1.1f32..1.1, 6),
+    ) {
+        let verts = vec![
+            Vertex::new(ndc(coords[0]), ndc(coords[1]), 0.0, 0.0, 0.0),
+            Vertex::new(ndc(coords[2]), ndc(coords[3]), 0.0, 0.0, 0.0),
+            Vertex::new(ndc(coords[4]), ndc(coords[5]), 0.0, 0.0, 0.0),
+        ];
+        let setups = process_geometry(&verts, &[0, 1, 2], &Mat4::IDENTITY, W, H);
+        prop_assume!(setups.len() == 1); // skip degenerate/offscreen
+        let s = &setups[0];
+        // Screen-space vertex positions (same transform the stage does).
+        let p: Vec<(f32, f32)> = verts
+            .iter()
+            .map(|v| (
+                (v.pos.x + 1.0) * 0.5 * W as f32,
+                (1.0 - v.pos.y) * 0.5 * H as f32,
+            ))
+            .collect();
+        let p = [p[0], p[1], p[2]];
+
+        let bins = TileBins::build(&setups, W, H);
+        let mut fb = Framebuffer::new(W, H, Rgba8::TRANSPARENT);
+        rasterize_host(&mut fb, &setups, &bins, &RenderState::default(), None);
+
+        let eval = |pl: &[f32; 3], x: f32, y: f32| pl[0].mul_add(x, pl[1].mul_add(y, pl[2]));
+        for y in 0..H {
+            for x in 0..W {
+                let (fx, fy) = (x as f32 + 0.5, y as f32 + 0.5);
+                // Skip pixels within an epsilon band of any edge: there the
+                // oracle and the fma-based edge functions may legitimately
+                // disagree in the last ulp.
+                let margin = s
+                    .edges
+                    .iter()
+                    .map(|e| eval(e, fx, fy).abs())
+                    .fold(f32::INFINITY, f32::min);
+                if margin < 1e-3 {
+                    continue;
+                }
+                let drawn = fb.color[y * W + x] != Rgba8::TRANSPARENT.to_u32();
+                let oracle = inside_oracle(p, fx, fy);
+                prop_assert_eq!(
+                    drawn, oracle,
+                    "pixel ({}, {}) margin {} tri {:?}", x, y, margin, p
+                );
+            }
+        }
+    }
+
+    /// Attribute planes reproduce the vertex attributes at the vertices.
+    #[test]
+    fn planes_interpolate_vertex_attributes(
+        coords in prop::collection::vec(-0.9f32..0.9, 6),
+        zs in prop::collection::vec(-0.9f32..0.9, 3),
+    ) {
+        let verts = vec![
+            Vertex::new(coords[0], coords[1], zs[0], 0.0, 0.0),
+            Vertex::new(coords[2], coords[3], zs[1], 1.0, 0.0),
+            Vertex::new(coords[4], coords[5], zs[2], 0.0, 1.0),
+        ];
+        let setups = process_geometry(&verts, &[0, 1, 2], &Mat4::IDENTITY, W, H);
+        prop_assume!(setups.len() == 1);
+        let s = &setups[0];
+        let eval = |pl: &[f32; 3], x: f32, y: f32| pl[0] * x + pl[1] * y + pl[2];
+        for (v, (eu, ev)) in verts.iter().zip([(0.0, 0.0), (1.0, 0.0), (0.0, 1.0)]) {
+            let sx = (v.pos.x + 1.0) * 0.5 * W as f32;
+            let sy = (1.0 - v.pos.y) * 0.5 * H as f32;
+            let ez = v.pos.z * 0.5 + 0.5;
+            prop_assert!((eval(&s.u_plane, sx, sy) - eu).abs() < 1e-2);
+            prop_assert!((eval(&s.v_plane, sx, sy) - ev).abs() < 1e-2);
+            prop_assert!((eval(&s.z_plane, sx, sy) - ez).abs() < 1e-2);
+        }
+    }
+}

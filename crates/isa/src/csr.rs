@@ -1,0 +1,150 @@
+//! Control and status register (CSR) address map.
+//!
+//! Three groups of CSRs exist on Vortex:
+//!
+//! 1. the standard RISC-V user counters and FP status registers,
+//! 2. the Vortex SIMT identification registers (thread/wavefront/core ids and
+//!    machine dimensions), which kernels read to map work-items onto hardware
+//!    threads,
+//! 3. the texture-unit state registers (Section 4.2.2 of the paper): the
+//!    sampler is "configured via CSRs by the kernel" — base address, mipmap
+//!    offsets, dimensions, format, wrap and filter mode, per texture *stage*.
+
+/// Floating-point accrued exception flags.
+pub const FFLAGS: u16 = 0x001;
+/// Floating-point dynamic rounding mode.
+pub const FRM: u16 = 0x002;
+/// Combined `frm` + `fflags`.
+pub const FCSR: u16 = 0x003;
+
+/// Cycle counter (low 32 bits).
+pub const CYCLE: u16 = 0xC00;
+/// Wall-clock timer (low 32 bits). The simulator aliases this to `cycle`.
+pub const TIME: u16 = 0xC01;
+/// Retired-instruction counter (low 32 bits).
+pub const INSTRET: u16 = 0xC02;
+/// Cycle counter (high 32 bits).
+pub const CYCLEH: u16 = 0xC80;
+/// Wall-clock timer (high 32 bits).
+pub const TIMEH: u16 = 0xC81;
+/// Retired-instruction counter (high 32 bits).
+pub const INSTRETH: u16 = 0xC82;
+/// Hardware thread id (core id on Vortex).
+pub const MHARTID: u16 = 0xF14;
+
+// --- Vortex SIMT identification registers -------------------------------
+
+/// Thread id within the wavefront (`0..NT`).
+pub const VX_TID: u16 = 0xCC0;
+/// Wavefront (warp) id within the core (`0..NW`).
+pub const VX_WID: u16 = 0xCC1;
+/// Core id within the processor (`0..NC`).
+pub const VX_CID: u16 = 0xCC2;
+/// Current thread mask of the executing wavefront (read-only view; writes go
+/// through `tmc`).
+pub const VX_TMASK: u16 = 0xCC3;
+/// Number of threads per wavefront.
+pub const VX_NT: u16 = 0xCC4;
+/// Number of wavefronts per core.
+pub const VX_NW: u16 = 0xCC5;
+/// Number of cores.
+pub const VX_NC: u16 = 0xCC6;
+/// Global thread id: `(CID * NW + WID) * NT + TID`.
+pub const VX_GTID: u16 = 0xCC7;
+
+// --- Texture-unit state (per stage) --------------------------------------
+
+/// Number of texture stages addressable through CSRs.
+pub const TEX_STAGES: usize = 4;
+/// Number of CSR slots reserved per texture stage.
+pub const TEX_STRIDE: u16 = 8;
+/// Base CSR address of texture stage 0.
+pub const TEX_BASE: u16 = 0x7D0;
+
+/// Offsets of the individual texture state registers within a stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u16)]
+pub enum TexReg {
+    /// Base byte address of mip level 0 in device memory.
+    Addr = 0,
+    /// Packed mip-offset table pointer (byte address of a `u32` offset table;
+    /// 0 means "no mipmaps beyond level 0").
+    MipOff = 1,
+    /// `log2(width)` of mip level 0.
+    LogWidth = 2,
+    /// `log2(height)` of mip level 0.
+    LogHeight = 3,
+    /// Texel format (see `vortex-tex`'s `TexFormat`).
+    Format = 4,
+    /// Wrap mode for u/v (see `vortex-tex`'s `WrapMode`): bits 0-1 = u,
+    /// bits 2-3 = v.
+    Wrap = 5,
+    /// Filter mode: 0 = point, 1 = bilinear.
+    Filter = 6,
+    /// Reserved for future use (e.g. border color).
+    Reserved = 7,
+}
+
+/// CSR address of texture register `reg` for texture `stage`.
+///
+/// # Panics
+/// Panics if `stage >= TEX_STAGES`.
+pub const fn tex_csr(stage: usize, reg: TexReg) -> u16 {
+    assert!(stage < TEX_STAGES, "texture stage out of range");
+    TEX_BASE + (stage as u16) * TEX_STRIDE + reg as u16
+}
+
+/// Inverse of [`tex_csr`]: splits a CSR address into `(stage, slot)` if it
+/// falls in the texture range.
+pub const fn tex_csr_decompose(addr: u16) -> Option<(usize, u16)> {
+    let end = TEX_BASE + (TEX_STAGES as u16) * TEX_STRIDE;
+    if addr >= TEX_BASE && addr < end {
+        let rel = addr - TEX_BASE;
+        Some(((rel / TEX_STRIDE) as usize, rel % TEX_STRIDE))
+    } else {
+        None
+    }
+}
+
+/// `true` if `addr` names a read-only CSR (writes trap).
+pub const fn is_read_only(addr: u16) -> bool {
+    // Standard convention: top two bits == 0b11 means read-only.
+    (addr >> 10) == 0b11
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tex_csr_layout_is_contiguous_per_stage() {
+        assert_eq!(tex_csr(0, TexReg::Addr), 0x7D0);
+        assert_eq!(tex_csr(0, TexReg::Filter), 0x7D6);
+        assert_eq!(tex_csr(1, TexReg::Addr), 0x7D8);
+        assert_eq!(tex_csr(3, TexReg::Reserved), 0x7D0 + 31);
+    }
+
+    #[test]
+    fn tex_csr_decompose_round_trips() {
+        for stage in 0..TEX_STAGES {
+            for slot in 0..TEX_STRIDE {
+                let addr = TEX_BASE + stage as u16 * TEX_STRIDE + slot;
+                assert_eq!(tex_csr_decompose(addr), Some((stage, slot)));
+            }
+        }
+        assert_eq!(tex_csr_decompose(TEX_BASE - 1), None);
+        assert_eq!(
+            tex_csr_decompose(TEX_BASE + TEX_STAGES as u16 * TEX_STRIDE),
+            None
+        );
+    }
+
+    #[test]
+    fn read_only_detection() {
+        assert!(is_read_only(CYCLE));
+        assert!(is_read_only(VX_TID));
+        assert!(is_read_only(MHARTID));
+        assert!(!is_read_only(FCSR));
+        assert!(!is_read_only(tex_csr(0, TexReg::Addr)));
+    }
+}

@@ -1,0 +1,593 @@
+//! Binary decoder: 32-bit instruction word → [`Instr`].
+
+use crate::instr::*;
+use crate::reg::{FReg, Reg};
+use crate::vx;
+use std::fmt;
+
+/// Error produced when a word does not decode to a valid Vortex instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    /// The offending instruction word.
+    pub word: u32,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "illegal instruction word {:#010x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+#[inline]
+fn bits(word: u32, hi: u32, lo: u32) -> u32 {
+    (word >> lo) & ((1 << (hi - lo + 1)) - 1)
+}
+
+#[inline]
+fn rd(word: u32) -> Reg {
+    Reg::from_index(bits(word, 11, 7))
+}
+#[inline]
+fn rs1(word: u32) -> Reg {
+    Reg::from_index(bits(word, 19, 15))
+}
+#[inline]
+fn rs2(word: u32) -> Reg {
+    Reg::from_index(bits(word, 24, 20))
+}
+#[inline]
+fn frd(word: u32) -> FReg {
+    FReg::from_index(bits(word, 11, 7))
+}
+#[inline]
+fn frs1(word: u32) -> FReg {
+    FReg::from_index(bits(word, 19, 15))
+}
+#[inline]
+fn frs2(word: u32) -> FReg {
+    FReg::from_index(bits(word, 24, 20))
+}
+#[inline]
+fn frs3(word: u32) -> FReg {
+    FReg::from_index(bits(word, 31, 27))
+}
+
+/// Sign-extends the low `width` bits of `value`.
+#[inline]
+fn sext(value: u32, width: u32) -> i32 {
+    let shift = 32 - width;
+    ((value << shift) as i32) >> shift
+}
+
+fn imm_i(word: u32) -> i32 {
+    sext(bits(word, 31, 20), 12)
+}
+
+fn imm_s(word: u32) -> i32 {
+    sext((bits(word, 31, 25) << 5) | bits(word, 11, 7), 12)
+}
+
+fn imm_b(word: u32) -> i32 {
+    sext(
+        (bits(word, 31, 31) << 12)
+            | (bits(word, 7, 7) << 11)
+            | (bits(word, 30, 25) << 5)
+            | (bits(word, 11, 8) << 1),
+        13,
+    )
+}
+
+fn imm_u(word: u32) -> i32 {
+    (word & 0xFFFF_F000) as i32
+}
+
+fn imm_j(word: u32) -> i32 {
+    sext(
+        (bits(word, 31, 31) << 20)
+            | (bits(word, 19, 12) << 12)
+            | (bits(word, 20, 20) << 11)
+            | (bits(word, 30, 21) << 1),
+        21,
+    )
+}
+
+fn rm(word: u32) -> Result<RoundMode, DecodeError> {
+    RoundMode::from_bits(bits(word, 14, 12)).ok_or(DecodeError { word })
+}
+
+/// Decodes one 32-bit instruction word.
+///
+/// # Errors
+/// Returns [`DecodeError`] for any word that is not a valid RV32IMF+Zicsr or
+/// Vortex-extension instruction.
+pub fn decode(word: u32) -> Result<Instr, DecodeError> {
+    let err = Err(DecodeError { word });
+    let opcode = bits(word, 6, 0);
+    let funct3 = bits(word, 14, 12);
+    let funct7 = bits(word, 31, 25);
+    Ok(match opcode {
+        0x37 => Instr::Lui {
+            rd: rd(word),
+            imm: imm_u(word),
+        },
+        0x17 => Instr::Auipc {
+            rd: rd(word),
+            imm: imm_u(word),
+        },
+        0x6F => Instr::Jal {
+            rd: rd(word),
+            offset: imm_j(word),
+        },
+        0x67 => {
+            if funct3 != 0 {
+                return err;
+            }
+            Instr::Jalr {
+                rd: rd(word),
+                rs1: rs1(word),
+                offset: imm_i(word),
+            }
+        }
+        0x63 => {
+            let cond = match funct3 {
+                0b000 => BranchCond::Eq,
+                0b001 => BranchCond::Ne,
+                0b100 => BranchCond::Lt,
+                0b101 => BranchCond::Ge,
+                0b110 => BranchCond::Ltu,
+                0b111 => BranchCond::Geu,
+                _ => return err,
+            };
+            Instr::Branch {
+                cond,
+                rs1: rs1(word),
+                rs2: rs2(word),
+                offset: imm_b(word),
+            }
+        }
+        0x03 => {
+            let width = match funct3 {
+                0b000 => LoadWidth::B,
+                0b001 => LoadWidth::H,
+                0b010 => LoadWidth::W,
+                0b100 => LoadWidth::Bu,
+                0b101 => LoadWidth::Hu,
+                _ => return err,
+            };
+            Instr::Load {
+                width,
+                rd: rd(word),
+                rs1: rs1(word),
+                offset: imm_i(word),
+            }
+        }
+        0x23 => {
+            let width = match funct3 {
+                0b000 => StoreWidth::B,
+                0b001 => StoreWidth::H,
+                0b010 => StoreWidth::W,
+                _ => return err,
+            };
+            Instr::Store {
+                width,
+                rs1: rs1(word),
+                rs2: rs2(word),
+                offset: imm_s(word),
+            }
+        }
+        0x13 => {
+            let (op, imm) = match funct3 {
+                0b000 => (OpImmKind::Addi, imm_i(word)),
+                0b010 => (OpImmKind::Slti, imm_i(word)),
+                0b011 => (OpImmKind::Sltiu, imm_i(word)),
+                0b100 => (OpImmKind::Xori, imm_i(word)),
+                0b110 => (OpImmKind::Ori, imm_i(word)),
+                0b111 => (OpImmKind::Andi, imm_i(word)),
+                0b001 => {
+                    if funct7 != 0 {
+                        return err;
+                    }
+                    (OpImmKind::Slli, bits(word, 24, 20) as i32)
+                }
+                0b101 => match funct7 {
+                    0x00 => (OpImmKind::Srli, bits(word, 24, 20) as i32),
+                    0x20 => (OpImmKind::Srai, bits(word, 24, 20) as i32),
+                    _ => return err,
+                },
+                _ => unreachable!(),
+            };
+            Instr::OpImm {
+                op,
+                rd: rd(word),
+                rs1: rs1(word),
+                imm,
+            }
+        }
+        0x33 => {
+            let op = match (funct7, funct3) {
+                (0x00, 0b000) => OpKind::Add,
+                (0x20, 0b000) => OpKind::Sub,
+                (0x00, 0b001) => OpKind::Sll,
+                (0x00, 0b010) => OpKind::Slt,
+                (0x00, 0b011) => OpKind::Sltu,
+                (0x00, 0b100) => OpKind::Xor,
+                (0x00, 0b101) => OpKind::Srl,
+                (0x20, 0b101) => OpKind::Sra,
+                (0x00, 0b110) => OpKind::Or,
+                (0x00, 0b111) => OpKind::And,
+                (0x01, 0b000) => OpKind::Mul,
+                (0x01, 0b001) => OpKind::Mulh,
+                (0x01, 0b010) => OpKind::Mulhsu,
+                (0x01, 0b011) => OpKind::Mulhu,
+                (0x01, 0b100) => OpKind::Div,
+                (0x01, 0b101) => OpKind::Divu,
+                (0x01, 0b110) => OpKind::Rem,
+                (0x01, 0b111) => OpKind::Remu,
+                _ => return err,
+            };
+            Instr::Op {
+                op,
+                rd: rd(word),
+                rs1: rs1(word),
+                rs2: rs2(word),
+            }
+        }
+        0x0F => Instr::Fence,
+        0x73 => match funct3 {
+            0b000 => match bits(word, 31, 20) {
+                0 => Instr::Ecall,
+                1 => Instr::Ebreak,
+                _ => return err,
+            },
+            _ => {
+                let kind = match funct3 & 0b011 {
+                    0b01 => CsrKind::ReadWrite,
+                    0b10 => CsrKind::ReadSet,
+                    0b11 => CsrKind::ReadClear,
+                    _ => return err,
+                };
+                let src = if funct3 & 0b100 != 0 {
+                    CsrSrc::Imm(bits(word, 19, 15) as u8)
+                } else {
+                    CsrSrc::Reg(rs1(word))
+                };
+                Instr::Csr {
+                    kind,
+                    rd: rd(word),
+                    csr: bits(word, 31, 20) as u16,
+                    src,
+                }
+            }
+        },
+        0x07 => {
+            if funct3 != 0b010 {
+                return err;
+            }
+            Instr::Flw {
+                rd: frd(word),
+                rs1: rs1(word),
+                offset: imm_i(word),
+            }
+        }
+        0x27 => {
+            if funct3 != 0b010 {
+                return err;
+            }
+            Instr::Fsw {
+                rs1: rs1(word),
+                rs2: frs2(word),
+                offset: imm_s(word),
+            }
+        }
+        0x43 | 0x47 | 0x4B | 0x4F => {
+            if bits(word, 26, 25) != 0 {
+                return err; // fmt must be S (single precision)
+            }
+            let kind = match opcode {
+                0x43 => FmaKind::Madd,
+                0x47 => FmaKind::Msub,
+                0x4B => FmaKind::Nmsub,
+                _ => FmaKind::Nmadd,
+            };
+            Instr::Fma {
+                kind,
+                rd: frd(word),
+                rs1: frs1(word),
+                rs2: frs2(word),
+                rs3: frs3(word),
+                rm: rm(word)?,
+            }
+        }
+        0x53 => match funct7 {
+            0x00 => Instr::FpOp {
+                op: FpOpKind::Add,
+                rd: frd(word),
+                rs1: frs1(word),
+                rs2: frs2(word),
+                rm: rm(word)?,
+            },
+            0x04 => Instr::FpOp {
+                op: FpOpKind::Sub,
+                rd: frd(word),
+                rs1: frs1(word),
+                rs2: frs2(word),
+                rm: rm(word)?,
+            },
+            0x08 => Instr::FpOp {
+                op: FpOpKind::Mul,
+                rd: frd(word),
+                rs1: frs1(word),
+                rs2: frs2(word),
+                rm: rm(word)?,
+            },
+            0x0C => Instr::FpOp {
+                op: FpOpKind::Div,
+                rd: frd(word),
+                rs1: frs1(word),
+                rs2: frs2(word),
+                rm: rm(word)?,
+            },
+            0x2C => {
+                if bits(word, 24, 20) != 0 {
+                    return err;
+                }
+                Instr::FpOp {
+                    op: FpOpKind::Sqrt,
+                    rd: frd(word),
+                    rs1: frs1(word),
+                    rs2: FReg::X0,
+                    rm: rm(word)?,
+                }
+            }
+            0x10 => {
+                let op = match funct3 {
+                    0b000 => FpOpKind::SgnJ,
+                    0b001 => FpOpKind::SgnJn,
+                    0b010 => FpOpKind::SgnJx,
+                    _ => return err,
+                };
+                Instr::FpOp {
+                    op,
+                    rd: frd(word),
+                    rs1: frs1(word),
+                    rs2: frs2(word),
+                    rm: RoundMode::Rne,
+                }
+            }
+            0x14 => {
+                let op = match funct3 {
+                    0b000 => FpOpKind::Min,
+                    0b001 => FpOpKind::Max,
+                    _ => return err,
+                };
+                Instr::FpOp {
+                    op,
+                    rd: frd(word),
+                    rs1: frs1(word),
+                    rs2: frs2(word),
+                    rm: RoundMode::Rne,
+                }
+            }
+            0x50 => {
+                let op = match funct3 {
+                    0b010 => FpCmpKind::Eq,
+                    0b001 => FpCmpKind::Lt,
+                    0b000 => FpCmpKind::Le,
+                    _ => return err,
+                };
+                Instr::FpCmp {
+                    op,
+                    rd: rd(word),
+                    rs1: frs1(word),
+                    rs2: frs2(word),
+                }
+            }
+            0x60 => {
+                let signed = match bits(word, 24, 20) {
+                    0 => true,
+                    1 => false,
+                    _ => return err,
+                };
+                Instr::FpToInt {
+                    signed,
+                    rd: rd(word),
+                    rs1: frs1(word),
+                    rm: rm(word)?,
+                }
+            }
+            0x68 => {
+                let signed = match bits(word, 24, 20) {
+                    0 => true,
+                    1 => false,
+                    _ => return err,
+                };
+                Instr::IntToFp {
+                    signed,
+                    rd: frd(word),
+                    rs1: rs1(word),
+                    rm: rm(word)?,
+                }
+            }
+            0x70 => {
+                if bits(word, 24, 20) != 0 {
+                    return err;
+                }
+                match funct3 {
+                    0b000 => Instr::FmvToInt {
+                        rd: rd(word),
+                        rs1: frs1(word),
+                    },
+                    0b001 => Instr::FClass {
+                        rd: rd(word),
+                        rs1: frs1(word),
+                    },
+                    _ => return err,
+                }
+            }
+            0x78 => {
+                if bits(word, 24, 20) != 0 || funct3 != 0 {
+                    return err;
+                }
+                Instr::FmvFromInt {
+                    rd: frd(word),
+                    rs1: rs1(word),
+                }
+            }
+            _ => return err,
+        },
+        vx::OPCODE => match funct3 {
+            vx::F3_TMC => Instr::Tmc { rs1: rs1(word) },
+            vx::F3_WSPAWN => Instr::Wspawn {
+                rs1: rs1(word),
+                rs2: rs2(word),
+            },
+            vx::F3_SPLIT => Instr::Split { rs1: rs1(word) },
+            vx::F3_JOIN => Instr::Join,
+            vx::F3_BAR => Instr::Bar {
+                rs1: rs1(word),
+                rs2: rs2(word),
+            },
+            vx::F3_TEX => Instr::Tex {
+                rd: rd(word),
+                u: rs1(word),
+                v: rs2(word),
+                lod: Reg::from_index(bits(word, 31, 27)),
+                stage: bits(word, 26, 25) as u8,
+            },
+            _ => return err,
+        },
+        _ => return err,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode;
+
+    #[test]
+    fn golden_rv32i_encodings() {
+        // Encodings cross-checked against the RISC-V spec / GNU as.
+        assert_eq!(
+            decode(0x0050_0093).unwrap(), // addi x1, x0, 5
+            Instr::OpImm {
+                op: OpImmKind::Addi,
+                rd: Reg::X1,
+                rs1: Reg::X0,
+                imm: 5
+            }
+        );
+        assert_eq!(
+            decode(0x0000_0537).unwrap(), // lui a0, 0
+            Instr::Lui {
+                rd: Reg::X10,
+                imm: 0
+            }
+        );
+        assert_eq!(
+            decode(0x0062_8233).unwrap(), // add x4, x5, x6
+            Instr::Op {
+                op: OpKind::Add,
+                rd: Reg::X4,
+                rs1: Reg::X5,
+                rs2: Reg::X6
+            }
+        );
+        assert_eq!(
+            decode(0x0000_006F).unwrap(), // jal x0, 0
+            Instr::Jal {
+                rd: Reg::X0,
+                offset: 0
+            }
+        );
+        assert_eq!(decode(0x0000_0073).unwrap(), Instr::Ecall);
+        assert_eq!(decode(0x0010_0073).unwrap(), Instr::Ebreak);
+    }
+
+    #[test]
+    fn golden_negative_immediates() {
+        // addi x1, x1, -1 == 0xfff08093
+        assert_eq!(
+            decode(0xFFF0_8093).unwrap(),
+            Instr::OpImm {
+                op: OpImmKind::Addi,
+                rd: Reg::X1,
+                rs1: Reg::X1,
+                imm: -1
+            }
+        );
+        // beq x0, x0, -4 == 0xfe000ee3
+        assert_eq!(
+            decode(0xFE00_0EE3).unwrap(),
+            Instr::Branch {
+                cond: BranchCond::Eq,
+                rs1: Reg::X0,
+                rs2: Reg::X0,
+                offset: -4
+            }
+        );
+    }
+
+    #[test]
+    fn golden_mul_and_float() {
+        // mul x1, x2, x3 == 0x023100b3
+        assert_eq!(
+            decode(0x0231_00B3).unwrap(),
+            Instr::Op {
+                op: OpKind::Mul,
+                rd: Reg::X1,
+                rs1: Reg::X2,
+                rs2: Reg::X3
+            }
+        );
+        // fadd.s f1, f2, f3 (rm=rne) == 0x003100d3
+        assert_eq!(
+            decode(0x0031_00D3).unwrap(),
+            Instr::FpOp {
+                op: FpOpKind::Add,
+                rd: FReg::X1,
+                rs1: FReg::X2,
+                rs2: FReg::X3,
+                rm: RoundMode::Rne
+            }
+        );
+    }
+
+    #[test]
+    fn illegal_words_are_rejected() {
+        assert!(decode(0x0000_0000).is_err());
+        assert!(decode(0xFFFF_FFFF).is_err());
+        // BRANCH with funct3 == 0b010 is illegal.
+        assert!(decode(0x0000_2063).is_err());
+    }
+
+    #[test]
+    fn vortex_ops_round_trip_through_decode() {
+        let ops = [
+            Instr::Tmc { rs1: Reg::X5 },
+            Instr::Wspawn {
+                rs1: Reg::X5,
+                rs2: Reg::X6,
+            },
+            Instr::Split { rs1: Reg::X7 },
+            Instr::Join,
+            Instr::Bar {
+                rs1: Reg::X8,
+                rs2: Reg::X9,
+            },
+            Instr::Tex {
+                rd: Reg::X10,
+                u: Reg::X11,
+                v: Reg::X12,
+                lod: Reg::X13,
+                stage: 2,
+            },
+        ];
+        for op in ops {
+            assert!(op.is_vortex_ext());
+            assert_eq!(decode(encode(&op)).unwrap(), op);
+        }
+    }
+}

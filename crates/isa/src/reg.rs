@@ -1,0 +1,194 @@
+//! Architectural register names for the integer (`x0`–`x31`) and
+//! floating-point (`f0`–`f31`) register files.
+//!
+//! Vortex keeps the standard RISC-V register files per *thread*; the banked
+//! GPR storage in the core replicates them `threads × wavefronts` times.
+
+use std::fmt;
+use std::str::FromStr;
+
+macro_rules! define_reg {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal, $err:ident) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        #[allow(missing_docs)]
+        #[repr(u8)]
+        pub enum $name {
+            X0 = 0, X1, X2, X3, X4, X5, X6, X7, X8, X9, X10, X11, X12, X13, X14, X15,
+            X16, X17, X18, X19, X20, X21, X22, X23, X24, X25, X26, X27, X28, X29, X30, X31,
+        }
+
+        impl $name {
+            /// All 32 registers in index order.
+            pub const ALL: [$name; 32] = [
+                $name::X0, $name::X1, $name::X2, $name::X3, $name::X4, $name::X5,
+                $name::X6, $name::X7, $name::X8, $name::X9, $name::X10, $name::X11,
+                $name::X12, $name::X13, $name::X14, $name::X15, $name::X16, $name::X17,
+                $name::X18, $name::X19, $name::X20, $name::X21, $name::X22, $name::X23,
+                $name::X24, $name::X25, $name::X26, $name::X27, $name::X28, $name::X29,
+                $name::X30, $name::X31,
+            ];
+
+            /// Register number in `0..32`.
+            #[inline]
+            pub const fn index(self) -> usize {
+                self as usize
+            }
+
+            /// Builds a register from its number.
+            ///
+            /// # Panics
+            /// Panics if `index >= 32`.
+            #[inline]
+            pub const fn from_index(index: u32) -> Self {
+                assert!(index < 32, "register index out of range");
+                Self::ALL[index as usize]
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "{}{}", $prefix, self.index())
+            }
+        }
+
+        impl From<$name> for u32 {
+            fn from(r: $name) -> u32 {
+                r.index() as u32
+            }
+        }
+
+        /// Error returned when parsing a register name fails.
+        #[derive(Debug, Clone, PartialEq, Eq)]
+        pub struct $err(pub String);
+
+        impl fmt::Display for $err {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, "invalid register name `{}`", self.0)
+            }
+        }
+
+        impl std::error::Error for $err {}
+    };
+}
+
+define_reg!(
+    /// An integer register `x0`–`x31`. `x0` is hard-wired to zero.
+    Reg,
+    "x",
+    ParseRegError
+);
+define_reg!(
+    /// A floating-point register `f0`–`f31`.
+    FReg,
+    "f",
+    ParseFRegError
+);
+
+/// ABI names for the integer registers, in index order
+/// (`zero, ra, sp, gp, tp, t0..t2, s0, s1, a0..a7, s2..s11, t3..t6`).
+pub const ABI_NAMES: [&str; 32] = [
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+    "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+    "t5", "t6",
+];
+
+impl Reg {
+    /// The ABI (calling-convention) name, e.g. `a0` for `x10`.
+    pub fn abi_name(self) -> &'static str {
+        ABI_NAMES[self.index()]
+    }
+}
+
+impl FromStr for Reg {
+    type Err = ParseRegError;
+
+    /// Parses both architectural (`x7`) and ABI (`t2`) names.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(n) = s.strip_prefix('x') {
+            if let Ok(i) = n.parse::<u32>() {
+                if i < 32 {
+                    return Ok(Reg::from_index(i));
+                }
+            }
+        }
+        if let Some(i) = ABI_NAMES.iter().position(|&n| n == s) {
+            return Ok(Reg::from_index(i as u32));
+        }
+        // `fp` is an alias for `s0`.
+        if s == "fp" {
+            return Ok(Reg::X8);
+        }
+        Err(ParseRegError(s.to_string()))
+    }
+}
+
+impl FromStr for FReg {
+    type Err = ParseFRegError;
+
+    /// Parses `f0`–`f31` and the ABI names `ft0-ft11`, `fs0-fs11`, `fa0-fa7`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        if let Some(n) = s.strip_prefix('f') {
+            if let Ok(i) = n.parse::<u32>() {
+                if i < 32 {
+                    return Ok(FReg::from_index(i));
+                }
+            }
+        }
+        const FABI: [&str; 32] = [
+            "ft0", "ft1", "ft2", "ft3", "ft4", "ft5", "ft6", "ft7", "fs0", "fs1", "fa0", "fa1",
+            "fa2", "fa3", "fa4", "fa5", "fa6", "fa7", "fs2", "fs3", "fs4", "fs5", "fs6", "fs7",
+            "fs8", "fs9", "fs10", "fs11", "ft8", "ft9", "ft10", "ft11",
+        ];
+        if let Some(i) = FABI.iter().position(|&n| n == s) {
+            return Ok(FReg::from_index(i as u32));
+        }
+        Err(ParseFRegError(s.to_string()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_round_trip() {
+        for i in 0..32 {
+            assert_eq!(Reg::from_index(i).index(), i as usize);
+            assert_eq!(FReg::from_index(i).index(), i as usize);
+        }
+    }
+
+    #[test]
+    fn parse_architectural_names() {
+        assert_eq!("x0".parse::<Reg>().unwrap(), Reg::X0);
+        assert_eq!("x31".parse::<Reg>().unwrap(), Reg::X31);
+        assert_eq!("f15".parse::<FReg>().unwrap(), FReg::X15);
+    }
+
+    #[test]
+    fn parse_abi_names() {
+        assert_eq!("zero".parse::<Reg>().unwrap(), Reg::X0);
+        assert_eq!("ra".parse::<Reg>().unwrap(), Reg::X1);
+        assert_eq!("sp".parse::<Reg>().unwrap(), Reg::X2);
+        assert_eq!("a0".parse::<Reg>().unwrap(), Reg::X10);
+        assert_eq!("t6".parse::<Reg>().unwrap(), Reg::X31);
+        assert_eq!("fp".parse::<Reg>().unwrap(), Reg::X8);
+        assert_eq!("fa0".parse::<FReg>().unwrap(), FReg::X10);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("x32".parse::<Reg>().is_err());
+        assert!("y1".parse::<Reg>().is_err());
+        assert!("".parse::<Reg>().is_err());
+        assert!("f32".parse::<FReg>().is_err());
+    }
+
+    #[test]
+    fn display_uses_architectural_names() {
+        assert_eq!(Reg::X10.to_string(), "x10");
+        assert_eq!(FReg::X3.to_string(), "f3");
+        assert_eq!(Reg::X10.abi_name(), "a0");
+    }
+}

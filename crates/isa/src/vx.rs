@@ -1,0 +1,90 @@
+//! Encoding constants for the Vortex SIMT extension.
+//!
+//! All six instructions fit in the single `custom-2` opcode `0x6B`
+//! (paper §3.2: *"They are all RISC-V R-Type instructions and fit in one
+//! opcode"*). The `funct3` field selects the operation; `tex` reuses the
+//! R4-type field layout within the same opcode so it can name a third source
+//! register (`lod`) and a 2-bit texture-stage selector in `funct2`.
+
+/// The major opcode shared by all Vortex extension instructions.
+pub const OPCODE: u32 = 0x6B;
+
+/// `funct3` selector for `tmc`.
+pub const F3_TMC: u32 = 0;
+/// `funct3` selector for `wspawn`.
+pub const F3_WSPAWN: u32 = 1;
+/// `funct3` selector for `split`.
+pub const F3_SPLIT: u32 = 2;
+/// `funct3` selector for `join`.
+pub const F3_JOIN: u32 = 3;
+/// `funct3` selector for `bar`.
+pub const F3_BAR: u32 = 4;
+/// `funct3` selector for `tex` (R4 field layout).
+pub const F3_TEX: u32 = 5;
+
+/// Barrier ids with this bit set have *global* (inter-core) scope; the rest
+/// of the id addresses the barrier table (paper §3.2: "the barrier ID encodes
+/// whether it has local scope (intra-core) or global scope (inter-core)").
+pub const BAR_GLOBAL_BIT: u32 = 1 << 31;
+
+/// Maximum number of distinct barriers per scope table.
+pub const NUM_BARRIERS: usize = 16;
+
+/// Human-readable one-line summaries, mirroring Table 2 of the paper.
+pub const TABLE2: [(&str, &str); 6] = [
+    ("wspawn %numW, %PC", "Wavefronts activation"),
+    ("tmc %numT", "Thread mask control"),
+    ("split %pred", "Control flow divergence"),
+    ("join", "Control flow reconvergence"),
+    ("bar %barID, %numW", "Wavefronts barrier"),
+    ("tex %dest, %u, %v, %lod", "Texture sampling/filtering"),
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{decode, encode, Instr, Reg};
+
+    /// The paper's central ISA claim: six instructions, one opcode.
+    #[test]
+    fn six_instructions_one_opcode() {
+        let all = [
+            Instr::Wspawn {
+                rs1: Reg::X1,
+                rs2: Reg::X2,
+            },
+            Instr::Tmc { rs1: Reg::X1 },
+            Instr::Split { rs1: Reg::X1 },
+            Instr::Join,
+            Instr::Bar {
+                rs1: Reg::X1,
+                rs2: Reg::X2,
+            },
+            Instr::Tex {
+                rd: Reg::X1,
+                u: Reg::X2,
+                v: Reg::X3,
+                lod: Reg::X4,
+                stage: 0,
+            },
+        ];
+        assert_eq!(all.len(), TABLE2.len());
+        for i in &all {
+            assert_eq!(encode(i) & 0x7F, OPCODE, "{i:?} not in the shared opcode");
+        }
+    }
+
+    #[test]
+    fn tex_stage_field_is_preserved() {
+        for stage in 0..4u8 {
+            let i = Instr::Tex {
+                rd: Reg::X10,
+                u: Reg::X11,
+                v: Reg::X12,
+                lod: Reg::X13,
+                stage,
+            };
+            assert_eq!(decode(encode(&i)).unwrap(), i);
+        }
+    }
+}

@@ -1,0 +1,56 @@
+//! The benchmark abstraction the experiment harness drives.
+
+use vortex_core::{GpuConfig, GpuStats};
+
+/// The paper's benchmark classification (§6.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BenchClass {
+    /// `sgemm`, `vecadd`, `sfilter` — IPC scales with cores (Figure 18).
+    ComputeBound,
+    /// `saxpy`, `nearn`, `gaussian`, `bfs` — limited by memory bandwidth.
+    MemoryBound,
+    /// The synthetic texture-filtering benchmarks (§6.4).
+    Texture,
+}
+
+/// One benchmark execution's outcome.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark name.
+    pub name: String,
+    /// Device counters.
+    pub stats: GpuStats,
+    /// `true` when the device output matched the host reference.
+    pub validated: bool,
+    /// Work items processed.
+    pub work: usize,
+}
+
+impl BenchResult {
+    /// Aggregate issue-slot IPC.
+    pub fn ipc(&self) -> f64 {
+        self.stats.ipc()
+    }
+
+    /// Aggregate thread-level IPC (the paper's figure metric).
+    pub fn thread_ipc(&self) -> f64 {
+        self.stats.thread_ipc()
+    }
+}
+
+/// A runnable benchmark: generates inputs, runs the kernel on a device of
+/// the given configuration, and validates against the host reference.
+pub trait Benchmark {
+    /// Short name (`sgemm`, `bfs`, ...).
+    fn name(&self) -> &'static str;
+
+    /// The paper's classification.
+    fn class(&self) -> BenchClass;
+
+    /// Runs on a freshly opened device of shape `config`.
+    ///
+    /// # Panics
+    /// Panics if the kernel fails to assemble or times out — benchmark
+    /// inputs are fixed, so either indicates a bug, not a user error.
+    fn run_on(&self, config: &GpuConfig) -> BenchResult;
+}

@@ -1,0 +1,32 @@
+//! # vortex-kernels
+//!
+//! The benchmark programs of the paper's evaluation (§6.1), implemented
+//! directly against the Vortex ISA through the `vortex-asm` kernel builder
+//! — the binary interface the paper's POCL/LLVM flow would emit.
+//!
+//! *"For the benchmarks, we use a subset of the Rodinia OpenCL kernels. We
+//! classified the benchmarks into a compute-bounded group that includes
+//! `sgemm`, `vecadd`, and `sfilter`, and a memory-bounded group that
+//! includes `saxpy`, `nearn`, `gaussian`, and `bfs`."*
+//!
+//! Each benchmark bundles: a synthetic input generator (seeded, so runs
+//! are reproducible), the device kernel, a host-side reference
+//! implementation, and validation of the device results against it.
+//! The texture benchmarks (§6.4) render a source texture into an
+//! equal-sized target with point, bilinear, or trilinear filtering, in
+//! both hardware (`tex` instruction) and all-software variants — the two
+//! sides of Figure 20.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod harness;
+pub mod reduce;
+pub mod rodinia;
+pub mod texture;
+pub mod util;
+
+pub use harness::{BenchClass, BenchResult, Benchmark};
+pub use reduce::Reduce;
+pub use rodinia::{all_rodinia, Bfs, Gaussian, Nearn, Saxpy, Sfilter, Sgemm, Vecadd};
+pub use texture::{FilterKind, TexBench};

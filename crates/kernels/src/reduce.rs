@@ -1,0 +1,199 @@
+//! `reduce`: block-wise parallel sum using the per-core shared-memory
+//! scratchpad and wavefront barriers — the cooperative-threading pattern
+//! the paper's shared memory (§4.1.4) and `bar` instruction exist for.
+//!
+//! Every hardware thread accumulates a strided slice of the input, stores
+//! its partial into shared memory (or, in the ablation variant, into a
+//! global scratch region), all wavefronts of the core synchronize at a
+//! local barrier, and the core's leader thread reduces the partials into a
+//! per-core result that the host finishes.
+
+use crate::harness::{BenchClass, BenchResult, Benchmark};
+use crate::util::{self, R_IDX};
+use vortex_asm::Assembler;
+use vortex_core::{GpuConfig, SMEM_BASE};
+use vortex_isa::{csr, Reg};
+use vortex_runtime::{abi, emit_spawn_tasks, ArgWriter, Device};
+
+/// The `reduce` benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Reduce {
+    /// Number of `u32` elements to sum.
+    pub n: usize,
+    /// `true` stages partials in shared memory; `false` in global memory
+    /// (the ablation baseline).
+    pub use_smem: bool,
+}
+
+impl Reduce {
+    /// Sums `n` elements with shared-memory staging.
+    pub fn new(n: usize) -> Self {
+        Self { n, use_smem: true }
+    }
+
+    /// The global-memory staging variant.
+    pub fn global(n: usize) -> Self {
+        Self { n, use_smem: false }
+    }
+}
+
+impl Default for Reduce {
+    fn default() -> Self {
+        Self::new(16384)
+    }
+}
+
+/// Builds the reduction program. Argument block:
+/// `in, out_per_core, n, scratch_global` — staging location chosen at
+/// build time (`use_smem`).
+pub fn program(use_smem: bool) -> vortex_asm::Program {
+    let mut asm = Assembler::new();
+    emit_spawn_tasks(&mut asm, "body").expect("stub emits once");
+    asm.label("body").expect("fresh label");
+    util::emit_load_args(&mut asm, 4); // x11=in x12=out x13=n x14=scratch
+    util::emit_gtid_stride(&mut asm);
+    // Per-thread accumulation.
+    asm.li(Reg::X20, 0);
+    util::emit_loop_head(&mut asm, Reg::X13, "rd").expect("fresh tag");
+    asm.slli(Reg::X5, R_IDX, 2);
+    asm.add(Reg::X5, Reg::X5, Reg::X11);
+    asm.lw(Reg::X6, Reg::X5, 0);
+    asm.add(Reg::X20, Reg::X20, Reg::X6);
+    util::emit_loop_tail(&mut asm, Reg::X13, "rd").expect("fresh tag");
+    // Local partial slot: lidx = wid * NT + tid.
+    asm.csrr(Reg::X21, csr::VX_WID);
+    asm.csrr(Reg::X22, csr::VX_NT);
+    asm.mul(Reg::X21, Reg::X21, Reg::X22);
+    asm.csrr(Reg::X23, csr::VX_TID);
+    asm.add(Reg::X21, Reg::X21, Reg::X23);
+    // Staging base: shared memory, or scratch + cid * 4096 in global.
+    if use_smem {
+        asm.li(Reg::X24, SMEM_BASE as i32);
+    } else {
+        asm.csrr(Reg::X5, csr::VX_CID);
+        asm.slli(Reg::X5, Reg::X5, 12);
+        asm.add(Reg::X24, Reg::X14, Reg::X5);
+    }
+    asm.slli(Reg::X5, Reg::X21, 2);
+    asm.add(Reg::X5, Reg::X5, Reg::X24);
+    asm.sw(Reg::X20, Reg::X5, 0);
+    // Core-local barrier: all NW wavefronts arrive.
+    asm.li(Reg::X6, 0);
+    asm.csrr(Reg::X7, csr::VX_NW);
+    asm.bar(Reg::X6, Reg::X7);
+    // Leader (wid 0, tid 0) reduces the core's partials.
+    asm.csrr(Reg::X5, csr::VX_WID);
+    asm.seqz(Reg::X5, Reg::X5);
+    asm.csrr(Reg::X6, csr::VX_TID);
+    asm.seqz(Reg::X6, Reg::X6);
+    asm.and(Reg::X5, Reg::X5, Reg::X6);
+    asm.split(Reg::X5);
+    asm.beqz(Reg::X5, "not_leader");
+    asm.csrr(Reg::X25, csr::VX_NW);
+    asm.csrr(Reg::X26, csr::VX_NT);
+    asm.mul(Reg::X25, Reg::X25, Reg::X26); // partial count
+    asm.li(Reg::X27, 0); // total
+    asm.mv(Reg::X28, Reg::X24); // walker
+    asm.label("sum").expect("fresh label");
+    asm.blez(Reg::X25, "sum_done");
+    asm.lw(Reg::X29, Reg::X28, 0);
+    asm.add(Reg::X27, Reg::X27, Reg::X29);
+    asm.addi(Reg::X28, Reg::X28, 4);
+    asm.addi(Reg::X25, Reg::X25, -1);
+    asm.j("sum");
+    asm.label("sum_done").expect("fresh label");
+    // out[cid] = total.
+    asm.csrr(Reg::X30, csr::VX_CID);
+    asm.slli(Reg::X30, Reg::X30, 2);
+    asm.add(Reg::X30, Reg::X30, Reg::X12);
+    asm.sw(Reg::X27, Reg::X30, 0);
+    asm.label("not_leader").expect("fresh label");
+    asm.join();
+    asm.ret();
+    asm.assemble(abi::CODE_BASE).expect("reduce assembles")
+}
+
+impl Benchmark for Reduce {
+    fn name(&self) -> &'static str {
+        if self.use_smem {
+            "reduce-smem"
+        } else {
+            "reduce-global"
+        }
+    }
+
+    fn class(&self) -> BenchClass {
+        BenchClass::MemoryBound
+    }
+
+    fn run_on(&self, config: &GpuConfig) -> BenchResult {
+        let n = self.n;
+        let mut dev = Device::new(config.clone());
+        let mut rng_state = 0x1357_9BDFu32;
+        let data: Vec<u32> = (0..n)
+            .map(|_| {
+                rng_state ^= rng_state << 13;
+                rng_state ^= rng_state >> 17;
+                rng_state ^= rng_state << 5;
+                rng_state & 0xFFFF // keep sums comfortably in u32
+            })
+            .collect();
+        let buf_in = dev.alloc((n * 4) as u32).expect("alloc in");
+        dev.upload(buf_in, &util::words_to_bytes(&data)).expect("upload");
+        let cores = config.num_cores;
+        let buf_out = dev.alloc((cores * 4) as u32).expect("alloc out");
+        dev.upload(buf_out, &vec![0u8; cores * 4]).expect("zero out");
+        let scratch = dev.alloc((cores * 4096) as u32).expect("alloc scratch");
+
+        let mut args = ArgWriter::new();
+        args.word(buf_in.addr)
+            .word(buf_out.addr)
+            .word(n as u32)
+            .word(scratch.addr);
+        dev.write_args(&args);
+
+        let prog = program(self.use_smem);
+        dev.load_program(&prog);
+        let report = dev.run_kernel(prog.entry).expect("reduce finishes");
+
+        let total: u32 = dev
+            .download_words(buf_out)
+            .iter()
+            .fold(0u32, |acc, &v| acc.wrapping_add(v));
+        let expect: u32 = data.iter().fold(0u32, |acc, &v| acc.wrapping_add(v));
+        BenchResult {
+            name: self.name().into(),
+            stats: report.stats,
+            validated: total == expect,
+            work: n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smem_reduction_validates() {
+        let r = Reduce::new(300).run_on(&GpuConfig::with_cores(1));
+        assert!(r.validated);
+        assert!(r.stats.cores[0].smem_accesses > 0, "smem actually used");
+        assert!(r.stats.cores[0].barriers >= 4, "all wavefronts barriered");
+    }
+
+    #[test]
+    fn global_reduction_validates() {
+        let r = Reduce::global(300).run_on(&GpuConfig::with_cores(1));
+        assert!(r.validated);
+        assert_eq!(r.stats.cores[0].smem_accesses, 0);
+    }
+
+    #[test]
+    fn multicore_reduction_validates() {
+        for bench in [Reduce::new(1000), Reduce::global(1000)] {
+            let r = bench.run_on(&GpuConfig::with_cores(4));
+            assert!(r.validated, "{}", r.name);
+        }
+    }
+}

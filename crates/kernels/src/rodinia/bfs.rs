@@ -1,0 +1,219 @@
+//! `bfs`: level-synchronous breadth-first search (memory-bound group).
+//!
+//! Edge-centric formulation: each work-item owns one directed edge
+//! `(u, v)` and, when `level[u]` equals the current frontier level and
+//! `v` is undiscovered, claims `v` for the next level. The per-edge
+//! condition is data-dependent, so this is the benchmark that exercises
+//! the `split`/`join` divergence hardware on every iteration. The host
+//! relaunches the kernel once per BFS level until no update occurs.
+
+use crate::harness::{BenchClass, BenchResult, Benchmark};
+use crate::util::{self, R_IDX};
+use rand::Rng;
+use vortex_asm::Assembler;
+use vortex_core::GpuConfig;
+use vortex_isa::Reg;
+use vortex_runtime::{abi, emit_spawn_tasks, ArgWriter, Device};
+
+/// The `bfs` benchmark.
+#[derive(Debug, Clone)]
+pub struct Bfs {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Extra random edges per node beyond the connecting tree.
+    pub extra_degree: usize,
+}
+
+impl Bfs {
+    /// A BFS over `nodes` vertices with roughly `extra_degree + 1`
+    /// undirected edges per vertex.
+    pub fn new(nodes: usize, extra_degree: usize) -> Self {
+        Self {
+            nodes,
+            extra_degree,
+        }
+    }
+}
+
+impl Default for Bfs {
+    fn default() -> Self {
+        Self::new(1024, 3)
+    }
+}
+
+/// Builds the per-level BFS program. Argument block:
+/// `srcs, dsts, levels, num_edges, level, updated_ptr`.
+pub fn program() -> vortex_asm::Program {
+    let mut asm = Assembler::new();
+    emit_spawn_tasks(&mut asm, "body").expect("stub emits once");
+    asm.label("body").expect("fresh label");
+    util::emit_load_args(&mut asm, 6); // x11=srcs x12=dsts x13=levels x14=m x15=L x16=updated
+    util::emit_gtid_stride(&mut asm);
+    util::emit_loop_head(&mut asm, Reg::X14, "bf").expect("fresh tag");
+    asm.slli(Reg::X17, R_IDX, 2);
+    // u = srcs[e]; lu = levels[u].
+    asm.add(Reg::X18, Reg::X17, Reg::X11);
+    asm.lw(Reg::X18, Reg::X18, 0);
+    asm.slli(Reg::X18, Reg::X18, 2);
+    asm.add(Reg::X18, Reg::X18, Reg::X13);
+    asm.lw(Reg::X19, Reg::X18, 0); // lu
+    // v = dsts[e]; lv = levels[v].
+    asm.add(Reg::X20, Reg::X17, Reg::X12);
+    asm.lw(Reg::X20, Reg::X20, 0);
+    asm.slli(Reg::X20, Reg::X20, 2);
+    asm.add(Reg::X20, Reg::X20, Reg::X13); // &levels[v]
+    asm.lw(Reg::X21, Reg::X20, 0); // lv
+    // p = (lu == L) && (lv == -1).
+    asm.xor(Reg::X22, Reg::X19, Reg::X15);
+    asm.seqz(Reg::X22, Reg::X22);
+    asm.addi(Reg::X23, Reg::X21, 1);
+    asm.seqz(Reg::X23, Reg::X23);
+    asm.and(Reg::X22, Reg::X22, Reg::X23);
+    // Guarded update under divergence control.
+    asm.split(Reg::X22);
+    asm.beqz(Reg::X22, "skip");
+    asm.addi(Reg::X24, Reg::X15, 1);
+    asm.sw(Reg::X24, Reg::X20, 0); // levels[v] = L + 1
+    asm.li(Reg::X25, 1);
+    asm.sw(Reg::X25, Reg::X16, 0); // *updated = 1
+    asm.label("skip").expect("fresh label");
+    asm.join();
+    util::emit_loop_tail(&mut asm, Reg::X14, "bf").expect("fresh tag");
+    asm.ret();
+    asm.assemble(abi::CODE_BASE).expect("bfs assembles")
+}
+
+/// Generates a connected undirected graph as a directed edge list
+/// (both directions present): a random spanning tree plus extra edges.
+pub fn generate_graph(nodes: usize, extra_degree: usize) -> (Vec<u32>, Vec<u32>) {
+    let mut rng = util::rng();
+    let mut srcs = Vec::new();
+    let mut dsts = Vec::new();
+    let mut push = |a: u32, b: u32| {
+        srcs.push(a);
+        dsts.push(b);
+        srcs.push(b);
+        dsts.push(a);
+    };
+    for v in 1..nodes {
+        let parent = rng.random_range(0..v);
+        push(parent as u32, v as u32);
+    }
+    for v in 0..nodes {
+        for _ in 0..extra_degree {
+            let w = rng.random_range(0..nodes);
+            if w != v {
+                push(v as u32, w as u32);
+            }
+        }
+    }
+    (srcs, dsts)
+}
+
+/// Host reference BFS over the same edge list.
+pub fn reference_bfs(srcs: &[u32], dsts: &[u32], nodes: usize) -> Vec<i32> {
+    let mut levels = vec![-1i32; nodes];
+    levels[0] = 0;
+    let mut level = 0;
+    loop {
+        let mut updated = false;
+        for (&u, &v) in srcs.iter().zip(dsts) {
+            if levels[u as usize] == level && levels[v as usize] == -1 {
+                levels[v as usize] = level + 1;
+                updated = true;
+            }
+        }
+        if !updated {
+            return levels;
+        }
+        level += 1;
+    }
+}
+
+impl Benchmark for Bfs {
+    fn name(&self) -> &'static str {
+        "bfs"
+    }
+
+    fn class(&self) -> BenchClass {
+        BenchClass::MemoryBound
+    }
+
+    fn run_on(&self, config: &GpuConfig) -> BenchResult {
+        let nodes = self.nodes;
+        let (srcs, dsts) = generate_graph(nodes, self.extra_degree);
+        let m = srcs.len();
+        let mut dev = Device::new(config.clone());
+        let buf_srcs = dev.alloc((m * 4) as u32).expect("alloc srcs");
+        let buf_dsts = dev.alloc((m * 4) as u32).expect("alloc dsts");
+        let buf_levels = dev.alloc((nodes * 4) as u32).expect("alloc levels");
+        let buf_updated = dev.alloc(4).expect("alloc updated");
+        dev.upload(buf_srcs, &util::words_to_bytes(&srcs)).expect("upload");
+        dev.upload(buf_dsts, &util::words_to_bytes(&dsts)).expect("upload");
+        let mut init = vec![-1i32 as u32; nodes];
+        init[0] = 0;
+        dev.upload(buf_levels, &util::words_to_bytes(&init)).expect("upload");
+
+        let prog = program();
+        dev.load_program(&prog);
+
+        let mut level = 0u32;
+        let mut last_stats = None;
+        let _ = &last_stats;
+        loop {
+            dev.upload(buf_updated, &[0, 0, 0, 0]).expect("clear flag");
+            let mut args = ArgWriter::new();
+            args.word(buf_srcs.addr)
+                .word(buf_dsts.addr)
+                .word(buf_levels.addr)
+                .word(m as u32)
+                .word(level)
+                .word(buf_updated.addr);
+            dev.write_args(&args);
+            let report = dev.run_kernel(prog.entry).expect("bfs finishes");
+            last_stats = Some(report.stats);
+            let updated = dev.download_words(buf_updated)[0];
+            if updated == 0 {
+                break;
+            }
+            level += 1;
+            assert!(
+                (level as usize) <= nodes,
+                "BFS level exceeded node count: graph bug"
+            );
+        }
+
+        let got: Vec<i32> = dev
+            .download_words(buf_levels)
+            .into_iter()
+            .map(|w| w as i32)
+            .collect();
+        let expect = reference_bfs(&srcs, &dsts, nodes);
+        BenchResult {
+            name: self.name().into(),
+            stats: last_stats.expect("at least one launch"),
+            validated: got == expect,
+            work: m,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_graph_is_connected() {
+        let (srcs, dsts) = generate_graph(64, 2);
+        let levels = reference_bfs(&srcs, &dsts, 64);
+        assert!(levels.iter().all(|&l| l >= 0), "spanning tree connects all");
+    }
+
+    #[test]
+    fn bfs_validates_with_divergence() {
+        let r = Bfs::new(32, 2).run_on(&GpuConfig::with_cores(1));
+        assert!(r.validated);
+        // The guarded update must actually diverge on a random graph.
+        assert!(r.stats.cores[0].divergences > 0);
+    }
+}

@@ -1,0 +1,213 @@
+//! `gaussian`: Gaussian elimination (memory-bound group).
+//!
+//! Follows Rodinia's two-kernel structure: for every pivot column `k`,
+//! *Fan1* computes the column of multipliers `m[r] = A[r][k] / A[k][k]`
+//! and *Fan2* applies the row updates `A[r][j] -= m[r] · A[k][j]` (and the
+//! right-hand side). The host drives `n-1` rounds of the two launches —
+//! exercising repeated kernel dispatch through the command processor —
+//! and finally back-substitutes to validate the solution.
+
+use crate::harness::{BenchClass, BenchResult, Benchmark};
+use crate::util::{self, R_IDX};
+use vortex_asm::Assembler;
+use vortex_core::GpuConfig;
+use vortex_isa::{FReg, Reg};
+use vortex_runtime::{abi, emit_spawn_tasks, ArgWriter, Device};
+
+/// The `gaussian` benchmark on an `n × n` system.
+#[derive(Debug, Clone, Copy)]
+pub struct Gaussian {
+    /// System dimension.
+    pub n: usize,
+}
+
+impl Gaussian {
+    /// Solves an `n × n` diagonally dominant system.
+    ///
+    /// # Panics
+    /// Panics if `n < 2`.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 2, "gaussian needs at least a 2x2 system");
+        Self { n }
+    }
+}
+
+impl Default for Gaussian {
+    fn default() -> Self {
+        Self::new(24)
+    }
+}
+
+/// Builds the combined Fan1/Fan2 program. Argument block:
+/// `a, b, m, n, k, phase` — `phase` 0 runs Fan1, 1 runs Fan2.
+/// Fan1 work-items: `i in 0..n-k-1`, row `r = k+1+i`.
+pub fn program() -> vortex_asm::Program {
+    let mut asm = Assembler::new();
+    emit_spawn_tasks(&mut asm, "body").expect("stub emits once");
+    asm.label("body").expect("fresh label");
+    util::emit_load_args(&mut asm, 6); // x11=a x12=b x13=m x14=n x15=k x16=phase
+    // items = n - k - 1.
+    asm.sub(Reg::X17, Reg::X14, Reg::X15);
+    asm.addi(Reg::X17, Reg::X17, -1);
+    util::emit_gtid_stride(&mut asm);
+    asm.bnez(Reg::X16, "fan2"); // uniform branch on phase
+
+    // ---- Fan1: m[r] = A[r][k] / A[k][k] -------------------------------
+    util::emit_loop_head(&mut asm, Reg::X17, "f1").expect("fresh tag");
+    // r = k + 1 + i.
+    asm.add(Reg::X18, Reg::X15, R_IDX);
+    asm.addi(Reg::X18, Reg::X18, 1);
+    // &A[r][k].
+    asm.mul(Reg::X19, Reg::X18, Reg::X14);
+    asm.add(Reg::X19, Reg::X19, Reg::X15);
+    asm.slli(Reg::X19, Reg::X19, 2);
+    asm.add(Reg::X19, Reg::X19, Reg::X11);
+    asm.flw(FReg::X0, Reg::X19, 0);
+    // &A[k][k].
+    asm.mul(Reg::X20, Reg::X15, Reg::X14);
+    asm.add(Reg::X20, Reg::X20, Reg::X15);
+    asm.slli(Reg::X20, Reg::X20, 2);
+    asm.add(Reg::X20, Reg::X20, Reg::X11);
+    asm.flw(FReg::X1, Reg::X20, 0);
+    asm.fdiv(FReg::X2, FReg::X0, FReg::X1);
+    // m[r].
+    asm.slli(Reg::X21, Reg::X18, 2);
+    asm.add(Reg::X21, Reg::X21, Reg::X13);
+    asm.fsw(FReg::X2, Reg::X21, 0);
+    util::emit_loop_tail(&mut asm, Reg::X17, "f1").expect("fresh tag");
+    asm.ret();
+
+    // ---- Fan2: A[r][j] -= m[r]·A[k][j], b[r] -= m[r]·b[k] -------------
+    asm.label("fan2").expect("fresh label");
+    util::emit_loop_head(&mut asm, Reg::X17, "f2").expect("fresh tag");
+    asm.add(Reg::X18, Reg::X15, R_IDX);
+    asm.addi(Reg::X18, Reg::X18, 1); // r
+    // f3 = m[r].
+    asm.slli(Reg::X19, Reg::X18, 2);
+    asm.add(Reg::X19, Reg::X19, Reg::X13);
+    asm.flw(FReg::X3, Reg::X19, 0);
+    // Row pointers at column k: &A[r][k], &A[k][k].
+    asm.mul(Reg::X20, Reg::X18, Reg::X14);
+    asm.add(Reg::X20, Reg::X20, Reg::X15);
+    asm.slli(Reg::X20, Reg::X20, 2);
+    asm.add(Reg::X20, Reg::X20, Reg::X11);
+    asm.mul(Reg::X21, Reg::X15, Reg::X14);
+    asm.add(Reg::X21, Reg::X21, Reg::X15);
+    asm.slli(Reg::X21, Reg::X21, 2);
+    asm.add(Reg::X21, Reg::X21, Reg::X11);
+    // j loop: n - k iterations (uniform bound).
+    asm.sub(Reg::X22, Reg::X14, Reg::X15);
+    asm.label("jloop").expect("fresh label");
+    asm.blez(Reg::X22, "jdone");
+    asm.flw(FReg::X0, Reg::X20, 0); // A[r][j]
+    asm.flw(FReg::X1, Reg::X21, 0); // A[k][j]
+    asm.fmsub(FReg::X4, FReg::X3, FReg::X1, FReg::X0); // m·A[k][j] - A[r][j]
+    asm.fneg(FReg::X4, FReg::X4); // A[r][j] - m·A[k][j]
+    asm.fsw(FReg::X4, Reg::X20, 0);
+    asm.addi(Reg::X20, Reg::X20, 4);
+    asm.addi(Reg::X21, Reg::X21, 4);
+    asm.addi(Reg::X22, Reg::X22, -1);
+    asm.j("jloop");
+    asm.label("jdone").expect("fresh label");
+    // b[r] -= m[r]·b[k].
+    asm.slli(Reg::X23, Reg::X18, 2);
+    asm.add(Reg::X23, Reg::X23, Reg::X12);
+    asm.flw(FReg::X0, Reg::X23, 0);
+    asm.slli(Reg::X24, Reg::X15, 2);
+    asm.add(Reg::X24, Reg::X24, Reg::X12);
+    asm.flw(FReg::X1, Reg::X24, 0);
+    asm.fmsub(FReg::X4, FReg::X3, FReg::X1, FReg::X0);
+    asm.fneg(FReg::X4, FReg::X4);
+    asm.fsw(FReg::X4, Reg::X23, 0);
+    util::emit_loop_tail(&mut asm, Reg::X17, "f2").expect("fresh tag");
+    asm.ret();
+    asm.assemble(abi::CODE_BASE).expect("gaussian assembles")
+}
+
+/// Generates a diagonally dominant system with a known solution.
+fn generate(n: usize) -> (Vec<f32>, Vec<f32>, Vec<f32>) {
+    let mut a = util::random_floats(n * n);
+    for i in 0..n {
+        a[i * n + i] += n as f32; // diagonal dominance: stable elimination
+    }
+    let x_true: Vec<f32> = (0..n).map(|i| 1.0 + (i as f32) * 0.25).collect();
+    let b: Vec<f32> = (0..n)
+        .map(|r| (0..n).map(|c| a[r * n + c] * x_true[c]).sum())
+        .collect();
+    (a, b, x_true)
+}
+
+impl Benchmark for Gaussian {
+    fn name(&self) -> &'static str {
+        "gaussian"
+    }
+
+    fn class(&self) -> BenchClass {
+        BenchClass::MemoryBound
+    }
+
+    fn run_on(&self, config: &GpuConfig) -> BenchResult {
+        let n = self.n;
+        let mut dev = Device::new(config.clone());
+        let (a, b, x_true) = generate(n);
+        let buf_a = dev.alloc((n * n * 4) as u32).expect("alloc a");
+        let buf_b = dev.alloc((n * 4) as u32).expect("alloc b");
+        let buf_m = dev.alloc((n * 4) as u32).expect("alloc m");
+        dev.upload(buf_a, &util::floats_to_bytes(&a)).expect("upload");
+        dev.upload(buf_b, &util::floats_to_bytes(&b)).expect("upload");
+
+        let prog = program();
+        dev.load_program(&prog);
+
+        // Device counters accumulate across launches (the GPU's cycle and
+        // instruction counters are never reset), so the last report already
+        // covers the whole elimination.
+        let mut last_stats = None;
+        for k in 0..n - 1 {
+            for phase in 0..2u32 {
+                let mut args = ArgWriter::new();
+                args.word(buf_a.addr)
+                    .word(buf_b.addr)
+                    .word(buf_m.addr)
+                    .word(n as u32)
+                    .word(k as u32)
+                    .word(phase);
+                dev.write_args(&args);
+                let report = dev.run_kernel(prog.entry).expect("gaussian finishes");
+                last_stats = Some(report.stats);
+            }
+        }
+
+        // Host back-substitution on the triangularized system.
+        let a_out = dev.download_floats(buf_a);
+        let b_out = dev.download_floats(buf_b);
+        let mut x = vec![0.0f32; n];
+        for r in (0..n).rev() {
+            let mut acc = b_out[r];
+            for c in r + 1..n {
+                acc -= a_out[r * n + c] * x[c];
+            }
+            x[r] = acc / a_out[r * n + r];
+        }
+        let validated = util::approx_eq_slices(&x, &x_true, 2e-3);
+
+        let stats = last_stats.expect("at least one launch");
+        BenchResult {
+            name: self.name().into(),
+            stats,
+            validated,
+            work: n * n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gaussian_validates() {
+        let r = Gaussian::new(6).run_on(&GpuConfig::with_cores(1));
+        assert!(r.validated);
+    }
+}

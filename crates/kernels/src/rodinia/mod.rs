@@ -1,0 +1,46 @@
+//! The Rodinia-subset benchmarks of §6.1.
+
+pub mod bfs;
+pub mod gaussian;
+pub mod nearn;
+pub mod saxpy;
+pub mod sfilter;
+pub mod sgemm;
+pub mod vecadd;
+
+pub use bfs::Bfs;
+pub use gaussian::Gaussian;
+pub use nearn::Nearn;
+pub use saxpy::Saxpy;
+pub use sfilter::Sfilter;
+pub use sgemm::Sgemm;
+pub use vecadd::Vecadd;
+
+use crate::harness::Benchmark;
+
+/// All seven benchmarks at simulation-friendly default sizes, in the
+/// paper's order (compute-bound group first).
+pub fn all_rodinia() -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(Sgemm::default()),
+        Box::new(Vecadd::default()),
+        Box::new(Sfilter::default()),
+        Box::new(Saxpy::default()),
+        Box::new(Nearn::default()),
+        Box::new(Gaussian::default()),
+        Box::new(Bfs::default()),
+    ]
+}
+
+/// Small-size variants for fast functional testing.
+pub fn all_rodinia_small() -> Vec<Box<dyn Benchmark>> {
+    vec![
+        Box::new(Sgemm::new(8)),
+        Box::new(Vecadd::new(64)),
+        Box::new(Sfilter::new(10)),
+        Box::new(Saxpy::new(64)),
+        Box::new(Nearn::new(64)),
+        Box::new(Gaussian::new(6)),
+        Box::new(Bfs::new(40, 3)),
+    ]
+}

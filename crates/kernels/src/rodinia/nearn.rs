@@ -1,0 +1,132 @@
+//! `nearn` (Rodinia *nn*, nearest neighbor): per-record Euclidean distance
+//! to a query point.
+//!
+//! Classified memory-bound by the paper but noted in §6.2.3 as "also
+//! compute-bound with an expensive long-latency floating-point square-root
+//! operation inside its kernel" — the reason its IPC refuses to scale in
+//! Figure 18. The `fsqrt` here lands on the simulator's blocking
+//! square-root unit, reproducing exactly that behaviour.
+
+use crate::harness::{BenchClass, BenchResult, Benchmark};
+use crate::util::{self, R_IDX};
+use vortex_asm::Assembler;
+use vortex_core::GpuConfig;
+use vortex_isa::{FReg, Reg};
+use vortex_runtime::{abi, emit_spawn_tasks, ArgWriter, Device};
+
+/// The `nearn` benchmark over `n` records.
+#[derive(Debug, Clone, Copy)]
+pub struct Nearn {
+    /// Number of (lat, lng) records.
+    pub n: usize,
+    /// Query latitude.
+    pub lat: f32,
+    /// Query longitude.
+    pub lng: f32,
+}
+
+impl Nearn {
+    /// `n` records against a fixed query point.
+    pub fn new(n: usize) -> Self {
+        Self {
+            n,
+            lat: 0.5,
+            lng: 0.5,
+        }
+    }
+}
+
+impl Default for Nearn {
+    fn default() -> Self {
+        // Fixed, deliberately modest dataset: at high core counts the
+        // per-thread work shrinks until the long-latency square root and
+        // launch overhead dominate — the paper's observed nearn plateau.
+        Self::new(2048)
+    }
+}
+
+/// Builds the nearn program. Argument block:
+/// `locations (lat,lng pairs), dist, n, lat, lng`.
+pub fn program() -> vortex_asm::Program {
+    let mut asm = Assembler::new();
+    emit_spawn_tasks(&mut asm, "body").expect("stub emits once");
+    asm.label("body").expect("fresh label");
+    util::emit_load_args(&mut asm, 5); // x11=loc x12=dist x13=n x14=lat x15=lng
+    asm.fmv_w_x(FReg::X4, Reg::X14); // f4 = query lat
+    asm.fmv_w_x(FReg::X5, Reg::X15); // f5 = query lng
+    util::emit_gtid_stride(&mut asm);
+    util::emit_loop_head(&mut asm, Reg::X13, "nn").expect("fresh tag");
+    asm.slli(Reg::X16, R_IDX, 3); // 8 bytes per record
+    asm.add(Reg::X16, Reg::X16, Reg::X11);
+    asm.flw(FReg::X0, Reg::X16, 0); // lat_i
+    asm.flw(FReg::X1, Reg::X16, 4); // lng_i
+    asm.fsub(FReg::X0, FReg::X0, FReg::X4);
+    asm.fsub(FReg::X1, FReg::X1, FReg::X5);
+    asm.fmul(FReg::X2, FReg::X0, FReg::X0);
+    asm.fmadd(FReg::X2, FReg::X1, FReg::X1, FReg::X2);
+    asm.fsqrt(FReg::X3, FReg::X2); // the long-latency op
+    asm.slli(Reg::X17, R_IDX, 2);
+    asm.add(Reg::X17, Reg::X17, Reg::X12);
+    asm.fsw(FReg::X3, Reg::X17, 0);
+    util::emit_loop_tail(&mut asm, Reg::X13, "nn").expect("fresh tag");
+    asm.ret();
+    asm.assemble(abi::CODE_BASE).expect("nearn assembles")
+}
+
+impl Benchmark for Nearn {
+    fn name(&self) -> &'static str {
+        "nearn"
+    }
+
+    fn class(&self) -> BenchClass {
+        BenchClass::MemoryBound
+    }
+
+    fn run_on(&self, config: &GpuConfig) -> BenchResult {
+        let n = self.n;
+        let mut dev = Device::new(config.clone());
+        let locations = util::random_floats(n * 2);
+        let buf_loc = dev.alloc((n * 8) as u32).expect("alloc loc");
+        let buf_dist = dev.alloc((n * 4) as u32).expect("alloc dist");
+        dev.upload(buf_loc, &util::floats_to_bytes(&locations))
+            .expect("upload");
+
+        let mut args = ArgWriter::new();
+        args.word(buf_loc.addr)
+            .word(buf_dist.addr)
+            .word(n as u32)
+            .float(self.lat)
+            .float(self.lng);
+        dev.write_args(&args);
+
+        let prog = program();
+        dev.load_program(&prog);
+        let report = dev.run_kernel(prog.entry).expect("nearn finishes");
+
+        let got = dev.download_floats(buf_dist);
+        let expect: Vec<f32> = (0..n)
+            .map(|i| {
+                let dlat = locations[i * 2] - self.lat;
+                let dlng = locations[i * 2 + 1] - self.lng;
+                dlng.mul_add(dlng, dlat * dlat).sqrt()
+            })
+            .collect();
+        BenchResult {
+            name: self.name().into(),
+            stats: report.stats,
+            validated: util::approx_eq_slices(&got, &expect, 1e-6),
+            work: n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn nearn_validates() {
+        let r = Nearn::new(48).run_on(&GpuConfig::with_cores(1));
+        assert!(r.validated);
+    }
+}

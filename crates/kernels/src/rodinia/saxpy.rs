@@ -1,0 +1,107 @@
+//! `saxpy`: `y[i] = alpha * x[i] + y[i]` (memory-bound group).
+
+use crate::harness::{BenchClass, BenchResult, Benchmark};
+use crate::util::{self, R_IDX};
+use vortex_asm::Assembler;
+use vortex_core::GpuConfig;
+use vortex_isa::{FReg, Reg};
+use vortex_runtime::{abi, emit_spawn_tasks, ArgWriter, Device};
+
+/// The `saxpy` benchmark.
+#[derive(Debug, Clone, Copy)]
+pub struct Saxpy {
+    /// Vector length.
+    pub n: usize,
+    /// The scalar multiplier.
+    pub alpha: f32,
+}
+
+impl Saxpy {
+    /// A `saxpy` over vectors of length `n`.
+    pub fn new(n: usize) -> Self {
+        Self { n, alpha: 2.5 }
+    }
+}
+
+impl Default for Saxpy {
+    fn default() -> Self {
+        Self::new(8192)
+    }
+}
+
+/// Builds the saxpy program. Argument block: `x, y, n, alpha`.
+pub fn program() -> vortex_asm::Program {
+    let mut asm = Assembler::new();
+    emit_spawn_tasks(&mut asm, "body").expect("stub emits once");
+    asm.label("body").expect("fresh label");
+    util::emit_load_args(&mut asm, 4); // x11=x x12=y x13=n x14=alpha bits
+    asm.fmv_w_x(FReg::X3, Reg::X14); // f3 = alpha
+    util::emit_gtid_stride(&mut asm);
+    util::emit_loop_head(&mut asm, Reg::X13, "sx").expect("fresh tag");
+    asm.slli(Reg::X15, R_IDX, 2);
+    asm.add(Reg::X16, Reg::X11, Reg::X15);
+    asm.flw(FReg::X0, Reg::X16, 0); // x[i]
+    asm.add(Reg::X17, Reg::X12, Reg::X15);
+    asm.flw(FReg::X1, Reg::X17, 0); // y[i]
+    asm.fmadd(FReg::X2, FReg::X3, FReg::X0, FReg::X1); // alpha*x + y
+    asm.fsw(FReg::X2, Reg::X17, 0);
+    util::emit_loop_tail(&mut asm, Reg::X13, "sx").expect("fresh tag");
+    asm.ret();
+    asm.assemble(abi::CODE_BASE).expect("saxpy assembles")
+}
+
+impl Benchmark for Saxpy {
+    fn name(&self) -> &'static str {
+        "saxpy"
+    }
+
+    fn class(&self) -> BenchClass {
+        BenchClass::MemoryBound
+    }
+
+    fn run_on(&self, config: &GpuConfig) -> BenchResult {
+        let mut dev = Device::new(config.clone());
+        let x = util::random_floats(self.n);
+        let y = util::random_floats(self.n);
+        let bytes = (self.n * 4) as u32;
+        let buf_x = dev.alloc(bytes).expect("alloc x");
+        let buf_y = dev.alloc(bytes).expect("alloc y");
+        dev.upload(buf_x, &util::floats_to_bytes(&x)).expect("upload x");
+        dev.upload(buf_y, &util::floats_to_bytes(&y)).expect("upload y");
+
+        let mut args = ArgWriter::new();
+        args.word(buf_x.addr)
+            .word(buf_y.addr)
+            .word(self.n as u32)
+            .float(self.alpha);
+        dev.write_args(&args);
+
+        let prog = program();
+        dev.load_program(&prog);
+        let report = dev.run_kernel(prog.entry).expect("saxpy finishes");
+
+        let got = dev.download_floats(buf_y);
+        let expect: Vec<f32> = x
+            .iter()
+            .zip(&y)
+            .map(|(xi, yi)| self.alpha.mul_add(*xi, *yi))
+            .collect();
+        BenchResult {
+            name: self.name().into(),
+            stats: report.stats,
+            validated: util::approx_eq_slices(&got, &expect, 1e-6),
+            work: self.n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn saxpy_validates() {
+        let r = Saxpy::new(96).run_on(&GpuConfig::with_cores(1));
+        assert!(r.validated);
+    }
+}

@@ -1,0 +1,151 @@
+//! `sfilter`: 3×3 box filter over a 2D image (compute-bound group).
+//!
+//! One work-item per *interior* pixel, so control flow stays uniform: the
+//! output is `(n-2) × (n-2)` averages of the nine surrounding input
+//! pixels.
+
+use crate::harness::{BenchClass, BenchResult, Benchmark};
+use crate::util::{self, R_IDX};
+use vortex_asm::Assembler;
+use vortex_core::GpuConfig;
+use vortex_isa::{FReg, Reg};
+use vortex_runtime::{abi, emit_spawn_tasks, ArgWriter, Device};
+
+/// The `sfilter` benchmark over an `n × n` image.
+#[derive(Debug, Clone, Copy)]
+pub struct Sfilter {
+    /// Image side length (must be ≥ 3).
+    pub n: usize,
+}
+
+impl Sfilter {
+    /// Filters an `n × n` image.
+    ///
+    /// # Panics
+    /// Panics if `n < 3` — there would be no interior pixels.
+    pub fn new(n: usize) -> Self {
+        assert!(n >= 3, "sfilter needs at least a 3x3 image");
+        Self { n }
+    }
+}
+
+impl Default for Sfilter {
+    fn default() -> Self {
+        Self::new(64)
+    }
+}
+
+/// Builds the sfilter program. Argument block: `src, dst, n`.
+/// Work-item `i` maps to interior pixel `(row, col) = (i/(n-2)+1, i%(n-2)+1)`
+/// and writes `dst[(row-1)*(n-2) + (col-1)]`.
+pub fn program() -> vortex_asm::Program {
+    let mut asm = Assembler::new();
+    emit_spawn_tasks(&mut asm, "body").expect("stub emits once");
+    asm.label("body").expect("fresh label");
+    util::emit_load_args(&mut asm, 3); // x11=src x12=dst x13=n
+    asm.addi(Reg::X14, Reg::X13, -2); // m = n-2
+    asm.mul(Reg::X17, Reg::X14, Reg::X14); // total = m*m
+    // 1/9 constant into f3.
+    asm.li(Reg::X5, (1.0f32 / 9.0).to_bits() as i32);
+    asm.fmv_w_x(FReg::X3, Reg::X5);
+    util::emit_gtid_stride(&mut asm);
+    util::emit_loop_head(&mut asm, Reg::X17, "sf").expect("fresh tag");
+    // row = i/m + 1, col = i%m + 1.
+    asm.divu(Reg::X15, R_IDX, Reg::X14);
+    asm.remu(Reg::X16, R_IDX, Reg::X14);
+    asm.addi(Reg::X15, Reg::X15, 1);
+    asm.addi(Reg::X16, Reg::X16, 1);
+    // top-left input pointer: src + ((row-1)*n + (col-1)) * 4.
+    asm.addi(Reg::X18, Reg::X15, -1);
+    asm.mul(Reg::X18, Reg::X18, Reg::X13);
+    asm.addi(Reg::X19, Reg::X16, -1);
+    asm.add(Reg::X18, Reg::X18, Reg::X19);
+    asm.slli(Reg::X18, Reg::X18, 2);
+    asm.add(Reg::X18, Reg::X18, Reg::X11);
+    // acc = 0; row stride in bytes.
+    asm.fmv_w_x(FReg::X2, Reg::X0);
+    asm.slli(Reg::X20, Reg::X13, 2);
+    for dy in 0..3 {
+        for dx in 0..3i32 {
+            asm.flw(FReg::X0, Reg::X18, dx * 4);
+            asm.fadd(FReg::X2, FReg::X2, FReg::X0);
+        }
+        if dy < 2 {
+            asm.add(Reg::X18, Reg::X18, Reg::X20);
+        }
+    }
+    asm.fmul(FReg::X2, FReg::X2, FReg::X3); // acc / 9
+    // dst[i] = acc.
+    asm.slli(Reg::X21, R_IDX, 2);
+    asm.add(Reg::X21, Reg::X21, Reg::X12);
+    asm.fsw(FReg::X2, Reg::X21, 0);
+    util::emit_loop_tail(&mut asm, Reg::X17, "sf").expect("fresh tag");
+    asm.ret();
+    asm.assemble(abi::CODE_BASE).expect("sfilter assembles")
+}
+
+/// Host reference with the kernel's exact accumulation order.
+pub fn reference(src: &[f32], n: usize) -> Vec<f32> {
+    let m = n - 2;
+    let mut dst = vec![0.0f32; m * m];
+    for row in 1..n - 1 {
+        for col in 1..n - 1 {
+            let mut acc = 0.0f32;
+            for dy in 0..3 {
+                for dx in 0..3 {
+                    acc += src[(row - 1 + dy) * n + (col - 1 + dx)];
+                }
+            }
+            dst[(row - 1) * m + (col - 1)] = acc * (1.0 / 9.0);
+        }
+    }
+    dst
+}
+
+impl Benchmark for Sfilter {
+    fn name(&self) -> &'static str {
+        "sfilter"
+    }
+
+    fn class(&self) -> BenchClass {
+        BenchClass::ComputeBound
+    }
+
+    fn run_on(&self, config: &GpuConfig) -> BenchResult {
+        let n = self.n;
+        let m = n - 2;
+        let mut dev = Device::new(config.clone());
+        let src = util::random_floats(n * n);
+        let buf_src = dev.alloc((n * n * 4) as u32).expect("alloc src");
+        let buf_dst = dev.alloc((m * m * 4) as u32).expect("alloc dst");
+        dev.upload(buf_src, &util::floats_to_bytes(&src)).expect("upload");
+
+        let mut args = ArgWriter::new();
+        args.word(buf_src.addr).word(buf_dst.addr).word(n as u32);
+        dev.write_args(&args);
+
+        let prog = program();
+        dev.load_program(&prog);
+        let report = dev.run_kernel(prog.entry).expect("sfilter finishes");
+
+        let got = dev.download_floats(buf_dst);
+        let expect = reference(&src, n);
+        BenchResult {
+            name: self.name().into(),
+            stats: report.stats,
+            validated: util::approx_eq_slices(&got, &expect, 1e-5),
+            work: m * m,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sfilter_validates() {
+        let r = Sfilter::new(8).run_on(&GpuConfig::with_cores(1));
+        assert!(r.validated);
+    }
+}

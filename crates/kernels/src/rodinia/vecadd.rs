@@ -1,0 +1,110 @@
+//! `vecadd`: element-wise vector addition, `c[i] = a[i] + b[i]`.
+
+use crate::harness::{BenchClass, BenchResult, Benchmark};
+use crate::util::{self, R_IDX, R_STRIDE};
+use vortex_asm::Assembler;
+use vortex_core::GpuConfig;
+use vortex_isa::{FReg, Reg};
+use vortex_runtime::{abi, emit_spawn_tasks, ArgWriter, Device};
+
+/// The `vecadd` benchmark (compute-bound group).
+#[derive(Debug, Clone, Copy)]
+pub struct Vecadd {
+    /// Vector length.
+    pub n: usize,
+}
+
+impl Vecadd {
+    /// A `vecadd` over vectors of length `n`.
+    pub fn new(n: usize) -> Self {
+        Self { n }
+    }
+}
+
+impl Default for Vecadd {
+    fn default() -> Self {
+        Self::new(4096)
+    }
+}
+
+/// Builds the vecadd program. Argument block: `a, b, c, n`.
+pub fn program() -> vortex_asm::Program {
+    let mut asm = Assembler::new();
+    emit_spawn_tasks(&mut asm, "body").expect("stub emits once");
+    asm.label("body").expect("fresh label");
+    util::emit_load_args(&mut asm, 4); // x11=a x12=b x13=c x14=n
+    util::emit_gtid_stride(&mut asm);
+    util::emit_loop_head(&mut asm, Reg::X14, "va").expect("fresh tag");
+    asm.slli(Reg::X15, R_IDX, 2);
+    asm.add(Reg::X16, Reg::X11, Reg::X15);
+    asm.flw(FReg::X0, Reg::X16, 0);
+    asm.add(Reg::X16, Reg::X12, Reg::X15);
+    asm.flw(FReg::X1, Reg::X16, 0);
+    asm.fadd(FReg::X2, FReg::X0, FReg::X1);
+    asm.add(Reg::X16, Reg::X13, Reg::X15);
+    asm.fsw(FReg::X2, Reg::X16, 0);
+    let _ = R_STRIDE; // documented in util
+    util::emit_loop_tail(&mut asm, Reg::X14, "va").expect("fresh tag");
+    asm.ret();
+    asm.assemble(abi::CODE_BASE).expect("vecadd assembles")
+}
+
+impl Benchmark for Vecadd {
+    fn name(&self) -> &'static str {
+        "vecadd"
+    }
+
+    fn class(&self) -> BenchClass {
+        BenchClass::ComputeBound
+    }
+
+    fn run_on(&self, config: &GpuConfig) -> BenchResult {
+        let mut dev = Device::new(config.clone());
+        let a = util::random_floats(self.n);
+        let b = util::random_floats(self.n);
+        let bytes = (self.n * 4) as u32;
+        let buf_a = dev.alloc(bytes).expect("alloc a");
+        let buf_b = dev.alloc(bytes).expect("alloc b");
+        let buf_c = dev.alloc(bytes).expect("alloc c");
+        dev.upload(buf_a, &util::floats_to_bytes(&a)).expect("upload a");
+        dev.upload(buf_b, &util::floats_to_bytes(&b)).expect("upload b");
+
+        let mut args = ArgWriter::new();
+        args.word(buf_a.addr)
+            .word(buf_b.addr)
+            .word(buf_c.addr)
+            .word(self.n as u32);
+        dev.write_args(&args);
+
+        let prog = program();
+        dev.load_program(&prog);
+        let report = dev.run_kernel(prog.entry).expect("vecadd finishes");
+
+        let c = dev.download_floats(buf_c);
+        let expect: Vec<f32> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
+        BenchResult {
+            name: self.name().into(),
+            stats: report.stats,
+            validated: util::approx_eq_slices(&c, &expect, 1e-6),
+            work: self.n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vecadd_validates_on_baseline_core() {
+        let r = Vecadd::new(64).run_on(&GpuConfig::with_cores(1));
+        assert!(r.validated);
+        assert!(r.stats.cycles > 0);
+    }
+
+    #[test]
+    fn vecadd_validates_on_two_cores() {
+        let r = Vecadd::new(128).run_on(&GpuConfig::with_cores(2));
+        assert!(r.validated);
+    }
+}

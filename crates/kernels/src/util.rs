@@ -1,0 +1,140 @@
+//! Shared kernel-authoring helpers and input generators.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use vortex_asm::{AsmError, Assembler};
+use vortex_isa::{csr, Reg};
+
+/// Work-index register inside a stride loop (`s0`).
+pub const R_IDX: Reg = Reg::X8;
+/// Stride register inside a stride loop (`s1`).
+pub const R_STRIDE: Reg = Reg::X9;
+
+/// Emits `R_IDX = gtid; R_STRIDE = NC * NW * NT` — the standard work-item
+/// mapping (`for (i = gtid; i < n; i += stride)`).
+pub fn emit_gtid_stride(a: &mut Assembler) {
+    a.csrr(R_IDX, csr::VX_GTID);
+    a.csrr(R_STRIDE, csr::VX_NC);
+    a.csrr(Reg::X28, csr::VX_NW);
+    a.mul(R_STRIDE, R_STRIDE, Reg::X28);
+    a.csrr(Reg::X28, csr::VX_NT);
+    a.mul(R_STRIDE, R_STRIDE, Reg::X28);
+}
+
+/// Opens the stride loop over `R_IDX < n_reg`.
+///
+/// Lanes of one wavefront hold different indices, so the bounds check is
+/// *divergent* whenever `n` is not a multiple of the machine width: the
+/// body is therefore guarded with `split` on the per-lane predicate, and
+/// the loop-back test in [`emit_loop_tail`] uses the wavefront's *base*
+/// index (`R_IDX - tid`, uniform across lanes) so the backward branch
+/// never diverges — the codegen pattern a SIMT compiler emits for
+/// work-item loops.
+///
+/// The body may clobber every register except `R_IDX`, `R_STRIDE`, `a0`,
+/// `n_reg` and any of its own live values; `x28` is reused by the loop
+/// tail.
+///
+/// # Errors
+/// Fails on duplicate `tag`.
+pub fn emit_loop_head(a: &mut Assembler, n_reg: Reg, tag: &str) -> Result<(), AsmError> {
+    a.label(&format!("__loop_{tag}"))?;
+    a.slt(Reg::X28, R_IDX, n_reg); // per-lane in-range predicate
+    a.split(Reg::X28);
+    a.beqz(Reg::X28, &format!("__loop_skip_{tag}"));
+    Ok(())
+}
+
+/// Closes the stride loop opened with the same `tag` (same `n_reg`).
+///
+/// # Errors
+/// Fails on duplicate `tag`.
+pub fn emit_loop_tail(a: &mut Assembler, n_reg: Reg, tag: &str) -> Result<(), AsmError> {
+    a.label(&format!("__loop_skip_{tag}"))?;
+    a.join();
+    a.add(R_IDX, R_IDX, R_STRIDE);
+    // Uniform exit test: the wavefront's smallest lane index.
+    a.csrr(Reg::X28, csr::VX_TID);
+    a.sub(Reg::X28, R_IDX, Reg::X28);
+    a.blt(Reg::X28, n_reg, &format!("__loop_{tag}"));
+    Ok(())
+}
+
+/// Loads `count` consecutive words of the argument block (pointed to by
+/// `a0`) into `x11, x12, ...`.
+///
+/// # Panics
+/// Panics if `count > 7` (registers x11..x17).
+pub fn emit_load_args(a: &mut Assembler, count: usize) {
+    assert!(count <= 7, "argument registers x11..x17 exhausted");
+    for i in 0..count {
+        a.lw(Reg::from_index(11 + i as u32), Reg::X10, (i * 4) as i32);
+    }
+}
+
+/// Deterministic RNG for input generation (seeded: runs are reproducible).
+pub fn rng() -> StdRng {
+    StdRng::seed_from_u64(0x5EED_CAFE)
+}
+
+/// `n` uniform floats in [0, 1).
+pub fn random_floats(n: usize) -> Vec<f32> {
+    let mut r = rng();
+    (0..n).map(|_| r.random::<f32>()).collect()
+}
+
+/// Serializes f32s to little-endian bytes.
+pub fn floats_to_bytes(v: &[f32]) -> Vec<u8> {
+    v.iter().flat_map(|f| f.to_bits().to_le_bytes()).collect()
+}
+
+/// Serializes u32s to little-endian bytes.
+pub fn words_to_bytes(v: &[u32]) -> Vec<u8> {
+    v.iter().flat_map(|w| w.to_le_bytes()).collect()
+}
+
+/// `true` when `a` and `b` agree within `tol` relative error.
+pub fn approx_eq(a: f32, b: f32, tol: f32) -> bool {
+    let scale = a.abs().max(b.abs()).max(1.0);
+    (a - b).abs() <= tol * scale
+}
+
+/// Element-wise [`approx_eq`] over slices.
+pub fn approx_eq_slices(a: &[f32], b: &[f32], tol: f32) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| approx_eq(*x, *y, tol))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        assert_eq!(random_floats(16), random_floats(16));
+    }
+
+    #[test]
+    fn float_serialization_is_le() {
+        let b = floats_to_bytes(&[1.0]);
+        assert_eq!(b, 1.0f32.to_bits().to_le_bytes());
+    }
+
+    #[test]
+    fn approx_eq_scales_tolerance() {
+        assert!(approx_eq(1000.0, 1000.5, 1e-3));
+        assert!(!approx_eq(1.0, 1.5, 1e-3));
+        assert!(approx_eq(0.0, 1e-7, 1e-6));
+    }
+
+    #[test]
+    fn loop_emitters_produce_balanced_labels() {
+        let mut a = Assembler::new();
+        emit_gtid_stride(&mut a);
+        a.li(Reg::X11, 10);
+        emit_loop_head(&mut a, Reg::X11, "t").unwrap();
+        a.nop();
+        emit_loop_tail(&mut a, Reg::X11, "t").unwrap();
+        a.ecall();
+        assert!(a.assemble(0).is_ok());
+    }
+}

@@ -1,0 +1,768 @@
+//! The high-bandwidth non-blocking cache (paper §4.3, Figure 6).
+//!
+//! Structure, front to back:
+//!
+//! 1. **Bank selector** — assigns incoming core requests to banks by
+//!    address, resolving bank conflicts (one request per bank per cycle).
+//!    With virtual multi-porting enabled it coalesces up to `ports`
+//!    same-line requests into one bank slot per Algorithm 2 of the paper,
+//!    exploiting cache-line locality.
+//! 2. **Per-bank four-stage pipeline** — *schedule* (priority: MSHR replay >
+//!    memory fill > core request), *tag access*, *data access*, *response*.
+//! 3. **MSHR per bank** — outstanding-miss tracking with secondary-miss
+//!    merging ([`crate::mshr::Mshr`]).
+//! 4. **Bank merger** — coalesces outgoing responses into the single
+//!    response port.
+//!
+//! The two deadlock hazards called out by the paper are prevented the same
+//! way the RTL does it: a request only enters a bank pipeline when its MSHR
+//! and the memory request queue both have guaranteed space ("early full"
+//! signals).
+//!
+//! The model is write-through/no-write-allocate (the Vortex L1 policy):
+//! stores stream to the next level without producing core responses, so
+//! only loads generate [`MemRsp`]s.
+
+use crate::elastic::Queue;
+use crate::mshr::Mshr;
+use crate::req::{MemReq, MemRsp, Tag};
+use std::collections::VecDeque;
+
+/// One coalesced sub-request inside a bank request (a virtual port).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubReq {
+    /// The requester's tag.
+    pub tag: Tag,
+}
+
+/// A request as seen by a cache bank: one line access carrying up to
+/// `ports` coalesced core requests.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BankReq {
+    /// Global line address (byte address / line size).
+    pub line: u32,
+    /// `true` for stores.
+    pub write: bool,
+    /// The coalesced core requests (1..=ports entries).
+    pub subs: Vec<SubReq>,
+}
+
+/// Cache geometry and microarchitecture parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u32,
+    /// Line size in bytes.
+    pub line_bytes: u32,
+    /// Number of single-ported banks.
+    pub num_banks: usize,
+    /// Associativity (1 = direct-mapped, the Vortex default).
+    pub num_ways: usize,
+    /// Virtual ports per bank (1 disables coalescing; the paper evaluates
+    /// 1, 2 and 4 in Figure 19 / Table 5).
+    pub ports: usize,
+    /// MSHR capacity per bank, in pending requests.
+    pub mshr_size: usize,
+    /// Per-bank input FIFO depth.
+    pub input_queue: usize,
+    /// Outgoing memory-request queue depth (shared by all banks).
+    pub memq_size: usize,
+}
+
+impl CacheConfig {
+    /// The baseline 16 KiB, 4-bank, 64 B-line data cache.
+    pub fn dcache_default() -> Self {
+        Self {
+            size_bytes: 16 * 1024,
+            line_bytes: 64,
+            num_banks: 4,
+            num_ways: 1,
+            ports: 1,
+            mshr_size: 16,
+            input_queue: 2,
+            memq_size: 8,
+        }
+    }
+
+    /// The baseline 8 KiB instruction cache (single bank: SIMT fetch needs
+    /// one instruction per cycle — paper §6.3).
+    pub fn icache_default() -> Self {
+        Self {
+            size_bytes: 8 * 1024,
+            line_bytes: 64,
+            num_banks: 1,
+            num_ways: 1,
+            ports: 1,
+            mshr_size: 4,
+            input_queue: 2,
+            memq_size: 4,
+        }
+    }
+
+    /// Sets (lines) per bank.
+    pub fn sets_per_bank(&self) -> usize {
+        let lines = (self.size_bytes / self.line_bytes) as usize;
+        lines / self.num_banks / self.num_ways
+    }
+
+    fn validate(&self) {
+        assert!(self.line_bytes.is_power_of_two(), "line size not a power of two");
+        assert!(self.num_banks.is_power_of_two(), "bank count not a power of two");
+        assert!(self.ports >= 1, "need at least one port");
+        assert!(self.num_ways >= 1, "need at least one way");
+        assert!(self.sets_per_bank() >= 1, "cache too small for geometry");
+    }
+}
+
+/// Aggregate cache performance counters.
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Core read requests accepted.
+    pub reads: u64,
+    /// Core write requests accepted.
+    pub writes: u64,
+    /// Read hits.
+    pub read_hits: u64,
+    /// Read misses (primary + secondary).
+    pub read_misses: u64,
+    /// Secondary misses merged into an existing MSHR entry.
+    pub mshr_merges: u64,
+    /// Requests offered to the bank selector.
+    pub offered: u64,
+    /// Requests accepted by the bank selector (including coalesced ones).
+    pub accepted: u64,
+    /// Requests rejected because the target bank was already claimed this
+    /// cycle (a *bank conflict*).
+    pub bank_conflicts: u64,
+    /// Requests rejected because the bank's input FIFO was full.
+    pub fifo_full_rejects: u64,
+    /// Requests coalesced onto an already-claimed bank slot via virtual
+    /// ports (these count as accepted, not as conflicts).
+    pub port_coalesced: u64,
+    /// Cycles a bank's scheduler stalled a ready core request on the
+    /// early-full (MSHR or memory-queue) signals.
+    pub early_full_stalls: u64,
+    /// Cache flushes executed.
+    pub flushes: u64,
+}
+
+impl CacheStats {
+    /// Bank utilization as defined for Figure 19: the fraction of offered
+    /// requests that did not directly experience a bank conflict (stalls
+    /// from full input FIFOs don't count against utilization).
+    pub fn bank_utilization(&self) -> f64 {
+        let considered = self.offered - self.fifo_full_rejects;
+        if considered == 0 {
+            1.0
+        } else {
+            1.0 - (self.bank_conflicts as f64) / (considered as f64)
+        }
+    }
+
+    /// Read hit rate.
+    pub fn hit_rate(&self) -> f64 {
+        if self.reads == 0 {
+            1.0
+        } else {
+            self.read_hits as f64 / self.reads as f64
+        }
+    }
+}
+
+/// What occupies a bank pipeline stage.
+#[derive(Debug, Clone)]
+struct PipeEntry {
+    req: BankReq,
+    /// Resolved at the tag stage; replays enter as guaranteed hits.
+    hit: bool,
+    /// `true` while this entry holds a reserved memory-queue slot (taken at
+    /// schedule, released at tag resolution). This is the shared-queue
+    /// analogue of the paper's early-full signal: without it two banks
+    /// could both observe one free slot and overflow the queue a cycle
+    /// later.
+    memq_reservation: bool,
+}
+
+#[derive(Debug)]
+struct Bank {
+    input: Queue<BankReq>,
+    /// Stage registers: `stage[0]` = tag access, `[1]` = data access,
+    /// `[2]` = response.
+    stage: [Option<PipeEntry>; 3],
+    mshr: Mshr,
+    /// Fills that arrived from memory, waiting for a schedule slot.
+    fills: VecDeque<u32>,
+    /// MSHR entries released by a fill, replayed one per cycle.
+    replays: VecDeque<BankReq>,
+    /// Tag store: `tags[set][way] = Some(line)` when valid.
+    tags: Vec<Vec<Option<u32>>>,
+    /// Round-robin victim pointer per set.
+    victim: Vec<usize>,
+    /// Bank claimed by the selector this cycle (reset by `begin_cycle`).
+    claimed: Option<usize>, // index into `input` backing? holds subs count
+}
+
+impl Bank {
+    fn new(config: &CacheConfig) -> Self {
+        let sets = config.sets_per_bank();
+        Self {
+            input: Queue::new(config.input_queue),
+            stage: [None, None, None],
+            mshr: Mshr::new(config.mshr_size),
+            fills: VecDeque::new(),
+            replays: VecDeque::new(),
+            tags: vec![vec![None; config.num_ways]; sets],
+            victim: vec![0; sets],
+            claimed: None,
+        }
+    }
+
+    fn set_index(&self, line: u32, num_banks: usize) -> usize {
+        ((line as usize) / num_banks) % self.tags.len()
+    }
+
+    fn lookup(&self, line: u32, num_banks: usize) -> bool {
+        let set = self.set_index(line, num_banks);
+        self.tags[set].contains(&Some(line))
+    }
+
+    fn fill_line(&mut self, line: u32, num_banks: usize) {
+        let set = self.set_index(line, num_banks);
+        if self.tags[set].contains(&Some(line)) {
+            return;
+        }
+        // Prefer an invalid way, else round-robin eviction (write-through
+        // means no writeback on eviction).
+        let way = match self.tags[set].iter().position(Option::is_none) {
+            Some(w) => w,
+            None => {
+                let w = self.victim[set];
+                self.victim[set] = (w + 1) % self.tags[set].len();
+                w
+            }
+        };
+        self.tags[set][way] = Some(line);
+    }
+
+    fn invalidate_all(&mut self) {
+        for set in &mut self.tags {
+            for way in set.iter_mut() {
+                *way = None;
+            }
+        }
+    }
+
+    fn in_flight(&self) -> bool {
+        !self.input.is_empty()
+            || self.stage.iter().any(Option::is_some)
+            || !self.mshr.is_empty()
+            || !self.fills.is_empty()
+            || !self.replays.is_empty()
+    }
+}
+
+/// The multi-banked non-blocking cache.
+#[derive(Debug)]
+pub struct Cache {
+    config: CacheConfig,
+    banks: Vec<Bank>,
+    /// Outgoing memory requests (line fills and write-throughs).
+    memq: Queue<MemReq>,
+    /// Slots of `memq` promised to entries in flight between schedule and
+    /// tag resolution.
+    memq_reserved: usize,
+    /// Coalesced core responses (the bank merger output).
+    responses: VecDeque<MemRsp>,
+    /// Remaining busy cycles of an in-progress flush.
+    flush_busy: u32,
+    /// Performance counters.
+    pub stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds a cache from `config`.
+    ///
+    /// # Panics
+    /// Panics on inconsistent geometry (non-power-of-two line/bank counts,
+    /// or capacity smaller than one line per bank).
+    pub fn new(config: CacheConfig) -> Self {
+        config.validate();
+        let banks = (0..config.num_banks).map(|_| Bank::new(&config)).collect();
+        Self {
+            config,
+            banks,
+            memq: Queue::new(config.memq_size),
+            memq_reserved: 0,
+            responses: VecDeque::new(),
+            flush_busy: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> &CacheConfig {
+        &self.config
+    }
+
+    fn bank_of(&self, line: u32) -> usize {
+        (line as usize) % self.config.num_banks
+    }
+
+    /// Starts a new cycle: clears the per-cycle bank-claim state used by the
+    /// selector. Call once per cycle before [`Cache::offer`] / [`Cache::tick`].
+    pub fn begin_cycle(&mut self) {
+        for bank in &mut self.banks {
+            bank.claimed = None;
+        }
+    }
+
+    /// The bank selector: offers `reqs` (one per active lane) to the banks,
+    /// removing the accepted ones from the vector. Implements Algorithm 2's
+    /// virtual-port assignment: a bank claimed this cycle still accepts a
+    /// request for the *same cache line* while coalesced ports remain.
+    ///
+    /// Returns the number of requests accepted.
+    pub fn offer(&mut self, reqs: &mut Vec<MemReq>) -> usize {
+        if self.flush_busy > 0 {
+            return 0;
+        }
+        let mut accepted = 0;
+        // Per-bank slot being assembled this cycle: (line, write, sub count).
+        let mut i = 0;
+        while i < reqs.len() {
+            let req = reqs[i];
+            let line = req.line_addr(self.config.line_bytes);
+            let bank_idx = self.bank_of(line);
+            self.stats.offered += 1;
+            let ports = self.config.ports;
+            let bank = &mut self.banks[bank_idx];
+
+            let take = |bank: &mut Bank, stats: &mut CacheStats| -> bool {
+                // New claim: needs input FIFO space.
+                if bank.input.is_full() {
+                    stats.fifo_full_rejects += 1;
+                    return false;
+                }
+                bank.input
+                    .push(BankReq {
+                        line,
+                        write: req.write,
+                        subs: vec![SubReq { tag: req.tag }],
+                    })
+                    .expect("space just checked");
+                bank.claimed = Some(1);
+                true
+            };
+
+            let ok = match bank.claimed {
+                None => take(bank, &mut self.stats),
+                Some(used) => {
+                    // Algorithm 2: coalesce onto the claimed slot when the
+                    // line matches and a virtual port is free.
+                    let newest = bank
+                        .input
+                        .iter()
+                        .last()
+                        .expect("claimed bank has a queued request");
+                    if used < ports && newest.line == line && newest.write == req.write {
+                        // Append to the just-queued request.
+                        let (l, w) = (newest.line, newest.write);
+                        let mut subs = newest.subs.clone();
+                        subs.push(SubReq { tag: req.tag });
+                        // Replace the back element (Queue has no back_mut).
+                        bank.replace_back(BankReq {
+                            line: l,
+                            write: w,
+                            subs,
+                        });
+                        bank.claimed = Some(used + 1);
+                        self.stats.port_coalesced += 1;
+                        true
+                    } else {
+                        self.stats.bank_conflicts += 1;
+                        false
+                    }
+                }
+            };
+
+            if ok {
+                if req.write {
+                    self.stats.writes += 1;
+                } else {
+                    self.stats.reads += 1;
+                }
+                self.stats.accepted += 1;
+                accepted += 1;
+                reqs.remove(i);
+            } else {
+                i += 1;
+            }
+        }
+        accepted
+    }
+
+    /// Advances all bank pipelines one cycle.
+    pub fn tick(&mut self) {
+        if self.flush_busy > 0 {
+            self.flush_busy -= 1;
+        }
+        let num_banks = self.config.num_banks;
+        let line_bytes = self.config.line_bytes;
+        for bank in &mut self.banks {
+            // Response stage: emit one response per sub (reads only).
+            if let Some(entry) = bank.stage[2].take() {
+                debug_assert!(entry.hit || entry.req.write, "misses never reach response");
+                if !entry.req.write {
+                    for sub in &entry.req.subs {
+                        self.responses.push_back(MemRsp { tag: sub.tag });
+                    }
+                }
+            }
+            // Data → response.
+            if bank.stage[2].is_none() {
+                bank.stage[2] = bank.stage[1].take();
+            }
+            // Tag → data: resolve hit/miss.
+            if bank.stage[1].is_none() {
+                if let Some(mut entry) = bank.stage[0].take() {
+                    if entry.memq_reservation {
+                        self.memq_reserved -= 1;
+                        entry.memq_reservation = false;
+                    }
+                    if entry.hit {
+                        // Replayed request: guaranteed hit.
+                        bank.stage[1] = Some(entry);
+                    } else if entry.req.write {
+                        // Write-through, no-write-allocate: forward to
+                        // memory (space reserved at schedule) and complete.
+                        self.memq
+                            .push(MemReq {
+                                tag: entry.req.line as Tag,
+                                addr: entry.req.line * line_bytes,
+                                write: true,
+                            })
+                            .expect("memq space reserved at schedule");
+                        entry.hit = bank.lookup(entry.req.line, num_banks);
+                        bank.stage[1] = Some(entry);
+                    } else if bank.lookup(entry.req.line, num_banks) {
+                        self.stats.read_hits += entry.req.subs.len() as u64;
+                        entry.hit = true;
+                        bank.stage[1] = Some(entry);
+                    } else {
+                        // Read miss: allocate/merge MSHR; issue a fill only
+                        // for primary misses.
+                        self.stats.read_misses += entry.req.subs.len() as u64;
+                        let line = entry.req.line;
+                        let primary = bank.mshr.allocate(line, entry.req);
+                        if primary {
+                            self.memq
+                                .push(MemReq {
+                                    tag: line as Tag,
+                                    addr: line * line_bytes,
+                                    write: false,
+                                })
+                                .expect("memq space reserved at schedule");
+                        } else {
+                            self.stats.mshr_merges += 1;
+                        }
+                    }
+                }
+            }
+            // Schedule: fill > replay > core request (the paper gives the
+            // MSHR path priority over new core requests).
+            if bank.stage[0].is_none() {
+                if let Some(line) = bank.fills.pop_front() {
+                    bank.fill_line(line, num_banks);
+                    let released = bank.mshr.release(line);
+                    bank.replays.extend(released);
+                } else if let Some(req) = bank.replays.pop_front() {
+                    bank.stage[0] = Some(PipeEntry {
+                        req,
+                        hit: true,
+                        memq_reservation: false,
+                    });
+                } else if let Some(front) = bank.input.front() {
+                    // Early-full checks: a read may need an MSHR slot per
+                    // sub and one memq slot; a write needs one memq slot.
+                    // The memq check accounts for slots already promised to
+                    // other banks' in-flight entries.
+                    let subs = front.subs.len();
+                    let memq_ok = self.memq.space() > self.memq_reserved;
+                    let ok = if front.write {
+                        memq_ok
+                    } else {
+                        bank.mshr.space() >= subs && memq_ok
+                    };
+                    if ok {
+                        let req = bank.input.pop().expect("front just peeked");
+                        self.memq_reserved += 1;
+                        bank.stage[0] = Some(PipeEntry {
+                            req,
+                            hit: false,
+                            memq_reservation: true,
+                        });
+                    } else {
+                        self.stats.early_full_stalls += 1;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Fast-path tag probe for instruction fetch: SIMT fetch needs one
+    /// word per cycle from a single bank, so the RTL's I-cache answers
+    /// hits in two cycles without arbitration. Returns `true` (and counts
+    /// a read hit) when `addr`'s line is resident; on `false` the caller
+    /// sends the fetch through the normal miss pipeline, which does its
+    /// own accounting.
+    pub fn lookup_for_fetch(&mut self, addr: u32) -> bool {
+        if self.flush_busy > 0 {
+            return false;
+        }
+        let line = addr / self.config.line_bytes;
+        let bank = self.bank_of(line);
+        if self.banks[bank].lookup(line, self.config.num_banks) {
+            self.stats.reads += 1;
+            self.stats.read_hits += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Pops one coalesced core response.
+    pub fn pop_rsp(&mut self) -> Option<MemRsp> {
+        self.responses.pop_front()
+    }
+
+    /// Pops one outgoing memory request (drained by the next level).
+    pub fn pop_mem_req(&mut self) -> Option<MemReq> {
+        self.memq.pop()
+    }
+
+    /// Peeks the outgoing memory request queue.
+    pub fn peek_mem_req(&self) -> Option<&MemReq> {
+        self.memq.front()
+    }
+
+    /// Delivers a memory fill response (tag = line address).
+    pub fn push_mem_rsp(&mut self, rsp: MemRsp) {
+        let line = rsp.tag as u32;
+        let bank = self.bank_of(line);
+        self.banks[bank].fills.push_back(line);
+    }
+
+    /// Begins a flush: invalidates every line and keeps the cache busy for
+    /// `sets_per_bank` cycles (the tag-walk cost). Provides the paper's
+    /// weak-coherence `fence`/flush operation.
+    pub fn flush(&mut self) {
+        for bank in &mut self.banks {
+            bank.invalidate_all();
+        }
+        self.flush_busy = self.config.sets_per_bank() as u32;
+        self.stats.flushes += 1;
+    }
+
+    /// `true` while a flush is in progress.
+    pub fn is_flushing(&self) -> bool {
+        self.flush_busy > 0
+    }
+
+    /// `true` when no request is anywhere in the cache (used by `fence`).
+    pub fn is_idle(&self) -> bool {
+        self.flush_busy == 0
+            && self.memq.is_empty()
+            && self.responses.is_empty()
+            && self.banks.iter().all(|b| !b.in_flight())
+    }
+}
+
+impl Bank {
+    /// Replaces the newest queued request (used by virtual-port coalescing).
+    fn replace_back(&mut self, req: BankReq) {
+        let n = self.input.len();
+        debug_assert!(n > 0);
+        // Rebuild the queue with the last element swapped. The queue is
+        // tiny (input FIFO depth ≤ 4), so this is cheap.
+        let mut items: Vec<BankReq> = Vec::with_capacity(n);
+        while let Some(it) = self.input.pop() {
+            items.push(it);
+        }
+        *items.last_mut().expect("n > 0") = req;
+        for it in items {
+            self.input.push(it).expect("same count as before");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_cache(ports: usize) -> Cache {
+        Cache::new(CacheConfig {
+            size_bytes: 1024,
+            line_bytes: 64,
+            num_banks: 4,
+            num_ways: 1,
+            ports,
+            mshr_size: 8,
+            input_queue: 2,
+            memq_size: 8,
+        })
+    }
+
+    /// Runs the cache with a perfect (instant) next level until idle,
+    /// collecting responses.
+    fn run_until_idle(cache: &mut Cache, mut reqs: Vec<MemReq>, max_cycles: u64) -> Vec<Tag> {
+        let mut got = Vec::new();
+        for _ in 0..max_cycles {
+            cache.begin_cycle();
+            cache.offer(&mut reqs);
+            cache.tick();
+            // Perfect memory: respond to fills instantly next cycle.
+            while let Some(mreq) = cache.pop_mem_req() {
+                if !mreq.write {
+                    cache.push_mem_rsp(MemRsp { tag: mreq.tag });
+                }
+            }
+            while let Some(rsp) = cache.pop_rsp() {
+                got.push(rsp.tag);
+            }
+            if reqs.is_empty() && cache.is_idle() {
+                break;
+            }
+        }
+        got
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = small_cache(1);
+        let got = run_until_idle(&mut c, vec![MemReq::read(1, 0x100)], 100);
+        assert_eq!(got, vec![1]);
+        assert_eq!(c.stats.read_misses, 1);
+        // Second access to the same line hits.
+        let got = run_until_idle(&mut c, vec![MemReq::read(2, 0x104)], 100);
+        assert_eq!(got, vec![2]);
+        assert_eq!(c.stats.read_hits, 1);
+    }
+
+    #[test]
+    fn secondary_miss_merges_in_mshr() {
+        let mut c = small_cache(1);
+        // Two reads to the same line in back-to-back cycles: the second
+        // must merge, producing a single memory request.
+        let mut reqs = vec![MemReq::read(1, 0x200), MemReq::read(2, 0x204)];
+        let mut mem_reads = 0;
+        let mut got = Vec::new();
+        for _ in 0..200 {
+            c.begin_cycle();
+            c.offer(&mut reqs);
+            c.tick();
+            while let Some(mreq) = c.pop_mem_req() {
+                if !mreq.write {
+                    mem_reads += 1;
+                    c.push_mem_rsp(MemRsp { tag: mreq.tag });
+                }
+            }
+            while let Some(rsp) = c.pop_rsp() {
+                got.push(rsp.tag);
+            }
+            if reqs.is_empty() && c.is_idle() {
+                break;
+            }
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+        assert_eq!(mem_reads, 1, "secondary miss must not issue a second fill");
+        assert_eq!(c.stats.mshr_merges, 1);
+    }
+
+    #[test]
+    fn bank_conflict_without_ports_serializes() {
+        let mut c = small_cache(1);
+        // Same bank (same line even), offered in the same cycle.
+        let mut reqs = vec![MemReq::read(1, 0x300), MemReq::read(2, 0x300)];
+        c.begin_cycle();
+        let accepted = c.offer(&mut reqs);
+        assert_eq!(accepted, 1, "single-port bank takes one request/cycle");
+        assert_eq!(c.stats.bank_conflicts, 1);
+    }
+
+    #[test]
+    fn virtual_ports_coalesce_same_line() {
+        let mut c = small_cache(2);
+        let mut reqs = vec![MemReq::read(1, 0x300), MemReq::read(2, 0x304)];
+        c.begin_cycle();
+        let accepted = c.offer(&mut reqs);
+        assert_eq!(accepted, 2, "2-port bank coalesces same-line pair");
+        assert_eq!(c.stats.bank_conflicts, 0);
+        assert_eq!(c.stats.port_coalesced, 1);
+    }
+
+    #[test]
+    fn virtual_ports_do_not_coalesce_different_lines() {
+        let mut c = small_cache(4);
+        // Same bank (line 0 and line 4 both map to bank 0), different lines.
+        let mut reqs = vec![MemReq::read(1, 0x000), MemReq::read(2, 0x400)];
+        c.begin_cycle();
+        let accepted = c.offer(&mut reqs);
+        assert_eq!(accepted, 1);
+        assert_eq!(c.stats.bank_conflicts, 1);
+    }
+
+    #[test]
+    fn writes_pass_through_without_response() {
+        let mut c = small_cache(1);
+        let mut reqs = vec![MemReq::write(1, 0x500)];
+        let mut wrote = 0;
+        for _ in 0..50 {
+            c.begin_cycle();
+            c.offer(&mut reqs);
+            c.tick();
+            while let Some(mreq) = c.pop_mem_req() {
+                assert!(mreq.write);
+                wrote += 1;
+            }
+            assert!(c.pop_rsp().is_none(), "stores produce no core response");
+            if reqs.is_empty() && c.is_idle() {
+                break;
+            }
+        }
+        assert_eq!(wrote, 1);
+        assert_eq!(c.stats.writes, 1);
+    }
+
+    #[test]
+    fn flush_invalidates_and_busies() {
+        let mut c = small_cache(1);
+        let _ = run_until_idle(&mut c, vec![MemReq::read(1, 0x100)], 100);
+        c.flush();
+        assert!(c.is_flushing());
+        assert_eq!(c.stats.flushes, 1);
+        // Offer during flush is refused.
+        c.begin_cycle();
+        let mut reqs = vec![MemReq::read(2, 0x100)];
+        assert_eq!(c.offer(&mut reqs), 0);
+        // Wait out the flush, then the access misses again.
+        for _ in 0..c.config().sets_per_bank() + 1 {
+            c.begin_cycle();
+            c.tick();
+        }
+        let got = run_until_idle(&mut c, reqs, 100);
+        assert_eq!(got, vec![2]);
+        assert_eq!(c.stats.read_misses, 2, "flush must invalidate the line");
+    }
+
+    #[test]
+    fn utilization_reflects_conflicts() {
+        let mut c = small_cache(1);
+        let mut reqs = vec![MemReq::read(1, 0x300), MemReq::read(2, 0x300)];
+        c.begin_cycle();
+        c.offer(&mut reqs);
+        assert!(c.stats.bank_utilization() < 1.0);
+        let c2 = small_cache(1);
+        assert_eq!(c2.stats.bank_utilization(), 1.0);
+    }
+}

@@ -1,0 +1,192 @@
+//! DRAM timing model.
+//!
+//! Models the FPGA's on-board memory as a set of independent channels
+//! (2 DDR4 banks on the Arria 10 board, 8 on the Stratix 10 — paper §6.5)
+//! with a fixed access latency. Each channel accepts at most one request per
+//! cycle, so `channels` is the bandwidth knob and `latency` the latency knob
+//! — exactly the two axes swept by the paper's Figure 21 memory-scaling
+//! experiment.
+
+use crate::elastic::Queue;
+use crate::req::{MemReq, MemRsp};
+use std::collections::VecDeque;
+
+/// DRAM model parameters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DramConfig {
+    /// Access latency in core cycles.
+    pub latency: u32,
+    /// Independent channels (requests accepted per cycle).
+    pub channels: u32,
+    /// Depth of the request input queue.
+    pub queue_size: usize,
+}
+
+impl Default for DramConfig {
+    /// The paper's baseline: 100-cycle latency, 2 channels (Arria 10).
+    fn default() -> Self {
+        Self {
+            latency: 100,
+            channels: 2,
+            queue_size: 16,
+        }
+    }
+}
+
+/// The DRAM device: bounded input queue → per-channel service → responses.
+#[derive(Debug)]
+pub struct Dram {
+    config: DramConfig,
+    input: Queue<MemReq>,
+    /// In-flight requests: (completion cycle, request).
+    in_flight: VecDeque<(u64, MemReq)>,
+    responses: VecDeque<MemRsp>,
+    cycle: u64,
+    /// Total requests serviced (reads + writes).
+    pub total_reads: u64,
+    /// Total writes serviced.
+    pub total_writes: u64,
+}
+
+impl Dram {
+    /// Creates a DRAM with the given parameters.
+    pub fn new(config: DramConfig) -> Self {
+        Self {
+            config,
+            input: Queue::new(config.queue_size),
+            in_flight: VecDeque::new(),
+            responses: VecDeque::new(),
+            cycle: 0,
+            total_reads: 0,
+            total_writes: 0,
+        }
+    }
+
+    /// Attempts to enqueue a request; fails (backpressure) when the input
+    /// queue is full.
+    pub fn push_req(&mut self, req: MemReq) -> Result<(), MemReq> {
+        self.input.push(req)
+    }
+
+    /// `true` if at least one more request can be pushed this cycle.
+    pub fn can_accept(&self) -> bool {
+        !self.input.is_full()
+    }
+
+    /// Advances one cycle: starts up to `channels` queued requests and
+    /// retires the ones whose latency elapsed (reads produce responses;
+    /// writes complete silently).
+    pub fn tick(&mut self) {
+        self.cycle += 1;
+        for _ in 0..self.config.channels {
+            let Some(req) = self.input.pop() else { break };
+            if req.write {
+                self.total_writes += 1;
+            } else {
+                self.total_reads += 1;
+            }
+            self.in_flight
+                .push_back((self.cycle + u64::from(self.config.latency), req));
+        }
+        while let Some(&(done, req)) = self.in_flight.front() {
+            if done > self.cycle {
+                break;
+            }
+            self.in_flight.pop_front();
+            if !req.write {
+                self.responses.push_back(MemRsp { tag: req.tag });
+            }
+        }
+    }
+
+    /// Drains one completed read response.
+    pub fn pop_rsp(&mut self) -> Option<MemRsp> {
+        self.responses.pop_front()
+    }
+
+    /// `true` when no request is queued or in flight.
+    pub fn is_idle(&self) -> bool {
+        self.input.is_empty() && self.in_flight.is_empty() && self.responses.is_empty()
+    }
+
+    /// The configured parameters.
+    pub fn config(&self) -> DramConfig {
+        self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_completes_after_latency() {
+        let mut d = Dram::new(DramConfig {
+            latency: 5,
+            channels: 1,
+            queue_size: 4,
+        });
+        d.push_req(MemReq::read(42, 0x100)).unwrap();
+        for _ in 0..5 {
+            d.tick();
+            assert!(d.pop_rsp().is_none());
+        }
+        d.tick();
+        assert_eq!(d.pop_rsp(), Some(MemRsp { tag: 42 }));
+        assert!(d.is_idle());
+    }
+
+    #[test]
+    fn writes_complete_silently() {
+        let mut d = Dram::new(DramConfig {
+            latency: 2,
+            channels: 1,
+            queue_size: 4,
+        });
+        d.push_req(MemReq::write(7, 0)).unwrap();
+        for _ in 0..10 {
+            d.tick();
+        }
+        assert!(d.pop_rsp().is_none());
+        assert!(d.is_idle());
+        assert_eq!(d.total_writes, 1);
+    }
+
+    #[test]
+    fn channel_count_bounds_throughput() {
+        // 8 reads through 2 channels at latency 3: last pair starts at
+        // cycle 4 and completes at cycle 7.
+        let mut d = Dram::new(DramConfig {
+            latency: 3,
+            channels: 2,
+            queue_size: 8,
+        });
+        for i in 0..8 {
+            d.push_req(MemReq::read(i, i as u32 * 64)).unwrap();
+        }
+        let mut completed = 0;
+        let mut cycles = 0;
+        while completed < 8 {
+            d.tick();
+            cycles += 1;
+            while d.pop_rsp().is_some() {
+                completed += 1;
+            }
+            assert!(cycles < 100, "throughput stuck");
+        }
+        assert_eq!(cycles, 7);
+    }
+
+    #[test]
+    fn input_queue_backpressures() {
+        let mut d = Dram::new(DramConfig {
+            latency: 1,
+            channels: 1,
+            queue_size: 2,
+        });
+        assert!(d.push_req(MemReq::read(0, 0)).is_ok());
+        assert!(d.push_req(MemReq::read(1, 0)).is_ok());
+        assert!(!d.can_accept());
+        assert!(d.push_req(MemReq::read(2, 0)).is_err());
+    }
+}

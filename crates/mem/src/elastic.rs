@@ -1,0 +1,177 @@
+//! Elastic (ready/valid) connection primitives.
+//!
+//! The paper (§4.4) builds every Vortex component out of elastic pipelines:
+//! producer and consumer agree on a transfer only when `valid && ready`,
+//! which lets stages back-pressure each other without global stall logic.
+//! [`Queue`] is the software analogue: a bounded FIFO whose `push` is the
+//! valid side (refused when full — the producer must retry next cycle) and
+//! whose `pop` is the ready side.
+
+use std::collections::VecDeque;
+
+/// A bounded FIFO with elastic-handshake semantics.
+///
+/// `push` corresponds to a `valid` assertion: it fails (returning the value
+/// back) when the queue is full, modelling de-asserted `ready`.
+#[derive(Debug, Clone)]
+pub struct Queue<T> {
+    items: VecDeque<T>,
+    capacity: usize,
+}
+
+impl<T> Queue<T> {
+    /// Creates a queue holding at most `capacity` elements.
+    ///
+    /// # Panics
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "elastic queue capacity must be non-zero");
+        Self {
+            items: VecDeque::with_capacity(capacity),
+            capacity,
+        }
+    }
+
+    /// Attempts to enqueue; returns `Err(value)` when full.
+    pub fn push(&mut self, value: T) -> Result<(), T> {
+        if self.is_full() {
+            Err(value)
+        } else {
+            self.items.push_back(value);
+            Ok(())
+        }
+    }
+
+    /// Dequeues the oldest element.
+    pub fn pop(&mut self) -> Option<T> {
+        self.items.pop_front()
+    }
+
+    /// Peeks at the oldest element.
+    pub fn front(&self) -> Option<&T> {
+        self.items.front()
+    }
+
+    /// `true` when no further `push` can succeed this cycle.
+    pub fn is_full(&self) -> bool {
+        self.items.len() >= self.capacity
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Current occupancy.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Maximum occupancy.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Remaining free slots.
+    pub fn space(&self) -> usize {
+        self.capacity - self.items.len()
+    }
+
+    /// Iterates over queued elements from oldest to newest.
+    pub fn iter(&self) -> impl Iterator<Item = &T> {
+        self.items.iter()
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.items.clear();
+    }
+}
+
+/// A single-entry pipeline register with elastic semantics: a stage that
+/// holds at most one transaction.
+#[derive(Debug, Clone, Default)]
+pub struct Slot<T> {
+    value: Option<T>,
+}
+
+impl<T> Slot<T> {
+    /// Creates an empty slot.
+    pub fn new() -> Self {
+        Self { value: None }
+    }
+
+    /// Attempts to fill the slot; returns `Err(value)` if occupied.
+    pub fn push(&mut self, value: T) -> Result<(), T> {
+        if self.value.is_some() {
+            Err(value)
+        } else {
+            self.value = Some(value);
+            Ok(())
+        }
+    }
+
+    /// Takes the held transaction, emptying the slot.
+    pub fn take(&mut self) -> Option<T> {
+        self.value.take()
+    }
+
+    /// Peeks at the held transaction.
+    pub fn peek(&self) -> Option<&T> {
+        self.value.as_ref()
+    }
+
+    /// `true` when occupied.
+    pub fn is_full(&self) -> bool {
+        self.value.is_some()
+    }
+
+    /// `true` when empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_none()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn queue_backpressures_when_full() {
+        let mut q = Queue::new(2);
+        assert!(q.push(1).is_ok());
+        assert!(q.push(2).is_ok());
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.pop(), Some(1));
+        assert!(q.push(3).is_ok());
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn queue_is_fifo() {
+        let mut q = Queue::new(4);
+        for i in 0..4 {
+            q.push(i).unwrap();
+        }
+        for i in 0..4 {
+            assert_eq!(q.pop(), Some(i));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn zero_capacity_panics() {
+        let _ = Queue::<u32>::new(0);
+    }
+
+    #[test]
+    fn slot_holds_one() {
+        let mut s = Slot::new();
+        assert!(s.push(7).is_ok());
+        assert_eq!(s.push(8), Err(8));
+        assert_eq!(s.peek(), Some(&7));
+        assert_eq!(s.take(), Some(7));
+        assert!(s.is_empty());
+    }
+}

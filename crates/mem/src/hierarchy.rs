@@ -1,0 +1,509 @@
+//! The multi-level memory hierarchy.
+//!
+//! Composes the levels of Figure 4: per-core L1 caches below an optional
+//! shared L2 per cluster, an optional L3 shared by clusters, and the DRAM
+//! at the bottom. [`MemHierarchy`] owns everything *above* the L1s: it
+//! exposes one port per core on which the cores push their L1 miss traffic
+//! and receive fills back.
+//!
+//! Tag management: every level re-tags requests with a fresh id and records
+//! `(source port, original tag)` so responses route back even when two
+//! cores fill the same line address concurrently.
+
+use crate::cache::{Cache, CacheConfig};
+use crate::dram::{Dram, DramConfig};
+use crate::req::{MemReq, MemRsp, Tag};
+use std::collections::{HashMap, VecDeque};
+
+/// Hierarchy shape above the L1s.
+#[derive(Debug, Clone)]
+pub struct HierarchyConfig {
+    /// Number of core ports (one per core: I$ + D$ traffic share it).
+    pub num_cores: usize,
+    /// Cores per cluster (for L2 sharing); must divide `num_cores`.
+    pub cores_per_cluster: usize,
+    /// Optional shared L2 per cluster.
+    pub l2: Option<CacheConfig>,
+    /// Optional L3 shared by all clusters.
+    pub l3: Option<CacheConfig>,
+    /// DRAM parameters.
+    pub dram: DramConfig,
+}
+
+impl HierarchyConfig {
+    /// A hierarchy with no L2/L3: cores talk straight to DRAM.
+    pub fn flat(num_cores: usize, dram: DramConfig) -> Self {
+        Self {
+            num_cores,
+            cores_per_cluster: num_cores.max(1),
+            l2: None,
+            l3: None,
+            dram,
+        }
+    }
+
+    fn num_clusters(&self) -> usize {
+        self.num_cores.div_ceil(self.cores_per_cluster)
+    }
+}
+
+/// Default L2: 128 KiB, 8 banks, 64 B lines.
+pub fn l2_default() -> CacheConfig {
+    CacheConfig {
+        size_bytes: 128 * 1024,
+        line_bytes: 64,
+        num_banks: 8,
+        num_ways: 2,
+        ports: 1,
+        mshr_size: 32,
+        input_queue: 4,
+        memq_size: 16,
+    }
+}
+
+/// Default L3: 512 KiB, 8 banks, 64 B lines.
+pub fn l3_default() -> CacheConfig {
+    CacheConfig {
+        size_bytes: 512 * 1024,
+        line_bytes: 64,
+        num_banks: 8,
+        num_ways: 4,
+        ports: 1,
+        mshr_size: 64,
+        input_queue: 4,
+        memq_size: 16,
+    }
+}
+
+/// Remembers where a re-tagged request came from.
+#[derive(Debug)]
+struct TagMap {
+    next: Tag,
+    entries: HashMap<Tag, (usize, Tag)>,
+}
+
+impl TagMap {
+    fn new() -> Self {
+        Self {
+            next: 0,
+            entries: HashMap::new(),
+        }
+    }
+
+    fn wrap(&mut self, port: usize, orig: Tag) -> Tag {
+        let tag = self.next;
+        self.next = self.next.wrapping_add(1);
+        self.entries.insert(tag, (port, orig));
+        tag
+    }
+
+    fn unwrap(&mut self, tag: Tag) -> Option<(usize, Tag)> {
+        self.entries.remove(&tag)
+    }
+
+    fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+/// A cache level shared by several upstream ports.
+#[derive(Debug)]
+struct SharedLevel {
+    cache: Cache,
+    tags: TagMap,
+    /// Requests admitted from upstream but not yet accepted by the bank
+    /// selector (bounded by the selector's own backpressure).
+    pending: Vec<MemReq>,
+    /// Responses routed back per upstream port.
+    rsp_out: Vec<VecDeque<MemRsp>>,
+}
+
+impl SharedLevel {
+    fn new(config: CacheConfig, ports: usize) -> Self {
+        Self {
+            cache: Cache::new(config),
+            tags: TagMap::new(),
+            pending: Vec::new(),
+            rsp_out: (0..ports).map(|_| VecDeque::new()).collect(),
+        }
+    }
+
+    /// Admits an upstream request if the pending buffer has room.
+    fn push_req(&mut self, port: usize, req: MemReq) -> Result<(), MemReq> {
+        // Bounded staging keeps backpressure real: one slot per port.
+        if self.pending.len() >= self.rsp_out.len() * 2 {
+            return Err(req);
+        }
+        // Writes never produce responses, so don't record a routing entry
+        // for them (it would never be reclaimed).
+        let tag = if req.write {
+            0
+        } else {
+            self.tags.wrap(port, req.tag)
+        };
+        self.pending.push(MemReq {
+            tag,
+            addr: req.addr,
+            write: req.write,
+        });
+        Ok(())
+    }
+
+    fn begin_cycle(&mut self) {
+        self.cache.begin_cycle();
+    }
+
+    fn tick(&mut self) {
+        self.cache.offer(&mut self.pending);
+        self.cache.tick();
+        while let Some(rsp) = self.cache.pop_rsp() {
+            if let Some((port, orig)) = self.tags.unwrap(rsp.tag) {
+                self.rsp_out[port].push_back(MemRsp { tag: orig });
+            }
+        }
+    }
+
+    fn is_idle(&self) -> bool {
+        self.pending.is_empty()
+            && self.cache.is_idle()
+            && self.rsp_out.iter().all(VecDeque::is_empty)
+    }
+}
+
+/// The memory system above the per-core L1 caches.
+#[derive(Debug)]
+pub struct MemHierarchy {
+    config: HierarchyConfig,
+    l2: Vec<SharedLevel>,
+    l3: Option<SharedLevel>,
+    dram: Dram,
+    dram_tags: TagMap,
+    /// Per-core response queues.
+    core_rsp: Vec<VecDeque<MemRsp>>,
+}
+
+impl MemHierarchy {
+    /// Builds the hierarchy.
+    ///
+    /// # Panics
+    /// Panics if `cores_per_cluster` is zero.
+    pub fn new(config: HierarchyConfig) -> Self {
+        assert!(config.cores_per_cluster > 0, "cluster size must be non-zero");
+        let clusters = config.num_clusters();
+        let l2 = match &config.l2 {
+            Some(cfg) => (0..clusters)
+                .map(|_| SharedLevel::new(*cfg, config.cores_per_cluster))
+                .collect(),
+            None => Vec::new(),
+        };
+        let l3 = config
+            .l3
+            .as_ref()
+            .map(|cfg| SharedLevel::new(*cfg, clusters.max(1)));
+        Self {
+            dram: Dram::new(config.dram),
+            dram_tags: TagMap::new(),
+            core_rsp: (0..config.num_cores).map(|_| VecDeque::new()).collect(),
+            l2,
+            l3,
+            config,
+        }
+    }
+
+    /// Pushes one L1 miss-traffic request from `core`. Fails on
+    /// backpressure; the core retries next cycle.
+    ///
+    /// # Panics
+    /// Panics if `core` is out of range.
+    pub fn push_req(&mut self, core: usize, req: MemReq) -> Result<(), MemReq> {
+        assert!(core < self.config.num_cores, "core id out of range");
+        if self.l2.is_empty() {
+            // Straight to DRAM (re-tagged for routing).
+            if !self.dram.can_accept() {
+                return Err(req);
+            }
+            let tag = if req.write {
+                0
+            } else {
+                self.dram_tags.wrap(core, req.tag)
+            };
+            self.dram
+                .push_req(MemReq {
+                    tag,
+                    addr: req.addr,
+                    write: req.write,
+                })
+                .map_err(|r| MemReq {
+                    tag: req.tag,
+                    addr: r.addr,
+                    write: r.write,
+                })
+        } else {
+            let cluster = core / self.config.cores_per_cluster;
+            let port = core % self.config.cores_per_cluster;
+            self.l2[cluster].push_req(port, req)
+        }
+    }
+
+    /// Pops one fill response destined for `core`.
+    pub fn pop_rsp(&mut self, core: usize) -> Option<MemRsp> {
+        self.core_rsp[core].pop_front()
+    }
+
+    /// Advances every shared level and the DRAM by one cycle, moving
+    /// traffic between levels.
+    pub fn tick(&mut self) {
+        for l2 in &mut self.l2 {
+            l2.begin_cycle();
+        }
+        if let Some(l3) = &mut self.l3 {
+            l3.begin_cycle();
+        }
+
+        for l2 in &mut self.l2 {
+            l2.tick();
+        }
+
+        // L2 miss traffic → L3 (or DRAM).
+        for (ci, l2) in self.l2.iter_mut().enumerate() {
+            while let Some(req) = l2.cache.peek_mem_req().copied() {
+                let ok = match &mut self.l3 {
+                    Some(l3) => l3.push_req(ci, req).is_ok(),
+                    None => {
+                        if self.dram.can_accept() {
+                            let tag = if req.write {
+                                0
+                            } else {
+                                // Route back to cluster ci, L2 tag.
+                                self.dram_tags.wrap(self.config.num_cores + ci, req.tag)
+                            };
+                            self.dram
+                                .push_req(MemReq {
+                                    tag,
+                                    addr: req.addr,
+                                    write: req.write,
+                                })
+                                .is_ok()
+                        } else {
+                            false
+                        }
+                    }
+                };
+                if ok {
+                    l2.cache.pop_mem_req();
+                } else {
+                    break;
+                }
+            }
+        }
+
+        if let Some(l3) = &mut self.l3 {
+            l3.tick();
+            // L3 miss traffic → DRAM.
+            while let Some(req) = l3.cache.peek_mem_req().copied() {
+                if !self.dram.can_accept() {
+                    break;
+                }
+                let tag = if req.write {
+                    0
+                } else {
+                    self.dram_tags
+                        .wrap(self.config.num_cores + self.l2.len(), req.tag)
+                };
+                if self
+                    .dram
+                    .push_req(MemReq {
+                        tag,
+                        addr: req.addr,
+                        write: req.write,
+                    })
+                    .is_ok()
+                {
+                    l3.cache.pop_mem_req();
+                } else {
+                    break;
+                }
+            }
+        }
+
+        self.dram.tick();
+
+        // DRAM responses → owning level.
+        while let Some(rsp) = self.dram.pop_rsp() {
+            let Some((port, orig)) = self.dram_tags.unwrap(rsp.tag) else {
+                continue;
+            };
+            if port < self.config.num_cores {
+                self.core_rsp[port].push_back(MemRsp { tag: orig });
+            } else {
+                let idx = port - self.config.num_cores;
+                if idx < self.l2.len() {
+                    self.l2[idx].cache.push_mem_rsp(MemRsp { tag: orig });
+                } else if let Some(l3) = &mut self.l3 {
+                    l3.cache.push_mem_rsp(MemRsp { tag: orig });
+                }
+            }
+        }
+
+        // L3 responses → L2s.
+        if let Some(l3) = &mut self.l3 {
+            for (ci, l2) in self.l2.iter_mut().enumerate() {
+                while let Some(rsp) = l3.rsp_out[ci].pop_front() {
+                    l2.cache.push_mem_rsp(rsp);
+                }
+            }
+        }
+
+        // L2 responses → cores.
+        for (ci, l2) in self.l2.iter_mut().enumerate() {
+            for port in 0..self.config.cores_per_cluster {
+                let core = ci * self.config.cores_per_cluster + port;
+                if core >= self.config.num_cores {
+                    break;
+                }
+                while let Some(rsp) = l2.rsp_out[port].pop_front() {
+                    self.core_rsp[core].push_back(rsp);
+                }
+            }
+        }
+    }
+
+    /// Flushes every shared cache level (part of the `fence` path).
+    pub fn flush(&mut self) {
+        for l2 in &mut self.l2 {
+            l2.cache.flush();
+        }
+        if let Some(l3) = &mut self.l3 {
+            l3.cache.flush();
+        }
+    }
+
+    /// `true` when nothing is in flight anywhere above the L1s.
+    pub fn is_idle(&self) -> bool {
+        self.dram.is_idle()
+            && self.dram_tags.is_empty()
+            && self.l2.iter().all(SharedLevel::is_idle)
+            && self.l3.as_ref().is_none_or(SharedLevel::is_idle)
+            && self.core_rsp.iter().all(VecDeque::is_empty)
+    }
+
+    /// Total DRAM reads serviced.
+    pub fn dram_reads(&self) -> u64 {
+        self.dram.total_reads
+    }
+
+    /// Total DRAM writes serviced.
+    pub fn dram_writes(&self) -> u64 {
+        self.dram.total_writes
+    }
+
+    /// L2 statistics per cluster (empty when no L2 is configured).
+    pub fn l2_stats(&self) -> Vec<crate::cache::CacheStats> {
+        self.l2.iter().map(|l| l.cache.stats).collect()
+    }
+
+    /// The configuration this hierarchy was built with.
+    pub fn config(&self) -> &HierarchyConfig {
+        &self.config
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn drive(h: &mut MemHierarchy, core: usize, mut reqs: Vec<MemReq>, max: u64) -> Vec<Tag> {
+        let mut got = Vec::new();
+        for _ in 0..max {
+            if let Some(req) = reqs.first().copied() {
+                if h.push_req(core, req).is_ok() {
+                    reqs.remove(0);
+                }
+            }
+            h.tick();
+            while let Some(rsp) = h.pop_rsp(core) {
+                got.push(rsp.tag);
+            }
+            if reqs.is_empty() && h.is_idle() {
+                break;
+            }
+        }
+        got
+    }
+
+    #[test]
+    fn flat_hierarchy_round_trips() {
+        let mut h = MemHierarchy::new(HierarchyConfig::flat(
+            2,
+            DramConfig {
+                latency: 10,
+                channels: 2,
+                queue_size: 8,
+            },
+        ));
+        let got = drive(&mut h, 0, vec![MemReq::read(5, 0x40), MemReq::read(6, 0x80)], 200);
+        assert_eq!(got, vec![5, 6]);
+    }
+
+    #[test]
+    fn l2_filters_repeat_fills() {
+        let mut cfg = HierarchyConfig::flat(1, DramConfig::default());
+        cfg.l2 = Some(l2_default());
+        let mut h = MemHierarchy::new(cfg);
+        // Same line twice: second time the L2 hits, DRAM sees one read.
+        let got = drive(&mut h, 0, vec![MemReq::read(1, 0x100)], 1000);
+        assert_eq!(got, vec![1]);
+        let got = drive(&mut h, 0, vec![MemReq::read(2, 0x100)], 1000);
+        assert_eq!(got, vec![2]);
+        assert_eq!(h.dram_reads(), 1, "L2 must absorb the second fill");
+    }
+
+    #[test]
+    fn three_level_hierarchy_round_trips() {
+        let mut cfg = HierarchyConfig::flat(4, DramConfig::default());
+        cfg.cores_per_cluster = 2;
+        cfg.l2 = Some(l2_default());
+        cfg.l3 = Some(l3_default());
+        let mut h = MemHierarchy::new(cfg);
+        for core in 0..4 {
+            let got = drive(
+                &mut h,
+                core,
+                vec![MemReq::read(100 + core as Tag, 0x40 * core as u32)],
+                2000,
+            );
+            assert_eq!(got, vec![100 + core as Tag], "core {core}");
+        }
+    }
+
+    #[test]
+    fn same_tag_from_two_cores_routes_correctly() {
+        let mut h = MemHierarchy::new(HierarchyConfig::flat(
+            2,
+            DramConfig {
+                latency: 5,
+                channels: 2,
+                queue_size: 8,
+            },
+        ));
+        h.push_req(0, MemReq::read(7, 0x40)).unwrap();
+        h.push_req(1, MemReq::read(7, 0x40)).unwrap();
+        for _ in 0..50 {
+            h.tick();
+        }
+        assert_eq!(h.pop_rsp(0), Some(MemRsp { tag: 7 }));
+        assert_eq!(h.pop_rsp(1), Some(MemRsp { tag: 7 }));
+    }
+
+    #[test]
+    fn writes_reach_dram_without_responses() {
+        let mut h = MemHierarchy::new(HierarchyConfig::flat(1, DramConfig::default()));
+        h.push_req(0, MemReq::write(1, 0x40)).unwrap();
+        for _ in 0..200 {
+            h.tick();
+        }
+        assert_eq!(h.dram_writes(), 1);
+        assert!(h.pop_rsp(0).is_none());
+        assert!(h.is_idle());
+    }
+}

@@ -1,0 +1,156 @@
+//! Functional flat memory.
+//!
+//! Holds the *values* of device memory: program images, kernel arguments,
+//! buffers, textures and frame buffers. Organized as sparse 4 KiB pages so a
+//! full 4 GiB address space costs only what is touched.
+
+use std::collections::HashMap;
+
+const PAGE_SHIFT: u32 = 12;
+const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+
+/// Sparse byte-addressable memory covering the full 32-bit address space.
+#[derive(Debug, Default, Clone)]
+pub struct Ram {
+    pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+}
+
+impl Ram {
+    /// Creates an empty (all-zero) memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn page(&self, addr: u32) -> Option<&[u8; PAGE_SIZE]> {
+        self.pages.get(&(addr >> PAGE_SHIFT)).map(|p| &**p)
+    }
+
+    fn page_mut(&mut self, addr: u32) -> &mut [u8; PAGE_SIZE] {
+        self.pages
+            .entry(addr >> PAGE_SHIFT)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+    }
+
+    /// Reads one byte (unmapped memory reads as zero).
+    pub fn read_u8(&self, addr: u32) -> u8 {
+        match self.page(addr) {
+            Some(p) => p[(addr as usize) & (PAGE_SIZE - 1)],
+            None => 0,
+        }
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u32, value: u8) {
+        let off = (addr as usize) & (PAGE_SIZE - 1);
+        self.page_mut(addr)[off] = value;
+    }
+
+    /// Reads a little-endian u16 (no alignment requirement).
+    pub fn read_u16(&self, addr: u32) -> u16 {
+        u16::from_le_bytes([self.read_u8(addr), self.read_u8(addr.wrapping_add(1))])
+    }
+
+    /// Writes a little-endian u16.
+    pub fn write_u16(&mut self, addr: u32, value: u16) {
+        let [b0, b1] = value.to_le_bytes();
+        self.write_u8(addr, b0);
+        self.write_u8(addr.wrapping_add(1), b1);
+    }
+
+    /// Reads a little-endian u32 (no alignment requirement).
+    pub fn read_u32(&self, addr: u32) -> u32 {
+        u32::from_le_bytes([
+            self.read_u8(addr),
+            self.read_u8(addr.wrapping_add(1)),
+            self.read_u8(addr.wrapping_add(2)),
+            self.read_u8(addr.wrapping_add(3)),
+        ])
+    }
+
+    /// Writes a little-endian u32.
+    pub fn write_u32(&mut self, addr: u32, value: u32) {
+        for (i, b) in value.to_le_bytes().into_iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), b);
+        }
+    }
+
+    /// Reads an IEEE-754 single.
+    pub fn read_f32(&self, addr: u32) -> f32 {
+        f32::from_bits(self.read_u32(addr))
+    }
+
+    /// Writes an IEEE-754 single.
+    pub fn write_f32(&mut self, addr: u32, value: f32) {
+        self.write_u32(addr, value.to_bits());
+    }
+
+    /// Bulk-copies `bytes` into memory starting at `addr` (the DMA path of
+    /// the runtime's command processor).
+    pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
+        for (i, &b) in bytes.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u32), b);
+        }
+    }
+
+    /// Bulk-reads `len` bytes starting at `addr`.
+    pub fn read_bytes(&self, addr: u32, len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|i| self.read_u8(addr.wrapping_add(i as u32)))
+            .collect()
+    }
+
+    /// Number of resident 4 KiB pages (memory footprint diagnostics).
+    pub fn resident_pages(&self) -> usize {
+        self.pages.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unmapped_reads_zero() {
+        let ram = Ram::new();
+        assert_eq!(ram.read_u32(0xDEAD_BEEF), 0);
+        assert_eq!(ram.resident_pages(), 0);
+    }
+
+    #[test]
+    fn read_your_write_all_widths() {
+        let mut ram = Ram::new();
+        ram.write_u8(10, 0xAB);
+        assert_eq!(ram.read_u8(10), 0xAB);
+        ram.write_u16(100, 0x1234);
+        assert_eq!(ram.read_u16(100), 0x1234);
+        ram.write_u32(200, 0xDEAD_BEEF);
+        assert_eq!(ram.read_u32(200), 0xDEAD_BEEF);
+        ram.write_f32(300, 1.5);
+        assert_eq!(ram.read_f32(300), 1.5);
+    }
+
+    #[test]
+    fn words_are_little_endian() {
+        let mut ram = Ram::new();
+        ram.write_u32(0, 0x0403_0201);
+        assert_eq!(ram.read_u8(0), 1);
+        assert_eq!(ram.read_u8(3), 4);
+    }
+
+    #[test]
+    fn cross_page_access_works() {
+        let mut ram = Ram::new();
+        let addr = PAGE_SIZE as u32 - 2;
+        ram.write_u32(addr, 0xCAFE_BABE);
+        assert_eq!(ram.read_u32(addr), 0xCAFE_BABE);
+        assert_eq!(ram.resident_pages(), 2);
+    }
+
+    #[test]
+    fn bulk_round_trip() {
+        let mut ram = Ram::new();
+        let data: Vec<u8> = (0..=255).collect();
+        ram.write_bytes(0x8000, &data);
+        assert_eq!(ram.read_bytes(0x8000, 256), data);
+    }
+}

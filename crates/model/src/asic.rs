@@ -1,0 +1,100 @@
+//! ASIC power model (Figures 16/17's substitute).
+//!
+//! §6.6: *"we synthesized an 8-wavefront-4-thread single-core Vortex
+//! configuration using a 15-nm educational cell library, obtaining a
+//! 46.8 mW design running at 300 MHz."* The GDS layout itself (Figure 16)
+//! is inherently a physical-design artifact; what this model reproduces is
+//! the quantitative content: the total power at the published frequency,
+//! a frequency-scaled dynamic component, and the per-component power
+//! *distribution* of Figure 17 (dominated by the register banks and
+//! caches, with clock-tree overhead spread across everything).
+
+use crate::calib;
+
+/// A component's share of the ASIC power.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PowerComponent {
+    /// Component name.
+    pub name: &'static str,
+    /// Power in milliwatts.
+    pub mw: f64,
+    /// Share of the total.
+    pub share: f64,
+}
+
+/// The full power report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AsicPowerReport {
+    /// Clock frequency (MHz).
+    pub freq_mhz: f64,
+    /// Total power (mW).
+    pub total_mw: f64,
+    /// Per-component breakdown, largest first.
+    pub components: Vec<PowerComponent>,
+}
+
+/// Power distribution shares (Figure 17's content): memories dominate a
+/// multi-banked SIMT core, the FPU is synthesized logic (no DSP blocks on
+/// ASIC) and therefore larger than on FPGA.
+const SHARES: [(&str, f64); 7] = [
+    ("GPR banks", 0.26),
+    ("L1 caches + shared memory", 0.22),
+    ("FPU", 0.16),
+    ("pipeline logic", 0.13),
+    ("clock tree", 0.10),
+    ("scheduler + IPDOM + barriers", 0.07),
+    ("leakage", 0.06),
+];
+
+/// Fraction of the 300 MHz total that is frequency-proportional dynamic
+/// power (the rest is leakage).
+const DYNAMIC_FRACTION: f64 = 0.94;
+
+/// Builds the power report for the §6.6 design point at `freq_mhz`.
+/// At 300 MHz the total reproduces the published 46.8 mW exactly.
+pub fn asic_power_report(freq_mhz: f64) -> AsicPowerReport {
+    let at_ref = calib::ASIC_POWER_MW;
+    let dynamic = at_ref * DYNAMIC_FRACTION * (freq_mhz / calib::ASIC_FREQ_MHZ);
+    let static_mw = at_ref * (1.0 - DYNAMIC_FRACTION);
+    let total = dynamic + static_mw;
+    let components = SHARES
+        .iter()
+        .map(|&(name, share)| PowerComponent {
+            name,
+            mw: total * share,
+            share,
+        })
+        .collect();
+    AsicPowerReport {
+        freq_mhz,
+        total_mw: total,
+        components,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reference_point_reproduces() {
+        let r = asic_power_report(300.0);
+        assert!((r.total_mw - 46.8).abs() < 1e-9);
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let r = asic_power_report(300.0);
+        let sum: f64 = r.components.iter().map(|c| c.share).sum();
+        assert!((sum - 1.0).abs() < 1e-9);
+        let mw_sum: f64 = r.components.iter().map(|c| c.mw).sum();
+        assert!((mw_sum - r.total_mw).abs() < 1e-6);
+    }
+
+    #[test]
+    fn power_scales_with_frequency_but_keeps_leakage() {
+        let half = asic_power_report(150.0);
+        assert!(half.total_mw < 46.8);
+        assert!(half.total_mw > 46.8 * 0.5, "leakage floor remains");
+    }
+}

@@ -1,0 +1,66 @@
+//! Virtual-multi-ported cache synthesis model (Table 5's generator).
+//!
+//! The paper: *"The port increase from one to two adds a 9% increase in
+//! logic area and from one to four adds a 25% increase"*, with BRAM
+//! unchanged (virtual ports need "minimal storage ... only the word
+//! offsets for each port in the MSHR"). The model is the unique quadratic
+//! through the three published points per resource.
+
+
+/// Synthesis estimate for the 4-bank data cache at a port count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CacheSynthesis {
+    /// Virtual ports per bank.
+    pub ports: usize,
+    /// LUTs.
+    pub luts: f64,
+    /// Registers.
+    pub regs: f64,
+    /// BRAMs (constant: ports add no block RAM).
+    pub brams: f64,
+    /// Frequency (MHz).
+    pub fmax: f64,
+}
+
+const LUT_Q: [f64; 3] = [9720.0, 1053.0, -26.0];
+const REG_Q: [f64; 3] = [12977.333, 185.0, 75.667];
+const FMAX_Q: [f64; 3] = [256.0, -3.0, 0.0];
+
+/// Estimates the 4-bank D-cache synthesis at `ports` virtual ports.
+pub fn cache_resources(ports: usize) -> CacheSynthesis {
+    let p = ports as f64;
+    let eval = |c: &[f64; 3]| c[0] + c[1] * p + c[2] * p * p;
+    CacheSynthesis {
+        ports,
+        luts: eval(&LUT_Q),
+        regs: eval(&REG_Q),
+        brams: 72.0,
+        fmax: eval(&FMAX_Q),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calib::{rel_err, TABLE5};
+
+    #[test]
+    fn table5_points_reproduce() {
+        for p in TABLE5 {
+            let m = cache_resources(p.ports);
+            assert!(rel_err(m.luts, p.luts) < 0.001, "{p:?} → {m:?}");
+            assert!(rel_err(m.regs, p.regs) < 0.001);
+            assert_eq!(m.brams, p.brams);
+            assert!(rel_err(m.fmax, p.fmax) < 0.001);
+        }
+    }
+
+    #[test]
+    fn paper_percentages_hold() {
+        let base = cache_resources(1).luts;
+        let two = cache_resources(2).luts;
+        let four = cache_resources(4).luts;
+        assert!((two / base - 1.09).abs() < 0.01, "2 ports ≈ +9%");
+        assert!((four / base - 1.25).abs() < 0.01, "4 ports ≈ +25%");
+    }
+}

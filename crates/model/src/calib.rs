@@ -1,0 +1,97 @@
+//! The paper's published synthesis points (the calibration targets).
+//!
+//! Embedding the reference data makes the model's fit error a first-class,
+//! testable quantity: `cargo test -p vortex-model` asserts the bounds and
+//! the Table 3/4/5 regenerators print measured-vs-paper side by side.
+
+/// One Table 3 row: per-core synthesis on the Arria 10.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CorePoint {
+    /// Wavefronts.
+    pub wavefronts: usize,
+    /// Threads per wavefront.
+    pub threads: usize,
+    /// LUTs.
+    pub luts: f64,
+    /// Registers.
+    pub regs: f64,
+    /// M20K BRAM blocks.
+    pub brams: f64,
+    /// Achieved frequency (MHz).
+    pub fmax: f64,
+}
+
+/// Table 3 of the paper.
+pub const TABLE3: [CorePoint; 5] = [
+    CorePoint { wavefronts: 4, threads: 4, luts: 21502.0, regs: 32661.0, brams: 131.0, fmax: 233.0 },
+    CorePoint { wavefronts: 2, threads: 8, luts: 36361.0, regs: 54438.0, brams: 238.0, fmax: 224.0 },
+    CorePoint { wavefronts: 8, threads: 2, luts: 16981.0, regs: 24343.0, brams: 77.0, fmax: 225.0 },
+    CorePoint { wavefronts: 4, threads: 8, luts: 37857.0, regs: 57614.0, brams: 247.0, fmax: 224.0 },
+    CorePoint { wavefronts: 8, threads: 4, luts: 24485.0, regs: 34854.0, brams: 139.0, fmax: 228.0 },
+];
+
+/// One Table 4 row: whole-processor synthesis.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GpuPoint {
+    /// Core count.
+    pub cores: usize,
+    /// ALM utilization (percent of the device).
+    pub alm_pct: f64,
+    /// Registers (thousands).
+    pub regs_k: f64,
+    /// BRAM utilization (percent).
+    pub bram_pct: f64,
+    /// DSP utilization (percent).
+    pub dsp_pct: f64,
+    /// Achieved frequency (MHz).
+    pub fmax: f64,
+    /// `true` for the Stratix 10 row.
+    pub stratix: bool,
+}
+
+/// Table 4 of the paper (1-16 cores on Arria 10, 32 on Stratix 10).
+pub const TABLE4: [GpuPoint; 6] = [
+    GpuPoint { cores: 1, alm_pct: 13.0, regs_k: 78.0, bram_pct: 10.0, dsp_pct: 2.0, fmax: 234.0, stratix: false },
+    GpuPoint { cores: 2, alm_pct: 19.0, regs_k: 111.0, bram_pct: 15.0, dsp_pct: 5.0, fmax: 225.0, stratix: false },
+    GpuPoint { cores: 4, alm_pct: 30.0, regs_k: 176.0, bram_pct: 25.0, dsp_pct: 9.0, fmax: 223.0, stratix: false },
+    GpuPoint { cores: 8, alm_pct: 53.0, regs_k: 305.0, bram_pct: 45.0, dsp_pct: 19.0, fmax: 210.0, stratix: false },
+    GpuPoint { cores: 16, alm_pct: 85.0, regs_k: 525.0, bram_pct: 83.0, dsp_pct: 38.0, fmax: 203.0, stratix: false },
+    GpuPoint { cores: 32, alm_pct: 70.0, regs_k: 1057.0, bram_pct: 23.0, dsp_pct: 20.0, fmax: 200.0, stratix: true },
+];
+
+/// One Table 5 row: 4-bank data-cache synthesis per virtual-port count.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CachePoint {
+    /// Virtual ports.
+    pub ports: usize,
+    /// LUTs.
+    pub luts: f64,
+    /// Registers.
+    pub regs: f64,
+    /// BRAMs.
+    pub brams: f64,
+    /// Frequency (MHz).
+    pub fmax: f64,
+}
+
+/// Table 5 of the paper.
+pub const TABLE5: [CachePoint; 3] = [
+    CachePoint { ports: 1, luts: 10747.0, regs: 13238.0, brams: 72.0, fmax: 253.0 },
+    CachePoint { ports: 2, luts: 11722.0, regs: 13650.0, brams: 72.0, fmax: 250.0 },
+    CachePoint { ports: 4, luts: 13516.0, regs: 14928.0, brams: 72.0, fmax: 244.0 },
+];
+
+/// The ASIC data point of §6.6: 8W-4T single core, 15 nm educational
+/// library, 46.8 mW at 300 MHz.
+pub const ASIC_POWER_MW: f64 = 46.8;
+/// ASIC clock (MHz) for the §6.6 synthesis.
+pub const ASIC_FREQ_MHZ: f64 = 300.0;
+
+/// Relative error of `model` against `reference`.
+pub fn rel_err(model: f64, reference: f64) -> f64 {
+    if reference == 0.0 {
+        model.abs()
+    } else {
+        (model - reference).abs() / reference.abs()
+    }
+}

@@ -1,0 +1,25 @@
+//! # vortex-model
+//!
+//! Analytical FPGA synthesis and ASIC power models for the Vortex
+//! processor — the substitute for the Quartus/ASIC flows behind the
+//! paper's Tables 3/4/5 and Figures 15/16/17 (a pure-Rust reproduction
+//! cannot synthesize RTL; see DESIGN.md's substitution table).
+//!
+//! The model's *structure* follows the paper's §6.2.1 cost discussion —
+//! which resources scale with threads (`T`), which with wavefronts (`W`),
+//! and which with their product — and its coefficients are least-squares
+//! calibrated against the published synthesis points, embedded here in
+//! [`calib`] so the fit error is itself testable and reported in
+//! EXPERIMENTS.md.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asic;
+pub mod calib;
+pub mod cache;
+pub mod fpga;
+
+pub use asic::{asic_power_report, AsicPowerReport};
+pub use cache::{cache_resources, CacheSynthesis};
+pub use fpga::{core_resources, gpu_synthesis, CoreResources, FpgaDevice, GpuSynthesis};

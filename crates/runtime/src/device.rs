@@ -1,0 +1,257 @@
+//! The user-facing driver handle — the OPAE-level API of Figure 9.
+
+use crate::abi;
+use crate::afu::{CommandProcessor, MmioReg};
+use std::fmt;
+use vortex_asm::Program;
+use vortex_core::{Gpu, GpuConfig, GpuStats};
+
+/// A device-memory allocation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeviceBuffer {
+    /// Device byte address.
+    pub addr: u32,
+    /// Size in bytes.
+    pub size: u32,
+}
+
+/// Errors from driver operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RuntimeError {
+    /// Device memory heap exhausted.
+    OutOfMemory {
+        /// Bytes requested.
+        requested: u32,
+    },
+    /// The kernel did not complete within the cycle budget.
+    Timeout {
+        /// Cycles executed.
+        cycles: u64,
+    },
+    /// Access outside an allocated buffer.
+    BadAccess {
+        /// Offending address.
+        addr: u32,
+    },
+}
+
+impl fmt::Display for RuntimeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RuntimeError::OutOfMemory { requested } => {
+                write!(f, "device heap exhausted allocating {requested} bytes")
+            }
+            RuntimeError::Timeout { cycles } => {
+                write!(f, "kernel exceeded the cycle budget ({cycles} cycles)")
+            }
+            RuntimeError::BadAccess { addr } => {
+                write!(f, "access outside allocated device memory at {addr:#x}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RuntimeError {}
+
+/// What a kernel run produced.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Device performance counters.
+    pub stats: GpuStats,
+    /// Host-side cycles spent in driver transactions so far.
+    pub host_cycles: u64,
+}
+
+/// An open Vortex device: the simulated GPU behind the driver API.
+#[derive(Debug)]
+pub struct Device {
+    gpu: Gpu,
+    afu: CommandProcessor,
+    heap_next: u32,
+    /// Default cycle budget for [`Device::run_kernel`].
+    pub max_cycles: u64,
+}
+
+impl Device {
+    /// Opens a device with the given configuration.
+    pub fn new(config: GpuConfig) -> Self {
+        Self {
+            gpu: Gpu::new(config),
+            afu: CommandProcessor::new(),
+            heap_next: abi::HEAP_BASE,
+            max_cycles: 500_000_000,
+        }
+    }
+
+    /// Allocates `size` bytes of device memory (64-byte aligned, matching
+    /// the cache line).
+    ///
+    /// # Errors
+    /// Fails when the heap region is exhausted.
+    pub fn alloc(&mut self, size: u32) -> Result<DeviceBuffer, RuntimeError> {
+        let aligned = size
+            .checked_next_multiple_of(64)
+            .ok_or(RuntimeError::OutOfMemory { requested: size })?;
+        let addr = self.heap_next;
+        let end = addr
+            .checked_add(aligned)
+            .filter(|&e| e <= abi::STACK_TOP - 512 * abi::STACK_SIZE)
+            .ok_or(RuntimeError::OutOfMemory { requested: size })?;
+        self.heap_next = end;
+        Ok(DeviceBuffer { addr, size })
+    }
+
+    /// Uploads bytes into a buffer (DMA through the command processor).
+    ///
+    /// # Errors
+    /// Fails if the data does not fit in the buffer.
+    pub fn upload(&mut self, buf: DeviceBuffer, data: &[u8]) -> Result<(), RuntimeError> {
+        if data.len() as u32 > buf.size {
+            return Err(RuntimeError::BadAccess { addr: buf.addr });
+        }
+        self.afu.dma_upload(&mut self.gpu, buf.addr, data);
+        Ok(())
+    }
+
+    /// Downloads a buffer's contents.
+    pub fn download(&mut self, buf: DeviceBuffer) -> Vec<u8> {
+        self.afu
+            .dma_download(&self.gpu, buf.addr, buf.size as usize)
+    }
+
+    /// Downloads a buffer as little-endian `u32` words.
+    pub fn download_words(&mut self, buf: DeviceBuffer) -> Vec<u32> {
+        self.download(buf)
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect()
+    }
+
+    /// Downloads a buffer as `f32` values.
+    pub fn download_floats(&mut self, buf: DeviceBuffer) -> Vec<f32> {
+        self.download_words(buf)
+            .into_iter()
+            .map(f32::from_bits)
+            .collect()
+    }
+
+    /// Uploads a program image to its load address.
+    pub fn load_program(&mut self, program: &Program) {
+        self.afu
+            .dma_upload(&mut self.gpu, program.base, &program.to_bytes());
+    }
+
+    /// Uploads the kernel argument block.
+    pub fn write_args(&mut self, args: &crate::ArgWriter) {
+        self.afu
+            .dma_upload(&mut self.gpu, abi::ARG_BASE, args.bytes());
+    }
+
+    /// Launches a kernel at `entry` and runs it to completion.
+    ///
+    /// # Errors
+    /// [`RuntimeError::Timeout`] if `max_cycles` elapses first.
+    pub fn run_kernel(&mut self, entry: u32) -> Result<RunReport, RuntimeError> {
+        self.afu.mmio_write(&mut self.gpu, MmioReg::EntryPc, entry);
+        self.afu.mmio_write(&mut self.gpu, MmioReg::Control, 1);
+        let stats = self
+            .afu
+            .run_to_completion(&mut self.gpu, self.max_cycles)
+            .map_err(|e| RuntimeError::Timeout { cycles: e.cycles })?;
+        Ok(RunReport {
+            stats,
+            host_cycles: self.afu.host_cycles,
+        })
+    }
+
+    /// The underlying GPU (tests and experiments that need direct access).
+    pub fn gpu(&self) -> &Gpu {
+        &self.gpu
+    }
+
+    /// Mutable access to the underlying GPU.
+    pub fn gpu_mut(&mut self) -> &mut Gpu {
+        &mut self.gpu
+    }
+
+    /// The launch dimensions of this device.
+    pub fn dims(&self) -> crate::LaunchDims {
+        crate::LaunchDims::of(self.gpu.config())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dispatch::emit_spawn_tasks;
+    use crate::ArgWriter;
+    use vortex_asm::Assembler;
+    use vortex_isa::{csr, Reg};
+
+    #[test]
+    fn alloc_is_aligned_and_bounded() {
+        let mut dev = Device::new(GpuConfig::with_cores(1));
+        let a = dev.alloc(100).unwrap();
+        let b = dev.alloc(1).unwrap();
+        assert_eq!(a.addr % 64, 0);
+        assert_eq!(b.addr, a.addr + 128);
+        assert!(dev.alloc(u32::MAX).is_err());
+    }
+
+    #[test]
+    fn upload_bounds_are_checked() {
+        let mut dev = Device::new(GpuConfig::with_cores(1));
+        let buf = dev.alloc(4).unwrap();
+        assert!(dev.upload(buf, &[0; 8]).is_err());
+        assert!(dev.upload(buf, &[1, 2, 3, 4]).is_ok());
+        assert_eq!(dev.download(buf), vec![1, 2, 3, 4]);
+    }
+
+    /// End-to-end: a kernel that writes `gtid * scale` into an output
+    /// buffer for every work item, launched through the full driver path.
+    #[test]
+    fn full_driver_path_runs_a_simt_kernel() {
+        let mut dev = Device::new(GpuConfig::with_cores(2));
+        let n = 64u32;
+        let out = dev.alloc(n * 4).unwrap();
+
+        let mut args = ArgWriter::new();
+        args.word(out.addr).word(n).word(3); // dst, n, scale
+        dev.write_args(&args);
+
+        let mut a = Assembler::new();
+        emit_spawn_tasks(&mut a, "body").unwrap();
+        a.label("body").unwrap();
+        a.lw(Reg::X11, Reg::X10, 0); // dst
+        a.lw(Reg::X12, Reg::X10, 4); // n
+        a.lw(Reg::X13, Reg::X10, 8); // scale
+        a.csrr(Reg::X14, csr::VX_GTID); // i = gtid
+        // stride = NC*NW*NT
+        a.csrr(Reg::X15, csr::VX_NC);
+        a.csrr(Reg::X16, csr::VX_NW);
+        a.mul(Reg::X15, Reg::X15, Reg::X16);
+        a.csrr(Reg::X16, csr::VX_NT);
+        a.mul(Reg::X15, Reg::X15, Reg::X16);
+        a.label("loop").unwrap();
+        a.bge(Reg::X14, Reg::X12, "done");
+        a.mul(Reg::X17, Reg::X14, Reg::X13); // i * scale
+        a.slli(Reg::X18, Reg::X14, 2);
+        a.add(Reg::X18, Reg::X18, Reg::X11);
+        a.sw(Reg::X17, Reg::X18, 0);
+        a.add(Reg::X14, Reg::X14, Reg::X15);
+        a.j("loop");
+        a.label("done").unwrap();
+        a.ret();
+        let prog = a.assemble(abi::CODE_BASE).unwrap();
+
+        dev.load_program(&prog);
+        let report = dev.run_kernel(prog.entry).unwrap();
+        let result = dev.download_words(out);
+        let expect: Vec<u32> = (0..n).map(|i| i * 3).collect();
+        assert_eq!(result, expect);
+        assert!(report.stats.cycles > 0);
+        assert!(report.host_cycles > 0);
+        // Both cores participated.
+        assert!(report.stats.cores.iter().all(|c| c.instrs > 0));
+    }
+}

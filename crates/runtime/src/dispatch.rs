@@ -1,0 +1,120 @@
+//! Work-item dispatch: the `pocl_spawn` / `spawn_tasks` equivalent.
+//!
+//! The paper's POCL runtime replaces the single-threaded work-item loop
+//! with Vortex's `pocl_spawn` API (§5.3), and kernels call `spawn_tasks`
+//! to fan work out over the hardware threads (Figure 13, line 19). In this
+//! reproduction the same job is split between:
+//!
+//! * [`emit_spawn_tasks`] — assembles the device-side bootstrap stub that
+//!   every kernel starts with: wavefront 0 `wspawn`s the other wavefronts,
+//!   each wavefront `tmc`s all its threads on, sets up per-thread stacks,
+//!   loads the argument-block pointer and calls the kernel body; and
+//! * [`LaunchDims`] — the host-side helper that computes how a flat
+//!   work-item range maps onto `cores × wavefronts × threads` (kernels
+//!   iterate `for (i = gtid; i < n; i += total_threads)`).
+
+use crate::abi;
+use vortex_asm::Assembler;
+use vortex_core::GpuConfig;
+use vortex_isa::{csr, Reg};
+
+/// The hardware shape a kernel launch spreads over.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchDims {
+    /// Cores.
+    pub cores: usize,
+    /// Wavefronts per core.
+    pub wavefronts: usize,
+    /// Threads per wavefront.
+    pub threads: usize,
+}
+
+impl LaunchDims {
+    /// Dimensions of a configured GPU.
+    pub fn of(config: &GpuConfig) -> Self {
+        Self {
+            cores: config.num_cores,
+            wavefronts: config.core.num_wavefronts,
+            threads: config.core.num_threads,
+        }
+    }
+
+    /// Total hardware threads (the work-item loop stride).
+    pub fn total_threads(&self) -> usize {
+        self.cores * self.wavefronts * self.threads
+    }
+
+    /// Number of loop iterations the busiest thread performs for `n`
+    /// work-items.
+    pub fn iterations_for(&self, n: usize) -> usize {
+        n.div_ceil(self.total_threads())
+    }
+}
+
+/// Emits the standard kernel bootstrap at the assembler's current position
+/// (which must be the program entry), ending with a call to `body` and a
+/// halting `ecall`. On entry to `body`:
+///
+/// * `a0` (`x10`) holds [`abi::ARG_BASE`] — the argument-block pointer,
+/// * `sp` (`x2`) holds a private per-thread stack,
+/// * all `NT` threads of all `NW` wavefronts of every core are running.
+///
+/// # Errors
+/// Propagates assembler label errors (e.g. if called twice).
+pub fn emit_spawn_tasks(a: &mut Assembler, body: &str) -> Result<(), vortex_asm::AsmError> {
+    // Boot context: wavefront 0, thread 0, on every core.
+    a.csrr(Reg::X5, csr::VX_NW); // t0 = NW
+    a.la(Reg::X6, "__vx_worker");
+    a.wspawn(Reg::X5, Reg::X6); // activate wavefronts 1..NW
+    a.j("__vx_worker"); // wavefront 0 joins them
+    a.label("__vx_worker")?;
+    a.csrr(Reg::X5, csr::VX_NT);
+    a.tmc(Reg::X5); // all threads on
+    // sp = STACK_TOP - gtid * STACK_SIZE.
+    a.csrr(Reg::X5, csr::VX_GTID);
+    let shift = abi::STACK_SIZE.trailing_zeros() as i32;
+    a.slli(Reg::X5, Reg::X5, shift);
+    a.li(Reg::X2, abi::STACK_TOP as i32);
+    a.sub(Reg::X2, Reg::X2, Reg::X5);
+    // a0 = argument block.
+    a.li(Reg::X10, abi::ARG_BASE as i32);
+    a.call(body);
+    a.ecall();
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dims_cover_the_paper_scales() {
+        let d = LaunchDims {
+            cores: 32,
+            wavefronts: 4,
+            threads: 4,
+        };
+        assert_eq!(d.total_threads(), 512);
+        assert_eq!(d.iterations_for(512), 1);
+        assert_eq!(d.iterations_for(513), 2);
+        assert_eq!(d.iterations_for(0), 0);
+    }
+
+    #[test]
+    fn stub_assembles() {
+        let mut a = Assembler::new();
+        emit_spawn_tasks(&mut a, "body").unwrap();
+        a.label("body").unwrap();
+        a.ret();
+        let prog = a.assemble(abi::CODE_BASE).unwrap();
+        assert!(prog.image.len() > 8);
+        assert!(prog.symbols.contains_key("__vx_worker"));
+    }
+
+    #[test]
+    fn stub_cannot_be_emitted_twice() {
+        let mut a = Assembler::new();
+        emit_spawn_tasks(&mut a, "body").unwrap();
+        assert!(emit_spawn_tasks(&mut a, "body").is_err());
+    }
+}

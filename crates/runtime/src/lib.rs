@@ -1,0 +1,32 @@
+//! # vortex-runtime
+//!
+//! The host-side software stack (paper §5): the driver that talks to the
+//! device through its command processor, buffer management, the kernel
+//! ABI, and the `pocl_spawn`-style work-item scheduler.
+//!
+//! The paper's stack runs over PCIe using Intel's OPAE library and a CCI-P
+//! shared-memory protocol (Figure 9); its responsibilities are preserved
+//! here one-to-one against the simulated device:
+//!
+//! * [`afu::CommandProcessor`] — the AFU: MMIO register file and DMA engine
+//!   that moves data between "host" buffers and device memory, resets the
+//!   processor, starts kernels and polls completion.
+//! * [`Device`] — the user-facing driver handle (the OPAE-level API):
+//!   buffer allocation, upload/download, program loading, kernel launch.
+//! * [`abi`] — the kernel argument convention shared with `vortex-kernels`
+//!   (argument block address, stack layout).
+//! * [`dispatch`] — `pocl_spawn` equivalent: maps a flat work-item range
+//!   onto `cores × wavefronts × threads` and generates the kernel
+//!   bootstrap stub of Figure 13 (`spawn_tasks`).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod abi;
+pub mod afu;
+pub mod device;
+pub mod dispatch;
+
+pub use abi::ArgWriter;
+pub use device::{Device, DeviceBuffer, RunReport, RuntimeError};
+pub use dispatch::{emit_spawn_tasks, LaunchDims};

@@ -1,0 +1,124 @@
+//! RGBA8 color with the fixed-point blend arithmetic of the sampler.
+
+/// An 8-bit-per-channel RGBA color, the sampler's output format.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Hash)]
+pub struct Rgba8 {
+    /// Red.
+    pub r: u8,
+    /// Green.
+    pub g: u8,
+    /// Blue.
+    pub b: u8,
+    /// Alpha.
+    pub a: u8,
+}
+
+impl Rgba8 {
+    /// Opaque white.
+    pub const WHITE: Rgba8 = Rgba8::new(255, 255, 255, 255);
+    /// Opaque black.
+    pub const BLACK: Rgba8 = Rgba8::new(0, 0, 0, 255);
+    /// Fully transparent black.
+    pub const TRANSPARENT: Rgba8 = Rgba8::new(0, 0, 0, 0);
+
+    /// Builds a color from channels.
+    pub const fn new(r: u8, g: u8, b: u8, a: u8) -> Self {
+        Self { r, g, b, a }
+    }
+
+    /// Unpacks the kernel ABI layout: `0xAABBGGRR` (little-endian byte order
+    /// R, G, B, A — the OpenGL `RGBA8` memory layout).
+    pub const fn from_u32(packed: u32) -> Self {
+        Self {
+            r: (packed & 0xFF) as u8,
+            g: ((packed >> 8) & 0xFF) as u8,
+            b: ((packed >> 16) & 0xFF) as u8,
+            a: ((packed >> 24) & 0xFF) as u8,
+        }
+    }
+
+    /// Packs to `0xAABBGGRR`.
+    pub const fn to_u32(self) -> u32 {
+        (self.r as u32) | ((self.g as u32) << 8) | ((self.b as u32) << 16) | ((self.a as u32) << 24)
+    }
+
+    /// Per-channel linear interpolation with an 8-bit blend factor
+    /// (`0` → `self`, `255` → almost `other`), exactly as the two-cycle
+    /// hardware interpolator computes it: `a + ((b - a) * f) >> 8`.
+    pub fn lerp(self, other: Rgba8, frac: u8) -> Rgba8 {
+        let mix = |a: u8, b: u8| -> u8 {
+            let a = i32::from(a);
+            let b = i32::from(b);
+            (a + (((b - a) * i32::from(frac)) >> 8)) as u8
+        };
+        Rgba8 {
+            r: mix(self.r, other.r),
+            g: mix(self.g, other.g),
+            b: mix(self.b, other.b),
+            a: mix(self.a, other.a),
+        }
+    }
+
+    /// Channel-wise modulation (`self * other / 255`), used by fragment ops.
+    pub fn modulate(self, other: Rgba8) -> Rgba8 {
+        let m = |a: u8, b: u8| ((u16::from(a) * u16::from(b) + 127) / 255) as u8;
+        Rgba8 {
+            r: m(self.r, other.r),
+            g: m(self.g, other.g),
+            b: m(self.b, other.b),
+            a: m(self.a, other.a),
+        }
+    }
+}
+
+impl From<u32> for Rgba8 {
+    fn from(v: u32) -> Self {
+        Rgba8::from_u32(v)
+    }
+}
+
+impl From<Rgba8> for u32 {
+    fn from(c: Rgba8) -> u32 {
+        c.to_u32()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack_round_trip() {
+        let c = Rgba8::new(1, 2, 3, 4);
+        assert_eq!(Rgba8::from_u32(c.to_u32()), c);
+        assert_eq!(c.to_u32(), 0x0403_0201);
+    }
+
+    #[test]
+    fn lerp_endpoints() {
+        let a = Rgba8::new(0, 0, 0, 0);
+        let b = Rgba8::new(255, 255, 255, 255);
+        assert_eq!(a.lerp(b, 0), a, "blend 0 is the identity (point sampling)");
+        // Blend 255 gets within 1 LSB of the far endpoint (hardware >>8).
+        let near_b = a.lerp(b, 255);
+        assert!(near_b.r >= 254);
+    }
+
+    #[test]
+    fn lerp_midpoint() {
+        let a = Rgba8::new(0, 100, 200, 0);
+        let b = Rgba8::new(100, 0, 200, 255);
+        let m = a.lerp(b, 128);
+        assert_eq!(m.r, 50);
+        assert_eq!(m.g, 50);
+        assert_eq!(m.b, 200);
+        assert_eq!(m.a, 127);
+    }
+
+    #[test]
+    fn modulate_identity_and_zero() {
+        let c = Rgba8::new(10, 20, 30, 40);
+        assert_eq!(c.modulate(Rgba8::WHITE), c);
+        assert_eq!(c.modulate(Rgba8::TRANSPARENT), Rgba8::TRANSPARENT);
+    }
+}

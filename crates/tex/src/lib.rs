@@ -1,0 +1,38 @@
+//! # vortex-tex
+//!
+//! The Vortex hardware texture unit (paper §4.2, Figure 5) and its
+//! functional sampling primitives.
+//!
+//! The unit has three pipeline sections:
+//!
+//! 1. **Texture address generator** — converts per-lane normalized `(u, v)`
+//!    coordinates into texel addresses using the stage's CSR-programmed
+//!    state (base address, mip offsets, `log2` dimensions, format, wrap,
+//!    filter): one address per lane for point sampling, a 2×2 quad for
+//!    bilinear.
+//! 2. **Texture memory system** — de-duplicates addresses repeated across
+//!    lanes, schedules the unique batch to the data cache, and buffers the
+//!    returned texels until the whole batch is present.
+//! 3. **Texture sampler** — format conversion plus a two-cycle bilinear
+//!    interpolation producing one RGBA8 color per lane. Point sampling
+//!    executes as bilinear with zero blend weights — the paper keeps a
+//!    single fixed-latency sampler because "the overhead of muxing and
+//!    synchronization required to support a variable-latency sampler delay
+//!    is not worth a single cycle gain".
+//!
+//! Trilinear filtering is *not* in hardware: it is the two-`tex`
+//! pseudo-instruction sequence of Algorithm 1, provided here as
+//! [`filter::trilinear_reference`] for validation.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod color;
+pub mod filter;
+pub mod state;
+pub mod unit;
+
+pub use color::Rgba8;
+pub use filter::{sample_bilinear, sample_point, trilinear_reference};
+pub use state::{FilterMode, TexFormat, TexState, WrapMode};
+pub use unit::{TexRequest, TexResponse, TexUnit, TexUnitConfig, TexUnitStats};

@@ -1,0 +1,148 @@
+//! Property tests for the texture sampler: interpolation bounds, wrap
+//! invariants, and format-conversion monotonicity.
+
+use proptest::prelude::*;
+use vortex_mem::Ram;
+use vortex_tex::{
+    sample_bilinear, sample_point, trilinear_reference, Rgba8, TexFormat, TexState, WrapMode,
+};
+
+fn random_texture(log_size: u32, seed: &[u8]) -> (Ram, TexState) {
+    let size = 1u32 << log_size;
+    let state = TexState {
+        addr: 0x1000,
+        mipoff: 1,
+        log_width: log_size,
+        log_height: log_size,
+        format: TexFormat::Rgba8,
+        wrap_u: WrapMode::Clamp,
+        wrap_v: WrapMode::Clamp,
+        filter: vortex_tex::FilterMode::Bilinear,
+    };
+    let mut ram = Ram::new();
+    // Level 0 texels from the seed bytes (cycled); mip levels get a solid
+    // mid-gray so trilinear always has valid data.
+    for i in 0..size * size {
+        let b = seed[(i as usize) % seed.len()];
+        ram.write_u32(
+            state.addr + i * 4,
+            Rgba8::new(b, b.wrapping_add(40), b.wrapping_mul(3), 255).to_u32(),
+        );
+    }
+    let total = state.total_bytes() / 4;
+    for i in (size * size)..total {
+        ram.write_u32(state.addr + i * 4, Rgba8::new(128, 128, 128, 255).to_u32());
+    }
+    (ram, state)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// Bilinear output lies within the min/max envelope of the 2×2
+    /// footprint texels, per channel (interpolation never overshoots).
+    #[test]
+    fn bilinear_is_bounded_by_footprint(
+        u in -0.5f32..1.5,
+        v in -0.5f32..1.5,
+        seed in prop::collection::vec(any::<u8>(), 1..32),
+    ) {
+        let (ram, state) = random_texture(3, &seed);
+        let fp = vortex_tex::filter::bilinear_footprint(&state, u, v, 0);
+        let texels: Vec<Rgba8> = fp
+            .coords
+            .iter()
+            .map(|&(x, y)| state.fetch_texel(&ram, x, y, 0))
+            .collect();
+        let got = sample_bilinear(&ram, &state, u, v, 0);
+        for (ch, get) in [
+            ("r", (|c: Rgba8| c.r) as fn(Rgba8) -> u8),
+            ("g", |c| c.g),
+            ("b", |c| c.b),
+            ("a", |c| c.a),
+        ] {
+            let lo = texels.iter().map(|&t| get(t)).min().unwrap();
+            let hi = texels.iter().map(|&t| get(t)).max().unwrap();
+            let x = get(got);
+            prop_assert!(x >= lo && x <= hi, "{ch}: {x} not in [{lo},{hi}]");
+        }
+    }
+
+    /// Point sampling at a texel center returns that texel exactly, for
+    /// every wrap mode.
+    #[test]
+    fn point_at_center_is_exact(
+        xi in 0u32..8,
+        yi in 0u32..8,
+        wrap in prop::sample::select(vec![WrapMode::Clamp, WrapMode::Repeat, WrapMode::Mirror]),
+        seed in prop::collection::vec(any::<u8>(), 1..32),
+    ) {
+        let (ram, mut state) = random_texture(3, &seed);
+        state.wrap_u = wrap;
+        state.wrap_v = wrap;
+        let u = (xi as f32 + 0.5) / 8.0;
+        let v = (yi as f32 + 0.5) / 8.0;
+        let expect = state.fetch_texel(&ram, xi, yi, 0);
+        prop_assert_eq!(sample_point(&ram, &state, u, v, 0), expect);
+        // Bilinear at the exact center has zero blend → also the texel.
+        prop_assert_eq!(sample_bilinear(&ram, &state, u, v, 0), expect);
+    }
+
+    /// Wrap modes always produce in-range coordinates.
+    #[test]
+    fn wrap_stays_in_range(x in -1000i32..1000, log in 0u32..8) {
+        let size = 1u32 << log;
+        for wrap in [WrapMode::Clamp, WrapMode::Repeat, WrapMode::Mirror] {
+            let w = wrap.apply(x, size);
+            prop_assert!(w < size, "{wrap:?}({x}, {size}) = {w}");
+        }
+    }
+
+    /// Repeat wrapping is periodic; mirror wrapping is symmetric around
+    /// texel edges.
+    #[test]
+    fn wrap_mode_structure(x in -500i32..500, log in 1u32..6) {
+        let size = 1i32 << log;
+        prop_assert_eq!(
+            WrapMode::Repeat.apply(x, size as u32),
+            WrapMode::Repeat.apply(x + size, size as u32)
+        );
+        prop_assert_eq!(
+            WrapMode::Mirror.apply(x, size as u32),
+            WrapMode::Mirror.apply(x + 2 * size, size as u32)
+        );
+        // Mirror symmetry: apply(-1 - x) == apply(x).
+        prop_assert_eq!(
+            WrapMode::Mirror.apply(-1 - x, size as u32),
+            WrapMode::Mirror.apply(x, size as u32)
+        );
+    }
+
+    /// Trilinear at integral LODs equals plain bilinear at that level.
+    #[test]
+    fn trilinear_at_integral_lod_is_bilinear(
+        u in 0.0f32..1.0,
+        v in 0.0f32..1.0,
+        lod in 0u32..3,
+        seed in prop::collection::vec(any::<u8>(), 1..32),
+    ) {
+        let (ram, state) = random_texture(3, &seed);
+        prop_assert_eq!(
+            trilinear_reference(&ram, &state, u, v, lod as f32),
+            sample_bilinear(&ram, &state, u, v, lod)
+        );
+    }
+
+    /// Format conversion preserves channel ordering: a texel that is
+    /// larger in every stored channel converts to a color that is larger
+    /// in every channel (monotonicity of the bit-expansions).
+    #[test]
+    fn format_expansion_is_monotonic(raw in any::<u16>()) {
+        for fmt in [TexFormat::Rgb565, TexFormat::Rgba4, TexFormat::L8, TexFormat::A8] {
+            let lo = fmt.convert(u32::from(raw) & 0x0F0F);
+            let hi = fmt.convert(u32::from(raw) | 0xF0F0);
+            prop_assert!(hi.r >= lo.r && hi.g >= lo.g && hi.b >= lo.b && hi.a >= lo.a,
+                "{fmt:?}");
+        }
+    }
+}

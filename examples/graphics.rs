@@ -1,0 +1,71 @@
+//! Graphics: render two textured, depth-tested triangles through the full
+//! pipeline — host geometry + binning, device rasterization with the
+//! hardware `tex` instruction — and write the frame to `frame.ppm`.
+//!
+//! ```sh
+//! cargo run --release --example graphics
+//! ```
+
+use vortex::gfx::pipeline::Texture;
+use vortex::gfx::{Mat4, RenderState, Renderer, Vertex};
+use vortex::gpu::GpuConfig;
+use vortex::tex::Rgba8;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut renderer = Renderer::new(GpuConfig::with_cores(2), 128, 128);
+    renderer.set_clear_color(Rgba8::new(16, 16, 32, 255));
+
+    // A textured quad behind a smaller flat-colored triangle.
+    let vertices = vec![
+        // quad (z = 0.4, textured)
+        Vertex::new(-0.9, -0.9, 0.4, 0.0, 0.0),
+        Vertex::new(0.9, -0.9, 0.4, 1.0, 0.0),
+        Vertex::new(0.9, 0.9, 0.4, 1.0, 1.0),
+        Vertex::new(-0.9, 0.9, 0.4, 0.0, 1.0),
+        // triangle (z = -0.2, nearer, flat orange)
+        Vertex::new(-0.5, -0.5, -0.2, 0.0, 0.0).with_color(Rgba8::new(255, 140, 0, 255)),
+        Vertex::new(0.5, -0.5, -0.2, 0.0, 0.0).with_color(Rgba8::new(255, 140, 0, 255)),
+        Vertex::new(0.0, 0.6, -0.2, 0.0, 0.0).with_color(Rgba8::new(255, 140, 0, 255)),
+    ];
+    let indices = vec![0, 1, 2, 0, 2, 3, 4, 5, 6];
+    let texture = Texture::checkerboard(6, Rgba8::WHITE, Rgba8::new(60, 60, 180, 255), 8);
+    let mvp = Mat4::rotate_z(0.15);
+
+    // Pass 1: textured quad with the hardware texture unit.
+    let state = RenderState {
+        texturing: true,
+        hw_texture: true,
+        ..RenderState::default()
+    };
+    let report = renderer.draw(&vertices, &[0, 1, 2, 0, 2, 3], &mvp, &state, Some(&texture));
+    println!(
+        "pass 1 (textured quad): {} triangles, {} cycles, {} tex ops",
+        report.triangles,
+        report.stats.cycles,
+        report.stats.cores.iter().map(|c| c.tex_ops).sum::<u64>()
+    );
+
+    // Host-side render of the full scene (both passes) for the image file;
+    // the flat state for the triangle pass.
+    let flat = RenderState::default();
+    let fb_quad = renderer.draw_host(&vertices, &indices[..6], &mvp, &state, Some(&texture));
+    let mut fb = fb_quad;
+    // Overlay the near triangle respecting depth (host path reuses the
+    // same raster arithmetic).
+    let fb_tri = renderer.draw_host(&vertices, &indices[6..], &mvp, &flat, None);
+    for i in 0..fb.color.len() {
+        if fb_tri.depth[i] < fb.depth[i] {
+            fb.color[i] = fb_tri.color[i];
+            fb.depth[i] = fb_tri.depth[i];
+        }
+    }
+    std::fs::write("frame.ppm", fb.to_ppm())?;
+    println!(
+        "wrote frame.ppm ({}x{}, {:.0}% covered, checksum {:#018x})",
+        fb.width,
+        fb.height,
+        fb.coverage(Rgba8::new(16, 16, 32, 255)) * 100.0,
+        fb.color_checksum()
+    );
+    Ok(())
+}

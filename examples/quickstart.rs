@@ -1,0 +1,70 @@
+//! Quickstart: open a Vortex device, write a tiny SIMT kernel with the
+//! assembler, launch it through the driver stack, and read the results.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use vortex::asm::Assembler;
+use vortex::gpu::GpuConfig;
+use vortex::isa::{csr, Reg};
+use vortex::runtime::{abi, emit_spawn_tasks, ArgWriter, Device};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A 2-core processor with the paper's baseline 4W-4T cores.
+    let mut device = Device::new(GpuConfig::with_cores(2));
+    let dims = device.dims();
+    println!(
+        "device: {} cores x {} wavefronts x {} threads = {} hardware threads",
+        dims.cores,
+        dims.wavefronts,
+        dims.threads,
+        dims.total_threads()
+    );
+
+    // The kernel computes out[i] = i * i for n work-items, spread over all
+    // hardware threads in the standard strided pattern.
+    let n: u32 = 100;
+    let out = device.alloc(n * 4)?;
+    let mut args = ArgWriter::new();
+    args.word(out.addr).word(n);
+    device.write_args(&args);
+
+    let mut a = Assembler::new();
+    emit_spawn_tasks(&mut a, "body")?; // wspawn/tmc bootstrap (Figure 13)
+    a.label("body")?;
+    a.lw(Reg::X11, Reg::X10, 0); // out
+    a.lw(Reg::X12, Reg::X10, 4); // n
+    a.csrr(Reg::X8, csr::VX_GTID); // i = global thread id
+    a.csrr(Reg::X9, csr::VX_NC); // stride = NC * NW * NT
+    a.csrr(Reg::X5, csr::VX_NW);
+    a.mul(Reg::X9, Reg::X9, Reg::X5);
+    a.csrr(Reg::X5, csr::VX_NT);
+    a.mul(Reg::X9, Reg::X9, Reg::X5);
+    a.label("loop")?;
+    a.bge(Reg::X8, Reg::X12, "done");
+    a.mul(Reg::X6, Reg::X8, Reg::X8); // i * i
+    a.slli(Reg::X7, Reg::X8, 2);
+    a.add(Reg::X7, Reg::X7, Reg::X11);
+    a.sw(Reg::X6, Reg::X7, 0);
+    a.add(Reg::X8, Reg::X8, Reg::X9);
+    a.j("loop");
+    a.label("done")?;
+    a.ret();
+    let program = a.assemble(abi::CODE_BASE)?;
+
+    device.load_program(&program);
+    let report = device.run_kernel(program.entry)?;
+
+    let results = device.download_words(out);
+    assert!(results.iter().enumerate().all(|(i, &v)| v == (i * i) as u32));
+    println!("first squares: {:?}", &results[..8]);
+    println!(
+        "kernel: {} cycles, {} instructions, IPC {:.2} (thread IPC {:.2})",
+        report.stats.cycles,
+        report.stats.total_instrs(),
+        report.stats.ipc(),
+        report.stats.thread_ipc()
+    );
+    Ok(())
+}

@@ -1,0 +1,18 @@
+//! # vortex
+//!
+//! Umbrella crate for the Vortex soft-GPU reproduction. Re-exports every
+//! subsystem crate under one roof so examples and downstream users can write
+//! `use vortex::...` and hosts the cross-crate integration tests.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-reproduction results.
+
+pub use vortex_asm as asm;
+pub use vortex_core as gpu;
+pub use vortex_gfx as gfx;
+pub use vortex_isa as isa;
+pub use vortex_kernels as kernels;
+pub use vortex_mem as mem;
+pub use vortex_model as model;
+pub use vortex_runtime as runtime;
+pub use vortex_tex as tex;

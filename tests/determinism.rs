@@ -1,0 +1,38 @@
+//! The simulator must be fully deterministic: identical configuration and
+//! inputs give identical cycle counts, counters, and outputs — the
+//! property that makes experiments reproducible and traces comparable.
+
+use vortex::gpu::GpuConfig;
+use vortex::kernels::{Benchmark, Bfs, Sgemm, TexBench, FilterKind};
+
+#[test]
+fn sgemm_is_cycle_deterministic() {
+    let run = || Sgemm::new(8).run_on(&GpuConfig::with_cores(2));
+    let a = run();
+    let b = run();
+    assert_eq!(a.stats.cycles, b.stats.cycles);
+    assert_eq!(a.stats.total_instrs(), b.stats.total_instrs());
+    assert_eq!(a.stats.dram_reads, b.stats.dram_reads);
+    assert_eq!(a.stats.dram_writes, b.stats.dram_writes);
+}
+
+#[test]
+fn divergent_bfs_is_cycle_deterministic() {
+    let run = || Bfs::new(48, 2).run_on(&GpuConfig::with_cores(2));
+    let a = run();
+    let b = run();
+    assert_eq!(a.stats.cycles, b.stats.cycles);
+    assert_eq!(
+        a.stats.cores[0].divergences,
+        b.stats.cores[0].divergences
+    );
+}
+
+#[test]
+fn texture_unit_is_cycle_deterministic() {
+    let run = || TexBench::new(FilterKind::Bilinear, true, 4).run_on(&GpuConfig::with_cores(1));
+    let a = run();
+    let b = run();
+    assert_eq!(a.stats.cycles, b.stats.cycles);
+    assert_eq!(a.stats.cores[0].tex.texels_fetched, b.stats.cores[0].tex.texels_fetched);
+}

@@ -1,0 +1,90 @@
+//! Cross-crate integration tests: every benchmark kernel validated on
+//! several processor shapes, through the full driver path.
+
+use vortex::gpu::{CoreConfig, GpuConfig};
+use vortex::kernels::rodinia::all_rodinia_small;
+use vortex::kernels::{Benchmark, FilterKind, TexBench};
+use vortex::mem::hierarchy::{l2_default, l3_default};
+
+#[test]
+fn full_suite_validates_on_one_core() {
+    for b in all_rodinia_small() {
+        let r = b.run_on(&GpuConfig::with_cores(1));
+        assert!(r.validated, "{} failed", r.name);
+        assert!(r.stats.cycles > 0);
+    }
+}
+
+#[test]
+fn full_suite_validates_on_four_cores() {
+    for b in all_rodinia_small() {
+        let r = b.run_on(&GpuConfig::with_cores(4));
+        assert!(r.validated, "{} failed", r.name);
+    }
+}
+
+#[test]
+fn full_suite_validates_with_l2() {
+    let mut config = GpuConfig::with_cores(2);
+    config.l2 = Some(l2_default());
+    for b in all_rodinia_small() {
+        let r = b.run_on(&config);
+        assert!(r.validated, "{} failed with L2", r.name);
+    }
+}
+
+#[test]
+fn full_suite_validates_with_l2_and_l3() {
+    let mut config = GpuConfig::with_cores(4);
+    config.cores_per_cluster = 2;
+    config.l2 = Some(l2_default());
+    config.l3 = Some(l3_default());
+    for b in all_rodinia_small() {
+        let r = b.run_on(&config);
+        assert!(r.validated, "{} failed with L2+L3", r.name);
+    }
+}
+
+#[test]
+fn full_suite_validates_on_wide_cores() {
+    let mut config = GpuConfig::with_cores(1);
+    config.core = CoreConfig::with_dims(8, 8);
+    for b in all_rodinia_small() {
+        let r = b.run_on(&config);
+        assert!(r.validated, "{} failed on 8W-8T", r.name);
+    }
+}
+
+#[test]
+fn texture_filters_validate_on_two_cores() {
+    for filter in [FilterKind::Point, FilterKind::Bilinear, FilterKind::Trilinear] {
+        for hw in [false, true] {
+            let b = TexBench::new(filter, hw, 4);
+            let r = b.run_on(&GpuConfig::with_cores(2));
+            assert!(r.validated, "{} failed", r.name);
+        }
+    }
+}
+
+#[test]
+fn virtual_ports_never_break_correctness() {
+    for ports in [1usize, 2, 4] {
+        let mut config = GpuConfig::with_cores(1);
+        config.core.dcache.ports = ports;
+        for b in all_rodinia_small() {
+            let r = b.run_on(&config);
+            assert!(r.validated, "{} failed at {ports} ports", r.name);
+        }
+    }
+}
+
+#[test]
+fn slow_memory_never_breaks_correctness() {
+    let mut config = GpuConfig::with_cores(2);
+    config.dram.latency = 500;
+    config.dram.channels = 1;
+    for b in all_rodinia_small() {
+        let r = b.run_on(&config);
+        assert!(r.validated, "{} failed with slow DRAM", r.name);
+    }
+}
