@@ -3,21 +3,28 @@
 //!
 //! ```sh
 //! cargo run --release -p vortex-bench --bin vxsim -- kernel.s \
-//!     [--cores N] [--warps W] [--threads T] [--ports P] [--trace N] [--disasm]
+//!     [--cores N] [--warps W] [--threads T] [--ports P] [--trace N] [--disasm] \
+//!     [--inject seed=S,dram_drop=R,...]
 //! ```
+//!
+//! `--inject` enables deterministic fault injection; the spec is a
+//! comma-separated `key=value` list (see `vortex_faults::FaultConfig::
+//! from_spec`). On a hang the watchdog's structured report is printed.
 //!
 //! The program boots like real Vortex: every core starts wavefront 0,
 //! thread 0 at the image base; use `wspawn`/`tmc` (or the `emit_spawn_tasks`
 //! prologue) to light up the machine, and `ecall` to finish.
 
 use vortex_asm::parse_asm;
-use vortex_core::{CoreConfig, Gpu, GpuConfig};
+use vortex_core::{CoreConfig, Gpu, GpuConfig, SimError};
+use vortex_faults::FaultConfig;
 use vortex_runtime::abi;
 
 fn usage() -> ! {
     eprintln!(
         "usage: vxsim <kernel.s> [--cores N] [--warps W] [--threads T] \
-         [--ports P] [--trace N] [--disasm] [--max-cycles N]"
+         [--ports P] [--trace N] [--disasm] [--max-cycles N] \
+         [--inject k=v,...]"
     );
     std::process::exit(2);
 }
@@ -29,6 +36,7 @@ fn main() {
     let mut trace = 0usize;
     let mut disasm = false;
     let mut max_cycles = 100_000_000u64;
+    let mut faults = FaultConfig::off();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         let mut num = |what: &str| -> usize {
@@ -46,6 +54,16 @@ fn main() {
             "--ports" => ports = num("--ports"),
             "--trace" => trace = num("--trace"),
             "--max-cycles" => max_cycles = num("--max-cycles") as u64,
+            "--inject" => {
+                let spec = it.next().unwrap_or_else(|| {
+                    eprintln!("--inject needs a spec (e.g. seed=1,dram_drop=5)");
+                    usage()
+                });
+                faults = FaultConfig::from_spec(spec).unwrap_or_else(|e| {
+                    eprintln!("bad --inject spec: {e}");
+                    usage()
+                });
+            }
             "--disasm" => disasm = true,
             other if file.is_none() && !other.starts_with('-') => {
                 file = Some(other.to_string());
@@ -70,6 +88,7 @@ fn main() {
     config.core = CoreConfig::with_dims(warps, threads);
     config.core.dcache.ports = ports;
     let mut gpu = Gpu::new(config);
+    gpu.apply_faults(&faults);
     gpu.ram.write_bytes(program.base, &program.to_bytes());
     if trace > 0 {
         for c in 0..cores {
@@ -112,7 +131,12 @@ fn main() {
             }
         }
         Err(e) => {
-            eprintln!("TIMEOUT: {e}");
+            let label = match &e {
+                SimError::Timeout { .. } => "TIMEOUT",
+                SimError::Hang(_) => "HANG",
+                _ => "TRAP",
+            };
+            eprintln!("{label}: {e}");
             std::process::exit(1);
         }
     }

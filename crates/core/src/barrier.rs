@@ -42,12 +42,13 @@ impl BarrierTable {
 
     /// Participant `id` arrives at `barrier` expecting `count` total
     /// arrivals. The first arrival arms the counter; the last one releases.
-    ///
-    /// # Panics
-    /// Panics if `barrier` is out of range or `count` is zero.
+    /// A zero `count` is clamped to 1 (an immediately-releasing barrier)
+    /// rather than crashing the simulation on malformed kernel input; the
+    /// slot index wraps into range the same way the hardware masks it.
     pub fn arrive(&mut self, barrier: usize, id: usize, count: u32) -> BarrierOutcome {
-        assert!(count > 0, "barrier count must be non-zero");
-        let entry = &mut self.entries[barrier];
+        let count = count.max(1);
+        let slot = barrier % self.entries.len();
+        let entry = &mut self.entries[slot];
         if entry.left == 0 {
             entry.left = count;
             entry.waiting.clear();
@@ -66,6 +67,12 @@ impl BarrierTable {
     /// `true` when no barrier has waiters.
     pub fn is_idle(&self) -> bool {
         self.entries.iter().all(|e| e.left == 0)
+    }
+
+    /// Total participants currently stalled across all barriers (hang
+    /// diagnosis).
+    pub fn waiters(&self) -> usize {
+        self.entries.iter().map(|e| e.waiting.len()).sum()
     }
 
     /// Number of barriers in the table.
@@ -110,6 +117,22 @@ mod tests {
     fn single_participant_barrier_releases_immediately() {
         let mut t = BarrierTable::new(1);
         assert_eq!(t.arrive(0, 5, 1), BarrierOutcome::Release(vec![5]));
+    }
+
+    #[test]
+    fn zero_count_is_clamped_not_a_crash() {
+        let mut t = BarrierTable::new(1);
+        assert_eq!(t.arrive(0, 7, 0), BarrierOutcome::Release(vec![7]));
+        assert!(t.is_idle());
+    }
+
+    #[test]
+    fn out_of_range_slot_wraps() {
+        let mut t = BarrierTable::new(2);
+        assert_eq!(t.arrive(5, 0, 2), BarrierOutcome::Wait); // slot 1
+        assert_eq!(t.waiters(), 1);
+        assert!(matches!(t.arrive(1, 1, 2), BarrierOutcome::Release(_)));
+        assert_eq!(t.waiters(), 0);
     }
 
     #[test]

@@ -138,6 +138,11 @@ pub struct GpuConfig {
     pub l3: Option<CacheConfig>,
     /// DRAM parameters.
     pub dram: DramConfig,
+    /// Hang-watchdog window: abort with a structured hang report when no
+    /// component makes forward progress for this many consecutive cycles.
+    /// Must comfortably exceed the longest legitimate quiet period (DRAM
+    /// latency plus any injected delays). `0` disables the watchdog.
+    pub watchdog_cycles: u64,
 }
 
 impl GpuConfig {
@@ -158,6 +163,7 @@ impl GpuConfig {
             l2: None,
             l3: None,
             dram,
+            watchdog_cycles: 10_000,
         }
     }
 

@@ -25,7 +25,8 @@
 
 use crate::barrier::{BarrierOutcome, BarrierTable};
 use crate::config::CoreConfig;
-use crate::exec::{self, CsrFile, ExecEnv, FuKind, Writeback};
+use crate::error::{CoreHangState, SimError, WarpHangState};
+use crate::exec::{self, CsrFile, ExecEnv, FuKind, Trap, Writeback};
 use crate::lsu::{tags, Lsu};
 use crate::regfile::RegFile;
 use crate::scheduler::WavefrontScheduler;
@@ -34,6 +35,7 @@ use crate::stats::CoreStats;
 use crate::trace::{Trace, TraceEvent};
 use crate::warp::{StallReason, Wavefront};
 use std::collections::HashMap;
+use vortex_faults::{site, FaultConfig};
 use vortex_isa::{decode, CsrSrc, Instr, Reg};
 use vortex_mem::{Cache, MemReq, MemRsp, Ram, SharedMem, Tag};
 use vortex_tex::{TexRequest, TexUnit};
@@ -312,7 +314,11 @@ impl Core {
     }
 
     /// Issue + execute stage.
-    fn issue_stage(&mut self, ram: &mut Ram) {
+    ///
+    /// # Errors
+    /// Propagates execution traps (divergence misuse, divergent branches)
+    /// as [`SimError`]s carrying the trap site.
+    fn issue_stage(&mut self, ram: &mut Ram) -> Result<(), SimError> {
         let nw = self.config.num_wavefronts;
         // Find a wavefront with a decoded instruction, round-robin.
         let mut picked = None;
@@ -375,7 +381,7 @@ impl Core {
             } else {
                 self.stats.stalls.ibuffer_empty += 1;
             }
-            return;
+            return Ok(());
         };
         self.issue_rr = (wid + 1) % nw;
         let (instr, instr_pc) = self.ibuffer[wid].pop_front().expect("picked non-empty");
@@ -397,7 +403,15 @@ impl Core {
             wf.pc = instr_pc.wrapping_add(4);
             self.cf_block[wid] = false;
         }
-        let result = exec::execute(wf, &self.regs, ram, &mut self.csrf, &env, &instr, instr_pc);
+        let result = exec::execute(wf, &self.regs, ram, &mut self.csrf, &env, &instr, instr_pc)
+            .map_err(|trap| {
+                let (core, pc) = (self.id, instr_pc);
+                match trap {
+                    Trap::DivergenceUnderflow => SimError::DivergenceUnderflow { core, wid, pc },
+                    Trap::DivergenceOverflow => SimError::DivergenceOverflow { core, wid, pc },
+                    Trap::DivergentBranch => SimError::DivergentBranch { core, wid, pc },
+                }
+            })?;
         if result.halted {
             // Discard any prefetched work of the halted wavefront.
             self.ibuffer[wid].clear();
@@ -505,6 +519,7 @@ impl Core {
                 }
             }
         }
+        Ok(())
     }
 
     fn arrive_barrier(&mut self, wid: usize, id: u32, count: u32) {
@@ -587,9 +602,13 @@ impl Core {
     /// Decodes a fetched word into the wavefront's instruction buffer and
     /// lets the front end run ahead when the instruction cannot redirect
     /// the PC.
-    fn decode_into_ibuffer(&mut self, wid: usize, pc: u32, ram: &Ram) {
+    ///
+    /// # Errors
+    /// [`SimError::IllegalInstruction`] when the word does not decode —
+    /// surfaced to the host instead of crashing the simulator.
+    fn decode_into_ibuffer(&mut self, wid: usize, pc: u32, ram: &Ram) -> Result<(), SimError> {
         if !self.wavefronts[wid].active {
-            return; // halted while the fetch was in flight
+            return Ok(()); // halted while the fetch was in flight
         }
         let word = ram.read_u32(pc);
         match decode(word) {
@@ -600,21 +619,28 @@ impl Core {
                     self.wavefronts[wid].pc = pc.wrapping_add(4);
                 }
                 self.ibuffer[wid].push_back((instr, pc));
+                Ok(())
             }
-            Err(e) => panic!(
-                "core {} wavefront {wid}: illegal instruction at {pc:#010x}: {e}",
-                self.id
-            ),
+            Err(_) => Err(SimError::IllegalInstruction {
+                core: self.id,
+                wid,
+                pc,
+                word,
+            }),
         }
     }
 
     /// Advances the core one cycle. `ram` is the functional memory.
-    pub fn tick(&mut self, ram: &mut Ram) {
+    ///
+    /// # Errors
+    /// Propagates structured traps ([`SimError`]) from the issue and
+    /// decode stages; the caller aborts the simulation and reports them.
+    pub fn tick(&mut self, ram: &mut Ram) -> Result<(), SimError> {
         self.icache.begin_cycle();
         self.dcache.begin_cycle();
 
         self.writeback_stage();
-        self.issue_stage(ram);
+        self.issue_stage(ram)?;
         self.fetch_stage();
 
         // LSU → D-cache / shared memory (LSU has priority over texture).
@@ -662,7 +688,7 @@ impl Core {
             self.fast_fetch.pop_front();
             if self.fetch_pending[wid] == Some(pc) {
                 self.fetch_pending[wid] = None;
-                self.decode_into_ibuffer(wid, pc, ram);
+                self.decode_into_ibuffer(wid, pc, ram)?;
             }
         }
         // I-cache miss responses → decode into the ibuffer.
@@ -671,7 +697,7 @@ impl Core {
             let Some(pc) = self.fetch_pending[wid].take() else {
                 continue;
             };
-            self.decode_into_ibuffer(wid, pc, ram);
+            self.decode_into_ibuffer(wid, pc, ram)?;
         }
 
         // D-cache responses → LSU or texture unit.
@@ -706,6 +732,59 @@ impl Core {
         self.stats.tex = self.tex_unit.stats;
         self.stats.smem_accesses = self.smem.accesses;
         self.stats.smem_conflicts = self.smem.bank_conflicts;
+        Ok(())
+    }
+
+    /// Attaches deterministic fault plans to this core's components
+    /// (I-cache, D-cache, texture unit), each seeded from its own site id
+    /// so per-component decision streams are independent.
+    pub fn apply_faults(&mut self, faults: &FaultConfig) {
+        if faults.is_noop() {
+            return;
+        }
+        self.icache.set_fault(faults.plan(site::icache(self.id)));
+        self.dcache.set_fault(faults.plan(site::dcache(self.id)));
+        self.tex_unit.set_fault(faults.plan(site::tex(self.id)));
+    }
+
+    /// Monotone progress counter: strictly increases whenever the core
+    /// retires an instruction or its caches accept or fill requests. The
+    /// GPU-level watchdog compares successive values to detect deadlock.
+    pub fn progress_token(&self) -> u64 {
+        self.stats
+            .instrs
+            .wrapping_add(self.icache.stats.accepted)
+            .wrapping_add(self.dcache.stats.accepted)
+            .wrapping_add(self.icache.stats.reads)
+            .wrapping_add(self.dcache.stats.reads)
+            .wrapping_add(self.dcache.stats.writes)
+            .wrapping_add(self.tex_unit.stats.requests)
+    }
+
+    /// Snapshot of everything that can be stuck, for the hang report.
+    pub fn hang_state(&self) -> CoreHangState {
+        CoreHangState {
+            core: self.id,
+            warps: self
+                .wavefronts
+                .iter()
+                .filter(|w| w.active)
+                .map(|w| WarpHangState {
+                    wid: w.wid,
+                    pc: w.pc,
+                    tmask: w.tmask,
+                    stall: w.stall,
+                    ibuffer: self.ibuffer[w.wid].len(),
+                    fetch_pending: self.fetch_pending[w.wid].is_some(),
+                })
+                .collect(),
+            lsu_pending: self.lsu.pending(),
+            completions: self.completions.len(),
+            fence_waiters: self.fence_waiters.len(),
+            icache: self.icache.occupancy(),
+            dcache: self.dcache.occupancy(),
+            tex: self.tex_unit.occupancy(),
+        }
     }
 
     // --- Memory-side plumbing for the GPU level -------------------------

@@ -1,0 +1,272 @@
+//! Structured simulator errors and the hang report.
+//!
+//! Every way a kernel can fail to complete maps to a [`SimError`] variant
+//! instead of a panic, so the host runtime can surface the failure (and the
+//! fault-injection harness can assert that injected faults never crash the
+//! simulator). The [`HangReport`] carried by [`SimError::Hang`] is the
+//! watchdog's diagnosis: which wavefronts are stuck where, which functional
+//! units are busy, and how full every memory queue is.
+
+use crate::warp::StallReason;
+use std::fmt;
+use vortex_mem::{CacheOccupancy, HierarchyOccupancy};
+use vortex_tex::TexOccupancy;
+
+/// A structured, panic-free simulation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// The kernel did not finish within its cycle budget but was still
+    /// making forward progress (likely a spin-wait or an undersized
+    /// budget).
+    Timeout {
+        /// Cycles executed before giving up.
+        cycles: u64,
+    },
+    /// The watchdog saw no forward progress for its full window: the
+    /// machine is deadlocked. The report names the stuck components.
+    Hang(Box<HangReport>),
+    /// `join` executed with an empty IPDOM stack (unbalanced
+    /// `split`/`join`).
+    DivergenceUnderflow {
+        /// Core that trapped.
+        core: usize,
+        /// Wavefront that trapped.
+        wid: usize,
+        /// PC of the faulting `join`.
+        pc: u32,
+    },
+    /// `split` nesting exceeded the IPDOM stack capacity.
+    DivergenceOverflow {
+        /// Core that trapped.
+        core: usize,
+        /// Wavefront that trapped.
+        wid: usize,
+        /// PC of the faulting `split`.
+        pc: u32,
+    },
+    /// A branch or indirect jump computed lane-divergent targets without a
+    /// preceding `split` (the SIMT contract requires uniform control flow).
+    DivergentBranch {
+        /// Core that trapped.
+        core: usize,
+        /// Wavefront that trapped.
+        wid: usize,
+        /// PC of the divergent branch.
+        pc: u32,
+    },
+    /// Fetch decoded a word that is not a valid instruction.
+    IllegalInstruction {
+        /// Core that trapped.
+        core: usize,
+        /// Wavefront that trapped.
+        wid: usize,
+        /// PC of the undecodable word.
+        pc: u32,
+        /// The raw instruction word.
+        word: u32,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Timeout { cycles } => {
+                write!(f, "kernel did not finish within {cycles} cycles")
+            }
+            Self::Hang(report) => write!(f, "{report}"),
+            Self::DivergenceUnderflow { core, wid, pc } => write!(
+                f,
+                "core {core} wavefront {wid}: join on empty IPDOM stack \
+                 (unbalanced split/join) at {pc:#010x}"
+            ),
+            Self::DivergenceOverflow { core, wid, pc } => write!(
+                f,
+                "core {core} wavefront {wid}: IPDOM stack overflow \
+                 (divergence nesting too deep) at {pc:#010x}"
+            ),
+            Self::DivergentBranch { core, wid, pc } => write!(
+                f,
+                "core {core} wavefront {wid}: divergent branch without \
+                 split at {pc:#010x}"
+            ),
+            Self::IllegalInstruction {
+                core,
+                wid,
+                pc,
+                word,
+            } => write!(
+                f,
+                "core {core} wavefront {wid}: illegal instruction \
+                 {word:#010x} at {pc:#010x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+/// One stuck (or waiting) wavefront in a [`HangReport`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarpHangState {
+    /// Wavefront id.
+    pub wid: usize,
+    /// Its PC at the time of the hang.
+    pub pc: u32,
+    /// Its thread mask.
+    pub tmask: u32,
+    /// Why the scheduler cannot pick it (if stalled).
+    pub stall: StallReason,
+    /// Decoded instructions waiting in its instruction buffer.
+    pub ibuffer: usize,
+    /// `true` when an instruction fetch is outstanding.
+    pub fetch_pending: bool,
+}
+
+/// One core's state snapshot in a [`HangReport`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CoreHangState {
+    /// Core id.
+    pub core: usize,
+    /// Active wavefronts (halted ones are omitted).
+    pub warps: Vec<WarpHangState>,
+    /// Load instructions outstanding in the LSU.
+    pub lsu_pending: usize,
+    /// Arithmetic completions waiting for the writeback port.
+    pub completions: usize,
+    /// Wavefronts blocked on a `fence`.
+    pub fence_waiters: usize,
+    /// I-cache queue occupancy.
+    pub icache: CacheOccupancy,
+    /// D-cache queue occupancy.
+    pub dcache: CacheOccupancy,
+    /// Texture unit occupancy.
+    pub tex: TexOccupancy,
+}
+
+impl CoreHangState {
+    /// `true` when this core contributes nothing to the hang.
+    pub fn is_quiet(&self) -> bool {
+        self.warps.is_empty()
+            && self.lsu_pending == 0
+            && self.completions == 0
+            && self.fence_waiters == 0
+            && self.icache.is_empty()
+            && self.dcache.is_empty()
+            && self.tex.is_empty()
+    }
+}
+
+/// The watchdog's diagnosis of a deadlocked machine.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HangReport {
+    /// Cycle at which the watchdog gave up.
+    pub cycle: u64,
+    /// Size of the no-progress window that expired.
+    pub window: u64,
+    /// Per-core state (quiet cores included; see
+    /// [`CoreHangState::is_quiet`]).
+    pub cores: Vec<CoreHangState>,
+    /// Shared memory-hierarchy queue occupancies.
+    pub memory: HierarchyOccupancy,
+}
+
+impl HangReport {
+    /// Mask of cores with at least one active wavefront.
+    pub fn stuck_core_mask(&self) -> u64 {
+        self.cores
+            .iter()
+            .filter(|c| !c.warps.is_empty())
+            .fold(0, |m, c| m | (1 << (c.core as u64 & 63)))
+    }
+}
+
+impl fmt::Display for HangReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "hang detected at cycle {}: no forward progress for {} cycles",
+            self.cycle, self.window
+        )?;
+        for core in &self.cores {
+            if core.is_quiet() {
+                continue;
+            }
+            writeln!(f, "  core {}:", core.core)?;
+            for w in &core.warps {
+                writeln!(
+                    f,
+                    "    warp {} pc={:#010x} tmask={:#06b} stall={:?} \
+                     ibuf={} fetch-pending={}",
+                    w.wid, w.pc, w.tmask, w.stall, w.ibuffer, w.fetch_pending
+                )?;
+            }
+            if core.lsu_pending != 0 || core.completions != 0 || core.fence_waiters != 0 {
+                writeln!(
+                    f,
+                    "    lsu-pending={} completions={} fence-waiters={}",
+                    core.lsu_pending, core.completions, core.fence_waiters
+                )?;
+            }
+            if !core.icache.is_empty() {
+                writeln!(f, "    icache: {}", core.icache)?;
+            }
+            if !core.dcache.is_empty() {
+                writeln!(f, "    dcache: {}", core.dcache)?;
+            }
+            if !core.tex.is_empty() {
+                writeln!(f, "    tex: {}", core.tex)?;
+            }
+        }
+        write!(f, "  memory: {}", self.memory)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trap_displays_name_the_site() {
+        let e = SimError::DivergenceUnderflow {
+            core: 1,
+            wid: 3,
+            pc: 0x8000_0010,
+        };
+        let s = e.to_string();
+        assert!(s.contains("core 1"));
+        assert!(s.contains("wavefront 3"));
+        assert!(s.contains("0x80000010"));
+    }
+
+    #[test]
+    fn hang_report_names_stuck_warps() {
+        let report = HangReport {
+            cycle: 12_345,
+            window: 10_000,
+            cores: vec![CoreHangState {
+                core: 0,
+                warps: vec![WarpHangState {
+                    wid: 2,
+                    pc: 0x8000_0100,
+                    tmask: 0b1111,
+                    stall: StallReason::Barrier,
+                    ibuffer: 0,
+                    fetch_pending: false,
+                }],
+                lsu_pending: 1,
+                completions: 0,
+                fence_waiters: 0,
+                icache: CacheOccupancy::default(),
+                dcache: CacheOccupancy::default(),
+                tex: TexOccupancy::default(),
+            }],
+            memory: HierarchyOccupancy::default(),
+        };
+        let e = SimError::Hang(Box::new(report));
+        let s = e.to_string();
+        assert!(s.contains("no forward progress"));
+        assert!(s.contains("warp 2"));
+        assert!(s.contains("Barrier"));
+        assert!(s.contains("lsu-pending=1"));
+    }
+}

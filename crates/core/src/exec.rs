@@ -8,7 +8,7 @@
 //! effects (PC redirects, thread-mask changes, spawns, barriers, halts).
 
 use crate::config::SMEM_BASE;
-use crate::ipdom::{JoinOutcome, SplitOutcome};
+use crate::ipdom::{IpdomError, JoinOutcome, SplitOutcome};
 use crate::regfile::RegFile;
 use crate::scoreboard::RegId;
 use crate::warp::Wavefront;
@@ -19,6 +19,27 @@ use vortex_isa::{
 };
 use vortex_mem::Ram;
 use vortex_tex::{FilterMode, TexFormat, TexState, WrapMode};
+
+/// A fault detected during functional execution. The core maps it to a
+/// `SimError` carrying the trap site (core, wavefront, PC).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Trap {
+    /// `join` with an empty IPDOM stack.
+    DivergenceUnderflow,
+    /// `split` nesting exceeded the IPDOM stack.
+    DivergenceOverflow,
+    /// A branch or `jalr` computed lane-divergent targets.
+    DivergentBranch,
+}
+
+impl From<IpdomError> for Trap {
+    fn from(e: IpdomError) -> Self {
+        match e {
+            IpdomError::Underflow => Self::DivergenceUnderflow,
+            IpdomError::Overflow => Self::DivergenceOverflow,
+        }
+    }
+}
 
 /// Which functional unit an instruction occupies (drives timing).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -292,6 +313,11 @@ fn fclass(bits: u32) -> u32 {
 /// writeback payload (applied by the writeback stage), while memory and
 /// CSR state changes apply immediately — see the crate-level discussion of
 /// the functional-first model.
+///
+/// # Errors
+/// Returns a [`Trap`] (without corrupting wavefront state) for SIMT
+/// contract violations: divergent branch/`jalr` targets and unbalanced or
+/// over-nested `split`/`join`.
 #[allow(clippy::too_many_lines)]
 pub fn execute(
     wf: &mut Wavefront,
@@ -301,7 +327,7 @@ pub fn execute(
     env: &ExecEnv,
     instr: &Instr,
     instr_pc: u32,
-) -> ExecResult {
+) -> Result<ExecResult, Trap> {
     let wid = wf.wid;
     let nt = env.num_threads;
     let tmask = wf.tmask;
@@ -317,7 +343,7 @@ pub fn execute(
             .collect()
     };
 
-    match *instr {
+    Ok(match *instr {
         Instr::Lui { rd, imm } => {
             let mut r = ExecResult::unit(FuKind::Alu);
             r.wb = Some(Writeback {
@@ -352,11 +378,12 @@ pub fn execute(
                 .read_x(wid, lane0, rs1)
                 .wrapping_add(offset as u32)
                 & !1;
-            debug_assert!(
-                (0..nt).all(|t| tmask & (1 << t) == 0
-                    || regs.read_x(wid, t, rs1).wrapping_add(offset as u32) & !1 == target),
-                "divergent jalr target without split at pc {instr_pc:#x}"
-            );
+            if !(0..nt).all(|t| {
+                tmask & (1 << t) == 0
+                    || regs.read_x(wid, t, rs1).wrapping_add(offset as u32) & !1 == target
+            }) {
+                return Err(Trap::DivergentBranch);
+            }
             wf.pc = target;
             let mut r = ExecResult::unit(FuKind::Alu);
             if rd != vortex_isa::Reg::X0 {
@@ -387,10 +414,9 @@ pub fn execute(
             };
             let active: Vec<usize> = (0..nt).filter(|t| tmask & (1 << t) != 0).collect();
             let taken = active.first().map(|&t| take(t)).unwrap_or(false);
-            assert!(
-                active.iter().all(|&t| take(t) == taken),
-                "divergent branch without split at pc {instr_pc:#x} (use split/join)"
-            );
+            if !active.iter().all(|&t| take(t) == taken) {
+                return Err(Trap::DivergentBranch);
+            }
             if taken {
                 wf.pc = instr_pc.wrapping_add(offset as u32);
             }
@@ -737,7 +763,7 @@ pub fn execute(
             }
             let next_pc = instr_pc.wrapping_add(4);
             let mut r = ExecResult::unit(FuKind::Sfu);
-            match wf.ipdom.split(tmask, pred_mask, next_pc) {
+            match wf.ipdom.split(tmask, pred_mask, next_pc).map_err(Trap::from)? {
                 SplitOutcome::Uniform => {}
                 SplitOutcome::Diverged { then_mask } => {
                     wf.tmask = then_mask;
@@ -747,7 +773,7 @@ pub fn execute(
             r
         }
         Instr::Join => {
-            match wf.ipdom.join() {
+            match wf.ipdom.join().map_err(Trap::from)? {
                 JoinOutcome::FallThrough { tmask } => {
                     wf.tmask = tmask;
                 }
@@ -790,7 +816,7 @@ pub fn execute(
             });
             r
         }
-    }
+    })
 }
 
 /// Per-lane CSR read.
@@ -878,7 +904,8 @@ mod tests {
                 imm: 1,
             },
             0x100,
-        );
+        )
+        .unwrap();
         let wb = r.wb.unwrap();
         assert_eq!(
             wb.values,
@@ -904,7 +931,8 @@ mod tests {
                 imm: 7,
             },
             0x100,
-        );
+        )
+        .unwrap();
         assert_eq!(
             r.wb.unwrap().values,
             vec![Some(7), None, Some(7), None]
@@ -927,17 +955,18 @@ mod tests {
                 offset: -8,
             },
             0x100,
-        );
+        )
+        .unwrap();
         assert_eq!(wf.pc, 0x0F8);
         assert!(r.wb.is_none());
     }
 
     #[test]
-    #[should_panic(expected = "divergent branch")]
-    fn divergent_branch_panics() {
+    fn divergent_branch_traps() {
         let (mut wf, mut regs, mut ram, mut csrf, env) = setup(2);
         regs.write_x(0, 1, Reg::X5, 1); // lane 1 differs
-        let _ = execute(
+        let pc_before = wf.pc;
+        let r = execute(
             &mut wf,
             &regs,
             &mut ram,
@@ -951,6 +980,36 @@ mod tests {
             },
             0x100,
         );
+        assert_eq!(r, Err(Trap::DivergentBranch));
+        assert_eq!(wf.pc, pc_before, "trap leaves the wavefront untouched");
+    }
+
+    #[test]
+    fn divergent_jalr_traps() {
+        let (mut wf, mut regs, mut ram, mut csrf, env) = setup(2);
+        regs.write_x(0, 0, Reg::X5, 0x200);
+        regs.write_x(0, 1, Reg::X5, 0x300); // lane 1 jumps elsewhere
+        let r = execute(
+            &mut wf,
+            &regs,
+            &mut ram,
+            &mut csrf,
+            &env,
+            &Instr::Jalr {
+                rd: Reg::X1,
+                rs1: Reg::X5,
+                offset: 0,
+            },
+            0x100,
+        );
+        assert_eq!(r, Err(Trap::DivergentBranch));
+    }
+
+    #[test]
+    fn unbalanced_join_traps() {
+        let (mut wf, regs, mut ram, mut csrf, env) = setup(2);
+        let r = execute(&mut wf, &regs, &mut ram, &mut csrf, &env, &Instr::Join, 0x100);
+        assert_eq!(r, Err(Trap::DivergenceUnderflow));
     }
 
     #[test]
@@ -973,7 +1032,8 @@ mod tests {
                 offset: 0,
             },
             0x100,
-        );
+        )
+        .unwrap();
         assert_eq!(
             r.wb.unwrap().values,
             vec![Some(0xAABB_CCDD), Some(0x1122_3344)]
@@ -987,7 +1047,7 @@ mod tests {
         let (mut wf, mut regs, mut ram, mut csrf, env) = setup(1);
         regs.write_x(0, 0, Reg::X5, SMEM_BASE);
         regs.write_x(0, 0, Reg::X6, 42);
-        let _ = execute(
+        execute(
             &mut wf,
             &regs,
             &mut ram,
@@ -1000,7 +1060,8 @@ mod tests {
                 offset: 0,
             },
             0x100,
-        );
+        )
+        .unwrap();
         // The physical backing is offset by core id (env.core_id == 2).
         assert_eq!(ram.read_u32(SMEM_BASE.wrapping_add(2 << 20)), 42);
         assert_eq!(ram.read_u32(SMEM_BASE), 0);
@@ -1018,7 +1079,8 @@ mod tests {
             &env,
             &Instr::Tmc { rs1: Reg::X5 },
             0x100,
-        );
+        )
+        .unwrap();
         assert_eq!(wf.tmask, 0b0111);
         assert!(!r.halted);
         regs.write_x(0, 0, Reg::X5, 0);
@@ -1030,7 +1092,8 @@ mod tests {
             &env,
             &Instr::Tmc { rs1: Reg::X5 },
             0x104,
-        );
+        )
+        .unwrap();
         assert!(r.halted);
         assert!(!wf.active);
     }
@@ -1049,15 +1112,16 @@ mod tests {
             &env,
             &Instr::Split { rs1: Reg::X5 },
             0x100,
-        );
+        )
+        .unwrap();
         assert!(r.diverged);
         assert_eq!(wf.tmask, 0b0101);
         // First join switches to the else side at 0x104.
-        let _ = execute(&mut wf, &regs, &mut ram, &mut csrf, &env, &Instr::Join, 0x200);
+        execute(&mut wf, &regs, &mut ram, &mut csrf, &env, &Instr::Join, 0x200).unwrap();
         assert_eq!(wf.tmask, 0b1010);
         assert_eq!(wf.pc, 0x104);
         // Second join restores.
-        let _ = execute(&mut wf, &regs, &mut ram, &mut csrf, &env, &Instr::Join, 0x104);
+        execute(&mut wf, &regs, &mut ram, &mut csrf, &env, &Instr::Join, 0x104).unwrap();
         assert_eq!(wf.tmask, 0b1111);
     }
 
@@ -1077,7 +1141,8 @@ mod tests {
                 src: CsrSrc::Reg(Reg::X0),
             },
             0x100,
-        );
+        )
+        .unwrap();
         assert_eq!(
             r.wb.unwrap().values,
             vec![Some(0), Some(1), Some(2), Some(3)]
@@ -1088,7 +1153,7 @@ mod tests {
     fn csr_write_programs_texture_state() {
         let (mut wf, mut regs, mut ram, mut csrf, env) = setup(1);
         regs.write_x(0, 0, Reg::X5, 0xB000);
-        let _ = execute(
+        execute(
             &mut wf,
             &regs,
             &mut ram,
@@ -1101,7 +1166,8 @@ mod tests {
                 src: CsrSrc::Reg(Reg::X5),
             },
             0x100,
-        );
+        )
+        .unwrap();
         assert_eq!(csrf.tex_state(1).addr, 0xB000);
         assert_eq!(csrf.tex_state(0).addr, 0);
     }

@@ -9,28 +9,14 @@
 use crate::barrier::{BarrierOutcome, BarrierTable};
 use crate::config::GpuConfig;
 use crate::core::Core;
+use crate::error::{HangReport, SimError};
 use crate::stats::GpuStats;
-use std::fmt;
+use vortex_faults::FaultConfig;
 use vortex_mem::hierarchy::{HierarchyConfig, MemHierarchy};
 use vortex_mem::{MemReq, MemRsp, Ram, Tag};
 
 /// Tag bit distinguishing I-cache from D-cache fills above the L1s.
 const ICACHE_BIT: Tag = 1 << 61;
-
-/// Error returned when a kernel exceeds its cycle budget.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct LaunchError {
-    /// Cycles executed before giving up.
-    pub cycles: u64,
-}
-
-impl fmt::Display for LaunchError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "kernel did not finish within {} cycles", self.cycles)
-    }
-}
-
-impl std::error::Error for LaunchError {}
 
 /// The Vortex processor: cores + memory system + global barriers.
 #[derive(Debug)]
@@ -42,6 +28,10 @@ pub struct Gpu {
     /// Functional device memory.
     pub ram: Ram,
     cycle: u64,
+    /// Watchdog: progress token at the last cycle progress was observed.
+    last_progress_token: u64,
+    /// Watchdog: cycle of the last observed progress.
+    last_progress_cycle: u64,
 }
 
 impl Gpu {
@@ -63,8 +53,23 @@ impl Gpu {
             global_barriers: BarrierTable::new(16),
             ram: Ram::new(),
             cycle: 0,
+            last_progress_token: 0,
+            last_progress_cycle: 0,
             config,
         }
+    }
+
+    /// Attaches deterministic fault plans (from `faults`'s seed and rates)
+    /// to every core and the shared memory hierarchy. A no-op
+    /// configuration leaves the zero-overhead default paths in place.
+    pub fn apply_faults(&mut self, faults: &FaultConfig) {
+        if faults.is_noop() {
+            return;
+        }
+        for core in &mut self.cores {
+            core.apply_faults(faults);
+        }
+        self.hierarchy.apply_faults(faults);
     }
 
     /// The configuration.
@@ -97,9 +102,12 @@ impl Gpu {
     }
 
     /// Advances the whole processor one cycle.
-    pub fn step(&mut self) {
+    ///
+    /// # Errors
+    /// Propagates structured execution traps from the cores.
+    pub fn step(&mut self) -> Result<(), SimError> {
         for core in &mut self.cores {
-            core.tick(&mut self.ram);
+            core.tick(&mut self.ram)?;
         }
 
         // L1 miss traffic → hierarchy (only pop what the hierarchy takes).
@@ -160,6 +168,7 @@ impl Gpu {
         }
 
         self.cycle += 1;
+        Ok(())
     }
 
     /// `true` when every core has drained and the memory system is quiet.
@@ -167,17 +176,59 @@ impl Gpu {
         self.cores.iter().all(Core::is_done) && self.hierarchy.is_idle()
     }
 
+    /// Monotone whole-machine progress token: changes whenever any core
+    /// retires work or the DRAM services traffic. Used by the watchdog.
+    fn progress_token(&self) -> u64 {
+        let mut token = self
+            .hierarchy
+            .dram_reads()
+            .wrapping_add(self.hierarchy.dram_writes())
+            .wrapping_add(self.hierarchy.dram_dropped());
+        for core in &self.cores {
+            token = token.wrapping_add(core.progress_token());
+        }
+        token
+    }
+
+    /// Builds the watchdog's diagnosis of the current (stuck) state.
+    pub fn hang_report(&self) -> HangReport {
+        HangReport {
+            cycle: self.cycle,
+            window: self.config.watchdog_cycles,
+            cores: self.cores.iter().map(Core::hang_state).collect(),
+            memory: self.hierarchy.occupancy(),
+        }
+    }
+
     /// Runs until the kernel finishes, up to `max_cycles`.
     ///
     /// # Errors
-    /// Returns [`LaunchError`] if the budget is exhausted first (likely a
-    /// kernel bug: missed `ecall`, barrier mismatch, or spin-wait).
-    pub fn run(&mut self, max_cycles: u64) -> Result<GpuStats, LaunchError> {
+    /// * [`SimError::Timeout`] when the budget is exhausted while the
+    ///   machine is still making progress (likely a spin-wait or an
+    ///   undersized budget);
+    /// * [`SimError::Hang`] when the watchdog sees no forward progress for
+    ///   [`GpuConfig::watchdog_cycles`] consecutive cycles — the boxed
+    ///   [`HangReport`] names the stuck warps, units, and queues;
+    /// * any structured execution trap from the cores (divergence misuse,
+    ///   illegal instructions).
+    pub fn run(&mut self, max_cycles: u64) -> Result<GpuStats, SimError> {
+        self.last_progress_token = self.progress_token();
+        self.last_progress_cycle = self.cycle;
         while !self.is_done() {
             if self.cycle >= max_cycles {
-                return Err(LaunchError { cycles: self.cycle });
+                return Err(SimError::Timeout { cycles: self.cycle });
             }
-            self.step();
+            self.step()?;
+            let window = self.config.watchdog_cycles;
+            if window != 0 {
+                let token = self.progress_token();
+                if token != self.last_progress_token {
+                    self.last_progress_token = token;
+                    self.last_progress_cycle = self.cycle;
+                } else if self.cycle - self.last_progress_cycle >= window {
+                    return Err(SimError::Hang(Box::new(self.hang_report())));
+                }
+            }
         }
         Ok(self.stats())
     }
@@ -419,7 +470,9 @@ mod tests {
     }
 
     #[test]
-    fn timeout_is_reported() {
+    fn spin_loop_is_a_timeout_not_a_hang() {
+        // A spin loop keeps retiring instructions, so the watchdog must
+        // stay quiet and the cycle budget is what fires.
         let mut gpu = Gpu::new(GpuConfig::with_cores(1));
         let mut a = Assembler::new();
         a.label("spin").unwrap();
@@ -427,7 +480,86 @@ mod tests {
         let prog = a.assemble(ENTRY).unwrap();
         gpu.ram.write_bytes(prog.base, &prog.to_bytes());
         gpu.launch(prog.entry);
-        assert!(gpu.run(1000).is_err());
+        assert_eq!(gpu.run(1000), Err(SimError::Timeout { cycles: 1000 }));
+    }
+
+    #[test]
+    fn unbalanced_join_traps_to_host() {
+        // `join` with an empty IPDOM stack must surface as a structured
+        // divergence-underflow error naming the faulting site, not a panic.
+        let mut gpu = Gpu::new(GpuConfig::with_cores(1));
+        let mut a = Assembler::new();
+        a.join();
+        a.ecall();
+        let prog = a.assemble(ENTRY).unwrap();
+        gpu.ram.write_bytes(prog.base, &prog.to_bytes());
+        gpu.launch(prog.entry);
+        match gpu.run(10_000) {
+            Err(SimError::DivergenceUnderflow { core, wid, pc }) => {
+                assert_eq!(core, 0);
+                assert_eq!(wid, 0);
+                assert_eq!(pc, ENTRY);
+            }
+            other => panic!("expected divergence underflow, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn dropped_dram_responses_hang_and_name_the_stuck_warp() {
+        // Drop every DRAM read response: the very first fetch strands an
+        // MSHR entry forever and nothing can retire. The watchdog must
+        // abort with a report naming the stuck core and its occupancies.
+        let mut config = GpuConfig::with_cores(1);
+        config.watchdog_cycles = 2_000;
+        let mut gpu = Gpu::new(config);
+        gpu.apply_faults(&FaultConfig {
+            seed: 3,
+            dram_drop: 1000,
+            ..FaultConfig::off()
+        });
+        let mut a = Assembler::new();
+        a.li(Reg::X5, 0x2000);
+        a.lw(Reg::X6, Reg::X5, 0);
+        a.ecall();
+        let prog = a.assemble(ENTRY).unwrap();
+        gpu.ram.write_bytes(prog.base, &prog.to_bytes());
+        gpu.launch(prog.entry);
+        match gpu.run(100_000) {
+            Err(SimError::Hang(report)) => {
+                assert_eq!(report.window, 2_000);
+                assert_eq!(report.stuck_core_mask(), 1, "core 0 is stuck");
+                assert!(!report.cores[0].warps.is_empty(), "stuck warps named");
+                let text = report.to_string();
+                assert!(text.contains("no forward progress"), "{text}");
+                assert!(text.contains("warp 0"), "{text}");
+            }
+            other => panic!("expected hang report, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn identical_fault_seeds_give_identical_hang_reports() {
+        let run_once = || {
+            let mut config = GpuConfig::with_cores(1);
+            config.watchdog_cycles = 1_000;
+            let mut gpu = Gpu::new(config);
+            gpu.apply_faults(&FaultConfig {
+                seed: 99,
+                dram_drop: 600,
+                dram_delay: 200,
+                dram_extra_latency: 40,
+                ..FaultConfig::off()
+            });
+            let mut a = Assembler::new();
+            a.li(Reg::X5, 0x2000);
+            a.lw(Reg::X6, Reg::X5, 0);
+            a.ecall();
+            let prog = a.assemble(ENTRY).unwrap();
+            gpu.ram.write_bytes(prog.base, &prog.to_bytes());
+            gpu.launch(prog.entry);
+            gpu.run(50_000)
+        };
+        assert_eq!(run_once(), run_once());
     }
 
     #[test]

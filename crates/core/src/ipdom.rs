@@ -8,6 +8,16 @@
 //! the other side of the divergence); a fall-through entry restores the
 //! pre-split mask and lets execution continue in a straight line.
 
+/// A divergence-stack misuse detected by [`IpdomStack`]: surfaced to the
+/// host as a structured trap instead of a panic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum IpdomError {
+    /// `join` on an empty stack (unbalanced `split`/`join`).
+    Underflow,
+    /// `split` nesting exceeded the stack capacity.
+    Overflow,
+}
+
 /// One IPDOM stack entry.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IpdomEntry {
@@ -76,48 +86,52 @@ impl IpdomStack {
     /// results (bit i set = thread i's predicate true). Pushes two entries
     /// on divergence.
     ///
-    /// # Panics
-    /// Panics on stack overflow — in hardware this is a programming error
-    /// the compiler's nesting-depth limit prevents.
-    pub fn split(&mut self, tmask: u32, pred_mask: u32, next_pc: u32) -> SplitOutcome {
+    /// # Errors
+    /// [`IpdomError::Overflow`] when the nesting depth exceeds the stack
+    /// capacity — in hardware this is a programming error the compiler's
+    /// nesting-depth limit prevents; the simulator traps instead of
+    /// panicking. The stack is left unchanged.
+    pub fn split(
+        &mut self,
+        tmask: u32,
+        pred_mask: u32,
+        next_pc: u32,
+    ) -> Result<SplitOutcome, IpdomError> {
         let then_mask = tmask & pred_mask;
         let else_mask = tmask & !pred_mask;
-        assert!(
-            self.entries.len() + 2 <= self.capacity * 2,
-            "IPDOM stack overflow (divergence nesting too deep)"
-        );
+        if self.entries.len() + 2 > self.capacity * 2 {
+            return Err(IpdomError::Overflow);
+        }
         self.entries.push(IpdomEntry {
             tmask,
             pc: 0,
             fallthrough: true,
         });
         if then_mask == 0 || else_mask == 0 {
-            return SplitOutcome::Uniform;
+            return Ok(SplitOutcome::Uniform);
         }
         self.entries.push(IpdomEntry {
             tmask: else_mask,
             pc: next_pc,
             fallthrough: false,
         });
-        SplitOutcome::Diverged { then_mask }
+        Ok(SplitOutcome::Diverged { then_mask })
     }
 
     /// Executes `join`, popping one entry.
     ///
-    /// # Panics
-    /// Panics on an empty stack (unbalanced `join`).
-    pub fn join(&mut self) -> JoinOutcome {
-        let entry = self
-            .entries
-            .pop()
-            .expect("join on empty IPDOM stack (unbalanced split/join)");
+    /// # Errors
+    /// [`IpdomError::Underflow`] on an empty stack (unbalanced `join`); the
+    /// wavefront state is untouched so the trap site can be reported.
+    pub fn join(&mut self) -> Result<JoinOutcome, IpdomError> {
+        let entry = self.entries.pop().ok_or(IpdomError::Underflow)?;
         if entry.fallthrough {
-            JoinOutcome::FallThrough { tmask: entry.tmask }
+            Ok(JoinOutcome::FallThrough { tmask: entry.tmask })
         } else {
-            JoinOutcome::Branch {
+            Ok(JoinOutcome::Branch {
                 tmask: entry.tmask,
                 pc: entry.pc,
-            }
+            })
         }
     }
 
@@ -144,11 +158,11 @@ mod tests {
     #[test]
     fn uniform_split_pushes_one_entry_for_a_balanced_join() {
         let mut s = IpdomStack::new(4);
-        assert_eq!(s.split(0b1111, 0b1111, 0x104), SplitOutcome::Uniform);
+        assert_eq!(s.split(0b1111, 0b1111, 0x104), Ok(SplitOutcome::Uniform));
         assert_eq!(s.depth(), 1);
-        assert_eq!(s.join(), JoinOutcome::FallThrough { tmask: 0b1111 });
-        assert_eq!(s.split(0b1111, 0b0000, 0x104), SplitOutcome::Uniform);
-        assert_eq!(s.join(), JoinOutcome::FallThrough { tmask: 0b1111 });
+        assert_eq!(s.join(), Ok(JoinOutcome::FallThrough { tmask: 0b1111 }));
+        assert_eq!(s.split(0b1111, 0b0000, 0x104), Ok(SplitOutcome::Uniform));
+        assert_eq!(s.join(), Ok(JoinOutcome::FallThrough { tmask: 0b1111 }));
         assert!(s.is_empty());
     }
 
@@ -156,52 +170,63 @@ mod tests {
     fn divergence_then_two_joins_reconverges() {
         let mut s = IpdomStack::new(4);
         // Threads 0,1 true; threads 2,3 false.
-        let out = s.split(0b1111, 0b0011, 0x104);
+        let out = s.split(0b1111, 0b0011, 0x104).unwrap();
         assert_eq!(out, SplitOutcome::Diverged { then_mask: 0b0011 });
         assert_eq!(s.depth(), 2);
         // First join: switch to the else side at the split's next PC.
         assert_eq!(
             s.join(),
-            JoinOutcome::Branch {
+            Ok(JoinOutcome::Branch {
                 tmask: 0b1100,
                 pc: 0x104
-            }
+            })
         );
         // Second join: restore the full mask, fall through.
-        assert_eq!(s.join(), JoinOutcome::FallThrough { tmask: 0b1111 });
+        assert_eq!(s.join(), Ok(JoinOutcome::FallThrough { tmask: 0b1111 }));
         assert!(s.is_empty());
     }
 
     #[test]
     fn nested_divergence_unwinds_in_order() {
         let mut s = IpdomStack::new(8);
-        s.split(0b1111, 0b0011, 0x104);
+        s.split(0b1111, 0b0011, 0x104).unwrap();
         // Inner split among the then-side threads.
-        s.split(0b0011, 0b0001, 0x204);
+        s.split(0b0011, 0b0001, 0x204).unwrap();
         assert_eq!(s.depth(), 4);
         assert_eq!(
             s.join(),
-            JoinOutcome::Branch {
+            Ok(JoinOutcome::Branch {
                 tmask: 0b0010,
                 pc: 0x204
-            }
+            })
         );
-        assert_eq!(s.join(), JoinOutcome::FallThrough { tmask: 0b0011 });
+        assert_eq!(s.join(), Ok(JoinOutcome::FallThrough { tmask: 0b0011 }));
         assert_eq!(
             s.join(),
-            JoinOutcome::Branch {
+            Ok(JoinOutcome::Branch {
                 tmask: 0b1100,
                 pc: 0x104
-            }
+            })
         );
-        assert_eq!(s.join(), JoinOutcome::FallThrough { tmask: 0b1111 });
+        assert_eq!(s.join(), Ok(JoinOutcome::FallThrough { tmask: 0b1111 }));
     }
 
     #[test]
-    #[should_panic(expected = "unbalanced")]
-    fn join_on_empty_stack_panics() {
+    fn join_on_empty_stack_is_an_underflow_error() {
         let mut s = IpdomStack::new(4);
-        let _ = s.join();
+        assert_eq!(s.join(), Err(IpdomError::Underflow));
+        // The stack is still usable afterwards.
+        assert!(s.split(0b11, 0b01, 0x104).is_ok());
+    }
+
+    #[test]
+    fn deep_nesting_is_an_overflow_error() {
+        let mut s = IpdomStack::new(1); // capacity clamps to 2 → 4 entries
+        assert!(s.split(0b11, 0b01, 0x104).is_ok());
+        assert!(s.split(0b01, 0b01, 0x108).is_ok());
+        assert_eq!(s.split(0b01, 0b01, 0x10C), Err(IpdomError::Overflow));
+        // Failed split must not have pushed anything.
+        assert_eq!(s.depth(), 3);
     }
 
     #[test]
@@ -211,10 +236,10 @@ mod tests {
         for tmask in 0..16u32 {
             for pred in 0..16u32 {
                 let mut s = IpdomStack::new(8);
-                match s.split(tmask, pred, 0) {
+                match s.split(tmask, pred, 0).unwrap() {
                     SplitOutcome::Uniform => {}
                     SplitOutcome::Diverged { then_mask } => {
-                        let JoinOutcome::Branch { tmask: else_mask, .. } = s.join() else {
+                        let Ok(JoinOutcome::Branch { tmask: else_mask, .. }) = s.join() else {
                             panic!("first join must branch");
                         };
                         assert_eq!(then_mask | else_mask, tmask);

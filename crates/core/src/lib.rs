@@ -26,6 +26,7 @@
 pub mod barrier;
 pub mod config;
 pub mod core;
+pub mod error;
 pub mod exec;
 pub mod gpu;
 pub mod ipdom;
@@ -39,5 +40,6 @@ pub mod warp;
 
 pub use crate::core::Core;
 pub use config::{CoreConfig, GpuConfig, SMEM_BASE};
-pub use gpu::{Gpu, LaunchError};
+pub use error::{CoreHangState, HangReport, SimError, WarpHangState};
+pub use gpu::Gpu;
 pub use stats::{CoreStats, GpuStats};

@@ -81,6 +81,14 @@ impl Lsu {
             && self.smem_groups.len() < Self::GROUP_QUEUE_DEPTH
     }
 
+    /// Outstanding load entries plus queued lane groups (hang diagnosis).
+    pub fn pending(&self) -> usize {
+        self.entries.iter().filter(|e| e.is_some()).count()
+            + self.dcache_groups.len()
+            + self.smem_groups.len()
+            + self.outstanding_stores
+    }
+
     /// `true` if a store can be accepted.
     pub fn can_accept_store(&self) -> bool {
         self.dcache_groups.len() < Self::GROUP_QUEUE_DEPTH

@@ -92,7 +92,11 @@ impl WavefrontScheduler {
                 return Some(wid);
             }
         }
-        unreachable!("candidates was non-zero");
+        // Candidate bits above num_wavefronts (a malformed ready mask)
+        // cannot be scheduled; treat the cycle as starved rather than
+        // crashing the simulation.
+        self.starved_cycles += 1;
+        None
     }
 }
 

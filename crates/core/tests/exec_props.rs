@@ -43,7 +43,8 @@ fn run_op(op: OpKind, a: u32, b: u32) -> u32 {
             rs2: Reg::X6,
         },
         0x100,
-    );
+    )
+    .expect("uniform op cannot trap");
     r.wb.expect("ALU writes back").values[0].expect("lane 0 active")
 }
 
@@ -148,7 +149,8 @@ proptest! {
                 &Instr::FpOp { op, rd: FReg::X3, rs1: FReg::X1, rs2: FReg::X2,
                                rm: vortex_isa::RoundMode::Rne },
                 0x100,
-            );
+            )
+            .expect("FP op cannot trap");
             let got = r.wb.unwrap().values[0].unwrap();
             prop_assert_eq!(got, expect.to_bits(), "{:?}({},{})", op, a, b);
         }
@@ -166,7 +168,7 @@ proptest! {
         let mut pending_joins = 0usize;
         for p in &preds {
             let cur = *mask_stack.last().unwrap();
-            match stack.split(cur, *p, 0x100) {
+            match stack.split(cur, *p, 0x100).expect("depth within capacity") {
                 SplitOutcome::Uniform => {
                     mask_stack.push(cur);
                     pending_joins += 1;
@@ -183,7 +185,7 @@ proptest! {
         // fall-through. Walk until the stack drains.
         let mut joins = 0;
         while !stack.is_empty() {
-            match stack.join() {
+            match stack.join().expect("stack checked non-empty") {
                 JoinOutcome::Branch { tmask, .. } => {
                     prop_assert!(tmask != 0, "else side never empty");
                 }

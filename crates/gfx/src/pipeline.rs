@@ -196,9 +196,9 @@ impl Renderer {
 
         // --- Read back. ---------------------------------------------------
         let mut fb = Framebuffer::new(self.width, self.height, self.clear_color);
-        fb.color = dev.download_words(color_buf);
-        fb.depth = dev.download_floats(depth_buf);
-        fb.stencil = dev.download(stencil_buf);
+        fb.color = dev.download_words(color_buf).expect("download in range");
+        fb.depth = dev.download_floats(depth_buf).expect("download in range");
+        fb.stencil = dev.download(stencil_buf).expect("download in range");
         self.stencil_seed = fb.stencil.clone();
         RenderReport {
             framebuffer: fb,

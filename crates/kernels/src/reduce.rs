@@ -158,6 +158,7 @@ impl Benchmark for Reduce {
 
         let total: u32 = dev
             .download_words(buf_out)
+            .expect("download in range")
             .iter()
             .fold(0u32, |acc, &v| acc.wrapping_add(v));
         let expect: u32 = data.iter().fold(0u32, |acc, &v| acc.wrapping_add(v));

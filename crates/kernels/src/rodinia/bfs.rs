@@ -172,7 +172,7 @@ impl Benchmark for Bfs {
             dev.write_args(&args);
             let report = dev.run_kernel(prog.entry).expect("bfs finishes");
             last_stats = Some(report.stats);
-            let updated = dev.download_words(buf_updated)[0];
+            let updated = dev.download_words(buf_updated).expect("download in range")[0];
             if updated == 0 {
                 break;
             }
@@ -185,6 +185,7 @@ impl Benchmark for Bfs {
 
         let got: Vec<i32> = dev
             .download_words(buf_levels)
+            .expect("download in range")
             .into_iter()
             .map(|w| w as i32)
             .collect();

@@ -179,8 +179,8 @@ impl Benchmark for Gaussian {
         }
 
         // Host back-substitution on the triangularized system.
-        let a_out = dev.download_floats(buf_a);
-        let b_out = dev.download_floats(buf_b);
+        let a_out = dev.download_floats(buf_a).expect("download in range");
+        let b_out = dev.download_floats(buf_b).expect("download in range");
         let mut x = vec![0.0f32; n];
         for r in (0..n).rev() {
             let mut acc = b_out[r];

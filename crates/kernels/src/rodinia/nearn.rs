@@ -103,7 +103,7 @@ impl Benchmark for Nearn {
         dev.load_program(&prog);
         let report = dev.run_kernel(prog.entry).expect("nearn finishes");
 
-        let got = dev.download_floats(buf_dist);
+        let got = dev.download_floats(buf_dist).expect("download in range");
         let expect: Vec<f32> = (0..n)
             .map(|i| {
                 let dlat = locations[i * 2] - self.lat;

@@ -80,7 +80,7 @@ impl Benchmark for Saxpy {
         dev.load_program(&prog);
         let report = dev.run_kernel(prog.entry).expect("saxpy finishes");
 
-        let got = dev.download_floats(buf_y);
+        let got = dev.download_floats(buf_y).expect("download in range");
         let expect: Vec<f32> = x
             .iter()
             .zip(&y)

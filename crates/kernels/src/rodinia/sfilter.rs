@@ -128,7 +128,7 @@ impl Benchmark for Sfilter {
         dev.load_program(&prog);
         let report = dev.run_kernel(prog.entry).expect("sfilter finishes");
 
-        let got = dev.download_floats(buf_dst);
+        let got = dev.download_floats(buf_dst).expect("download in range");
         let expect = reference(&src, n);
         BenchResult {
             name: self.name().into(),

@@ -132,7 +132,7 @@ impl Benchmark for Sgemm {
         dev.load_program(&prog);
         let report = dev.run_kernel(prog.entry).expect("sgemm finishes");
 
-        let c = dev.download_floats(buf_c);
+        let c = dev.download_floats(buf_c).expect("download in range");
         let expect = reference(&a, &b, n);
         BenchResult {
             name: self.name().into(),

@@ -80,7 +80,7 @@ impl Benchmark for Vecadd {
         dev.load_program(&prog);
         let report = dev.run_kernel(prog.entry).expect("vecadd finishes");
 
-        let c = dev.download_floats(buf_c);
+        let c = dev.download_floats(buf_c).expect("download in range");
         let expect: Vec<f32> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
         BenchResult {
             name: self.name().into(),

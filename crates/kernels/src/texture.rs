@@ -425,7 +425,7 @@ impl Benchmark for TexBench {
         let report = dev.run_kernel(prog.entry).expect("texture kernel finishes");
 
         // Validate every pixel against the host-side oracle.
-        let got = dev.download_words(buf_dst);
+        let got = dev.download_words(buf_dst).expect("download in range");
         let state = TexState {
             addr: 0,
             mipoff: 1,

@@ -143,6 +143,7 @@ fn run_sampler(stage: u8, fixture: &TexFixture, coords: &[(f32, f32)]) -> Vec<u3
     dev.load_program(&prog);
     dev.run_kernel(prog.entry).expect("kernel finishes");
     dev.download_words(out_buf)
+        .expect("download in range")
 }
 
 fn oracle(fixture: &TexFixture, coords: &[(f32, f32)]) -> Vec<u32> {
@@ -245,7 +246,7 @@ fn two_stages_bound_simultaneously() {
     dev.load_program(&prog);
     dev.run_kernel(prog.entry).expect("finishes");
     assert_eq!(
-        dev.download_words(out)[0],
+        dev.download_words(out).expect("download in range")[0],
         Rgba8::new(255, 0, 255, 255).to_u32(),
         "red | blue = magenta"
     );

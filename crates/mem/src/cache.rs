@@ -27,6 +27,8 @@ use crate::elastic::Queue;
 use crate::mshr::Mshr;
 use crate::req::{MemReq, MemRsp, Tag};
 use std::collections::VecDeque;
+use std::fmt;
+use vortex_faults::FaultPlan;
 
 /// One coalesced sub-request inside a bank request (a virtual port).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -275,8 +277,51 @@ pub struct Cache {
     responses: VecDeque<MemRsp>,
     /// Remaining busy cycles of an in-progress flush.
     flush_busy: u32,
+    fault: Option<FaultPlan>,
     /// Performance counters.
     pub stats: CacheStats,
+}
+
+/// Queue depths across one cache, for hang diagnosis.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheOccupancy {
+    /// Requests queued in bank input FIFOs.
+    pub bank_inputs: usize,
+    /// Entries in flight in bank pipelines.
+    pub pipeline: usize,
+    /// Pending core requests held in MSHRs (waiting on fills).
+    pub mshr_pending: usize,
+    /// Fills delivered but not yet scheduled.
+    pub fills: usize,
+    /// Released MSHR requests waiting to replay.
+    pub replays: usize,
+    /// Outgoing memory requests not yet drained by the next level.
+    pub memq: usize,
+    /// Core responses not yet popped.
+    pub responses: usize,
+}
+
+impl CacheOccupancy {
+    /// `true` when nothing is queued anywhere.
+    pub fn is_empty(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
+impl fmt::Display for CacheOccupancy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "inq={} pipe={} mshr={} fills={} replays={} memq={} rsp={}",
+            self.bank_inputs,
+            self.pipeline,
+            self.mshr_pending,
+            self.fills,
+            self.replays,
+            self.memq,
+            self.responses,
+        )
+    }
 }
 
 impl Cache {
@@ -295,6 +340,7 @@ impl Cache {
             memq_reserved: 0,
             responses: VecDeque::new(),
             flush_busy: 0,
+            fault: None,
             stats: CacheStats::default(),
         }
     }
@@ -302,6 +348,31 @@ impl Cache {
     /// The cache geometry.
     pub fn config(&self) -> &CacheConfig {
         &self.config
+    }
+
+    /// Attaches a fault plan: the request interface may spuriously refuse a
+    /// whole cycle's offers (`elastic_stall`), ready responses may be held
+    /// back (`cache_rsp_stall`), and incoming fill tags may be corrupted
+    /// (`corrupt` — which strands the real line's MSHR entry, a hang).
+    pub fn set_fault(&mut self, plan: FaultPlan) {
+        self.fault = Some(plan);
+    }
+
+    /// Queue depths for hang diagnosis.
+    pub fn occupancy(&self) -> CacheOccupancy {
+        let mut occ = CacheOccupancy {
+            memq: self.memq.len(),
+            responses: self.responses.len(),
+            ..CacheOccupancy::default()
+        };
+        for bank in &self.banks {
+            occ.bank_inputs += bank.input.len();
+            occ.pipeline += bank.stage.iter().filter(|s| s.is_some()).count();
+            occ.mshr_pending += bank.mshr.pending();
+            occ.fills += bank.fills.len();
+            occ.replays += bank.replays.len();
+        }
+        occ
     }
 
     fn bank_of(&self, line: u32) -> usize {
@@ -325,6 +396,13 @@ impl Cache {
     pub fn offer(&mut self, reqs: &mut Vec<MemReq>) -> usize {
         if self.flush_busy > 0 {
             return 0;
+        }
+        if let Some(plan) = &mut self.fault {
+            if plan.stall_elastic() {
+                // Injected handshake stall: the selector refuses this offer
+                // wholesale; the requester retries next cycle.
+                return 0;
+            }
         }
         let mut accepted = 0;
         // Per-bank slot being assembled this cycle: (line, write, sub count).
@@ -530,8 +608,14 @@ impl Cache {
         }
     }
 
-    /// Pops one coalesced core response.
+    /// Pops one coalesced core response. An attached fault plan may hold a
+    /// ready response back (`cache_rsp_stall`); it stays queued for a retry.
     pub fn pop_rsp(&mut self) -> Option<MemRsp> {
+        if let Some(plan) = &mut self.fault {
+            if !self.responses.is_empty() && plan.stall_cache_rsp() {
+                return None;
+            }
+        }
         self.responses.pop_front()
     }
 
@@ -545,9 +629,15 @@ impl Cache {
         self.memq.front()
     }
 
-    /// Delivers a memory fill response (tag = line address).
+    /// Delivers a memory fill response (tag = line address). An attached
+    /// fault plan may corrupt the fill tag, filling the wrong line and
+    /// stranding the requests parked on the real one — the MSHR-starvation
+    /// hang the watchdog exists to diagnose.
     pub fn push_mem_rsp(&mut self, rsp: MemRsp) {
-        let line = rsp.tag as u32;
+        let mut line = rsp.tag as u32;
+        if let Some(plan) = &mut self.fault {
+            plan.corrupt(&mut line);
+        }
         let bank = self.bank_of(line);
         self.banks[bank].fills.push_back(line);
     }

@@ -10,6 +10,7 @@
 use crate::elastic::Queue;
 use crate::req::{MemReq, MemRsp};
 use std::collections::VecDeque;
+use vortex_faults::FaultPlan;
 
 /// DRAM model parameters.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -42,10 +43,13 @@ pub struct Dram {
     in_flight: VecDeque<(u64, MemReq)>,
     responses: VecDeque<MemRsp>,
     cycle: u64,
+    fault: Option<FaultPlan>,
     /// Total requests serviced (reads + writes).
     pub total_reads: u64,
     /// Total writes serviced.
     pub total_writes: u64,
+    /// Read responses deliberately dropped by fault injection.
+    pub dropped_rsps: u64,
 }
 
 impl Dram {
@@ -57,9 +61,21 @@ impl Dram {
             in_flight: VecDeque::new(),
             responses: VecDeque::new(),
             cycle: 0,
+            fault: None,
             total_reads: 0,
             total_writes: 0,
+            dropped_rsps: 0,
         }
+    }
+
+    /// Attaches a fault plan: the controller may skip servicing its input
+    /// queue (`dram_stall`), add latency to individual accesses
+    /// (`dram_delay`), or drop read responses outright (`dram_drop`). The
+    /// input queue's elastic handshake also stalls at the plan's
+    /// `elastic_stall` rate.
+    pub fn set_fault(&mut self, plan: FaultPlan) {
+        self.input.set_fault(plan.clone());
+        self.fault = Some(plan);
     }
 
     /// Attempts to enqueue a request; fails (backpressure) when the input
@@ -78,6 +94,13 @@ impl Dram {
     /// writes complete silently).
     pub fn tick(&mut self) {
         self.cycle += 1;
+        if let Some(plan) = &mut self.fault {
+            if plan.stall_dram() {
+                // The controller skips its input queue this cycle; in-flight
+                // accesses still retire below.
+                return self.retire();
+            }
+        }
         for _ in 0..self.config.channels {
             let Some(req) = self.input.pop() else { break };
             if req.write {
@@ -85,16 +108,34 @@ impl Dram {
             } else {
                 self.total_reads += 1;
             }
-            self.in_flight
-                .push_back((self.cycle + u64::from(self.config.latency), req));
+            let mut latency = u64::from(self.config.latency);
+            if let Some(plan) = &mut self.fault {
+                latency += u64::from(plan.dram_delay());
+            }
+            self.in_flight.push_back((self.cycle + latency, req));
         }
+        self.retire();
+    }
+
+    /// Retires in-flight accesses whose (possibly fault-extended) latency
+    /// elapsed. Retirement is in issue order, so one delayed access also
+    /// holds back the accesses behind it — matching an in-order controller.
+    fn retire(&mut self) {
         while let Some(&(done, req)) = self.in_flight.front() {
             if done > self.cycle {
                 break;
             }
             self.in_flight.pop_front();
             if !req.write {
-                self.responses.push_back(MemRsp { tag: req.tag });
+                let dropped = match &mut self.fault {
+                    Some(plan) => plan.drop_dram_rsp(),
+                    None => false,
+                };
+                if dropped {
+                    self.dropped_rsps += 1;
+                } else {
+                    self.responses.push_back(MemRsp { tag: req.tag });
+                }
             }
         }
     }
@@ -112,6 +153,11 @@ impl Dram {
     /// The configured parameters.
     pub fn config(&self) -> DramConfig {
         self.config
+    }
+
+    /// Queue depths for hang diagnosis: (input, in-flight, responses).
+    pub fn occupancy(&self) -> (usize, usize, usize) {
+        (self.input.len(), self.in_flight.len(), self.responses.len())
     }
 }
 

@@ -8,15 +8,22 @@
 //! whose `pop` is the ready side.
 
 use std::collections::VecDeque;
+use vortex_faults::FaultPlan;
 
 /// A bounded FIFO with elastic-handshake semantics.
 ///
 /// `push` corresponds to a `valid` assertion: it fails (returning the value
 /// back) when the queue is full, modelling de-asserted `ready`.
+///
+/// A [`FaultPlan`] can be attached with [`Queue::set_fault`] to make the
+/// consumer side spuriously de-assert `ready`: pushes are then refused at
+/// the plan's `elastic_stall` rate even when space is available. With no
+/// plan attached (the default) the handshake is unchanged.
 #[derive(Debug, Clone)]
 pub struct Queue<T> {
     items: VecDeque<T>,
     capacity: usize,
+    fault: Option<FaultPlan>,
 }
 
 impl<T> Queue<T> {
@@ -29,17 +36,29 @@ impl<T> Queue<T> {
         Self {
             items: VecDeque::with_capacity(capacity),
             capacity,
+            fault: None,
         }
     }
 
-    /// Attempts to enqueue; returns `Err(value)` when full.
+    /// Attaches a fault plan: pushes are additionally refused at the plan's
+    /// `elastic_stall` rate, modelling spurious `ready` de-assertion.
+    pub fn set_fault(&mut self, plan: FaultPlan) {
+        self.fault = Some(plan);
+    }
+
+    /// Attempts to enqueue; returns `Err(value)` when full (or when an
+    /// attached fault plan stalls the handshake this cycle).
     pub fn push(&mut self, value: T) -> Result<(), T> {
         if self.is_full() {
-            Err(value)
-        } else {
-            self.items.push_back(value);
-            Ok(())
+            return Err(value);
         }
+        if let Some(plan) = &mut self.fault {
+            if plan.stall_elastic() {
+                return Err(value);
+            }
+        }
+        self.items.push_back(value);
+        Ok(())
     }
 
     /// Dequeues the oldest element.
@@ -163,6 +182,27 @@ mod tests {
     #[should_panic(expected = "non-zero")]
     fn zero_capacity_panics() {
         let _ = Queue::<u32>::new(0);
+    }
+
+    #[test]
+    fn fault_gate_refuses_pushes_without_losing_data() {
+        use vortex_faults::FaultConfig;
+        let cfg = FaultConfig { seed: 1, elastic_stall: 500, ..FaultConfig::off() };
+        let mut q = Queue::new(4);
+        q.set_fault(cfg.plan(0));
+        let mut accepted = 0;
+        let mut refused = 0;
+        for i in 0..256 {
+            match q.push(i) {
+                Ok(()) => accepted += 1,
+                Err(v) => {
+                    assert_eq!(v, i, "refused push must hand the value back");
+                    refused += 1;
+                }
+            }
+            q.pop();
+        }
+        assert!(accepted > 0 && refused > 0, "50% gate must both pass and stall");
     }
 
     #[test]

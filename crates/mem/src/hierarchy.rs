@@ -10,10 +10,12 @@
 //! `(source port, original tag)` so responses route back even when two
 //! cores fill the same line address concurrently.
 
-use crate::cache::{Cache, CacheConfig};
+use crate::cache::{Cache, CacheConfig, CacheOccupancy};
 use crate::dram::{Dram, DramConfig};
 use crate::req::{MemReq, MemRsp, Tag};
 use std::collections::{HashMap, VecDeque};
+use std::fmt;
+use vortex_faults::{site, FaultConfig};
 
 /// Hierarchy shape above the L1s.
 #[derive(Debug, Clone)]
@@ -103,6 +105,10 @@ impl TagMap {
 
     fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    fn len(&self) -> usize {
+        self.entries.len()
     }
 }
 
@@ -227,17 +233,26 @@ impl MemHierarchy {
             } else {
                 self.dram_tags.wrap(core, req.tag)
             };
-            self.dram
-                .push_req(MemReq {
-                    tag,
-                    addr: req.addr,
-                    write: req.write,
-                })
-                .map_err(|r| MemReq {
-                    tag: req.tag,
-                    addr: r.addr,
-                    write: r.write,
-                })
+            match self.dram.push_req(MemReq {
+                tag,
+                addr: req.addr,
+                write: req.write,
+            }) {
+                Ok(()) => Ok(()),
+                Err(r) => {
+                    // The push can fail even after `can_accept` when a fault
+                    // plan stalls the handshake: reclaim the routing tag or
+                    // it leaks and the hierarchy never reads as idle again.
+                    if !req.write {
+                        self.dram_tags.unwrap(tag);
+                    }
+                    Err(MemReq {
+                        tag: req.tag,
+                        addr: r.addr,
+                        write: r.write,
+                    })
+                }
+            }
         } else {
             let cluster = core / self.config.cores_per_cluster;
             let port = core % self.config.cores_per_cluster;
@@ -277,13 +292,19 @@ impl MemHierarchy {
                                 // Route back to cluster ci, L2 tag.
                                 self.dram_tags.wrap(self.config.num_cores + ci, req.tag)
                             };
-                            self.dram
+                            let pushed = self
+                                .dram
                                 .push_req(MemReq {
                                     tag,
                                     addr: req.addr,
                                     write: req.write,
                                 })
-                                .is_ok()
+                                .is_ok();
+                            if !pushed && !req.write {
+                                // Injected handshake stall: reclaim the tag.
+                                self.dram_tags.unwrap(tag);
+                            }
+                            pushed
                         } else {
                             false
                         }
@@ -321,6 +342,10 @@ impl MemHierarchy {
                 {
                     l3.cache.pop_mem_req();
                 } else {
+                    // Injected handshake stall: reclaim the tag.
+                    if !req.write {
+                        self.dram_tags.unwrap(tag);
+                    }
                     break;
                 }
             }
@@ -397,6 +422,11 @@ impl MemHierarchy {
         self.dram.total_writes
     }
 
+    /// Read responses dropped by fault injection.
+    pub fn dram_dropped(&self) -> u64 {
+        self.dram.dropped_rsps
+    }
+
     /// L2 statistics per cluster (empty when no L2 is configured).
     pub fn l2_stats(&self) -> Vec<crate::cache::CacheStats> {
         self.l2.iter().map(|l| l.cache.stats).collect()
@@ -405,6 +435,80 @@ impl MemHierarchy {
     /// The configuration this hierarchy was built with.
     pub fn config(&self) -> &HierarchyConfig {
         &self.config
+    }
+
+    /// Derives and attaches fault plans for the DRAM and every shared
+    /// cache level. Each component gets its own decision stream, so runs
+    /// are reproducible for a given seed regardless of topology.
+    pub fn apply_faults(&mut self, faults: &FaultConfig) {
+        if faults.is_noop() {
+            return;
+        }
+        self.dram.set_fault(faults.plan(site::DRAM));
+        for (i, l2) in self.l2.iter_mut().enumerate() {
+            l2.cache.set_fault(faults.plan(site::l2(i)));
+        }
+        if let Some(l3) = &mut self.l3 {
+            l3.cache.set_fault(faults.plan(site::L3));
+        }
+    }
+
+    /// Queue depths across the whole hierarchy, for hang diagnosis.
+    pub fn occupancy(&self) -> HierarchyOccupancy {
+        let (dram_input, dram_in_flight, dram_responses) = self.dram.occupancy();
+        HierarchyOccupancy {
+            dram_input,
+            dram_in_flight,
+            dram_responses,
+            dram_dropped: self.dram.dropped_rsps,
+            outstanding_tags: self.dram_tags.len(),
+            l2: self.l2.iter().map(|l| l.cache.occupancy()).collect(),
+            l3: self.l3.as_ref().map(|l| l.cache.occupancy()),
+            core_rsp_pending: self.core_rsp.iter().map(VecDeque::len).sum(),
+        }
+    }
+}
+
+/// Queue depths across the shared memory system, for hang diagnosis.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct HierarchyOccupancy {
+    /// Requests queued at the DRAM controller input.
+    pub dram_input: usize,
+    /// Accesses in flight inside DRAM.
+    pub dram_in_flight: usize,
+    /// DRAM read responses not yet routed.
+    pub dram_responses: usize,
+    /// Read responses dropped by fault injection (each one strands a tag).
+    pub dram_dropped: u64,
+    /// Routing tags awaiting a response — reads the hierarchy still owes.
+    pub outstanding_tags: usize,
+    /// Per-cluster L2 occupancy (empty when no L2 is configured).
+    pub l2: Vec<CacheOccupancy>,
+    /// L3 occupancy when configured.
+    pub l3: Option<CacheOccupancy>,
+    /// Fill responses queued on core ports, not yet consumed.
+    pub core_rsp_pending: usize,
+}
+
+impl fmt::Display for HierarchyOccupancy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "dram: input={} in-flight={} rsp={} dropped={} owed-tags={} core-rsp={}",
+            self.dram_input,
+            self.dram_in_flight,
+            self.dram_responses,
+            self.dram_dropped,
+            self.outstanding_tags,
+            self.core_rsp_pending,
+        )?;
+        for (i, l2) in self.l2.iter().enumerate() {
+            write!(f, "\n    L2[{i}]: {l2}")?;
+        }
+        if let Some(l3) = &self.l3 {
+            write!(f, "\n    L3: {l3}")?;
+        }
+        Ok(())
     }
 }
 

@@ -40,9 +40,9 @@ pub mod ram;
 pub mod req;
 pub mod smem;
 
-pub use cache::{Cache, CacheConfig, CacheStats};
+pub use cache::{Cache, CacheConfig, CacheOccupancy, CacheStats};
 pub use dram::{Dram, DramConfig};
-pub use hierarchy::{HierarchyConfig, MemHierarchy};
+pub use hierarchy::{HierarchyConfig, HierarchyOccupancy, MemHierarchy};
 pub use ram::Ram;
 pub use req::{MemReq, MemRsp, Tag};
 pub use smem::{SharedMem, SharedMemConfig};

@@ -113,12 +113,13 @@ impl CommandProcessor {
     /// `max_cycles` device cycles.
     ///
     /// # Errors
-    /// Propagates the GPU's timeout error.
+    /// Propagates the GPU's structured error: timeout, hang report, or a
+    /// trap raised by the pipeline.
     pub fn run_to_completion(
         &mut self,
         gpu: &mut Gpu,
         max_cycles: u64,
-    ) -> Result<vortex_core::GpuStats, vortex_core::LaunchError> {
+    ) -> Result<vortex_core::GpuStats, vortex_core::SimError> {
         let stats = gpu.run(max_cycles)?;
         self.running = false;
         // Polling cost: one status MMIO read per poll interval.

@@ -4,7 +4,7 @@ use crate::abi;
 use crate::afu::{CommandProcessor, MmioReg};
 use std::fmt;
 use vortex_asm::Program;
-use vortex_core::{Gpu, GpuConfig, GpuStats};
+use vortex_core::{Gpu, GpuConfig, GpuStats, HangReport, SimError};
 
 /// A device-memory allocation.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -33,6 +33,12 @@ pub enum RuntimeError {
         /// Offending address.
         addr: u32,
     },
+    /// The watchdog detected that the device stopped making forward
+    /// progress; the report names the stuck components.
+    Hang(Box<HangReport>),
+    /// The pipeline raised a trap (divergence-stack underflow/overflow,
+    /// illegal instruction, ...).
+    Trap(SimError),
 }
 
 impl fmt::Display for RuntimeError {
@@ -47,6 +53,8 @@ impl fmt::Display for RuntimeError {
             RuntimeError::BadAccess { addr } => {
                 write!(f, "access outside allocated device memory at {addr:#x}")
             }
+            RuntimeError::Hang(report) => write!(f, "{report}"),
+            RuntimeError::Trap(err) => write!(f, "device trap: {err}"),
         }
     }
 }
@@ -101,11 +109,21 @@ impl Device {
         Ok(DeviceBuffer { addr, size })
     }
 
+    /// Checks that a buffer describes a valid device-address range.
+    fn check_buffer(buf: DeviceBuffer) -> Result<(), RuntimeError> {
+        buf.addr
+            .checked_add(buf.size)
+            .map(|_| ())
+            .ok_or(RuntimeError::BadAccess { addr: buf.addr })
+    }
+
     /// Uploads bytes into a buffer (DMA through the command processor).
     ///
     /// # Errors
-    /// Fails if the data does not fit in the buffer.
+    /// [`RuntimeError::BadAccess`] if the data does not fit in the buffer
+    /// or the buffer wraps the device address space.
     pub fn upload(&mut self, buf: DeviceBuffer, data: &[u8]) -> Result<(), RuntimeError> {
+        Self::check_buffer(buf)?;
         if data.len() as u32 > buf.size {
             return Err(RuntimeError::BadAccess { addr: buf.addr });
         }
@@ -114,25 +132,41 @@ impl Device {
     }
 
     /// Downloads a buffer's contents.
-    pub fn download(&mut self, buf: DeviceBuffer) -> Vec<u8> {
-        self.afu
-            .dma_download(&self.gpu, buf.addr, buf.size as usize)
+    ///
+    /// # Errors
+    /// [`RuntimeError::BadAccess`] if the buffer wraps the device address
+    /// space.
+    pub fn download(&mut self, buf: DeviceBuffer) -> Result<Vec<u8>, RuntimeError> {
+        Self::check_buffer(buf)?;
+        Ok(self
+            .afu
+            .dma_download(&self.gpu, buf.addr, buf.size as usize))
     }
 
     /// Downloads a buffer as little-endian `u32` words.
-    pub fn download_words(&mut self, buf: DeviceBuffer) -> Vec<u32> {
-        self.download(buf)
+    ///
+    /// # Errors
+    /// [`RuntimeError::BadAccess`] if the buffer wraps the device address
+    /// space.
+    pub fn download_words(&mut self, buf: DeviceBuffer) -> Result<Vec<u32>, RuntimeError> {
+        Ok(self
+            .download(buf)?
             .chunks_exact(4)
             .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-            .collect()
+            .collect())
     }
 
     /// Downloads a buffer as `f32` values.
-    pub fn download_floats(&mut self, buf: DeviceBuffer) -> Vec<f32> {
-        self.download_words(buf)
+    ///
+    /// # Errors
+    /// [`RuntimeError::BadAccess`] if the buffer wraps the device address
+    /// space.
+    pub fn download_floats(&mut self, buf: DeviceBuffer) -> Result<Vec<f32>, RuntimeError> {
+        Ok(self
+            .download_words(buf)?
             .into_iter()
             .map(f32::from_bits)
-            .collect()
+            .collect())
     }
 
     /// Uploads a program image to its load address.
@@ -150,14 +184,20 @@ impl Device {
     /// Launches a kernel at `entry` and runs it to completion.
     ///
     /// # Errors
-    /// [`RuntimeError::Timeout`] if `max_cycles` elapses first.
+    /// [`RuntimeError::Timeout`] if `max_cycles` elapses first,
+    /// [`RuntimeError::Hang`] if the watchdog finds the device stuck, and
+    /// [`RuntimeError::Trap`] for pipeline traps.
     pub fn run_kernel(&mut self, entry: u32) -> Result<RunReport, RuntimeError> {
         self.afu.mmio_write(&mut self.gpu, MmioReg::EntryPc, entry);
         self.afu.mmio_write(&mut self.gpu, MmioReg::Control, 1);
         let stats = self
             .afu
             .run_to_completion(&mut self.gpu, self.max_cycles)
-            .map_err(|e| RuntimeError::Timeout { cycles: e.cycles })?;
+            .map_err(|e| match e {
+                SimError::Timeout { cycles } => RuntimeError::Timeout { cycles },
+                SimError::Hang(report) => RuntimeError::Hang(report),
+                trap => RuntimeError::Trap(trap),
+            })?;
         Ok(RunReport {
             stats,
             host_cycles: self.afu.host_cycles,
@@ -204,7 +244,49 @@ mod tests {
         let buf = dev.alloc(4).unwrap();
         assert!(dev.upload(buf, &[0; 8]).is_err());
         assert!(dev.upload(buf, &[1, 2, 3, 4]).is_ok());
-        assert_eq!(dev.download(buf), vec![1, 2, 3, 4]);
+        assert_eq!(dev.download(buf).unwrap(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn wrapping_buffer_is_a_bad_access_not_a_panic() {
+        let mut dev = Device::new(GpuConfig::with_cores(1));
+        let bogus = DeviceBuffer {
+            addr: u32::MAX - 2,
+            size: 8,
+        };
+        assert_eq!(
+            dev.download(bogus),
+            Err(RuntimeError::BadAccess { addr: u32::MAX - 2 })
+        );
+        assert_eq!(
+            dev.upload(bogus, &[0; 8]),
+            Err(RuntimeError::BadAccess { addr: u32::MAX - 2 })
+        );
+        assert!(dev.download_words(bogus).is_err());
+        assert!(dev.download_floats(bogus).is_err());
+    }
+
+    #[test]
+    fn hang_report_reaches_the_driver_api() {
+        let mut config = GpuConfig::with_cores(1);
+        config.watchdog_cycles = 1_000;
+        let mut dev = Device::new(config);
+        dev.gpu_mut().apply_faults(&vortex_faults::FaultConfig {
+            seed: 11,
+            dram_drop: 1000,
+            ..vortex_faults::FaultConfig::off()
+        });
+        let mut a = Assembler::new();
+        a.ecall();
+        let prog = a.assemble(abi::CODE_BASE).unwrap();
+        dev.load_program(&prog);
+        match dev.run_kernel(prog.entry) {
+            Err(RuntimeError::Hang(report)) => {
+                let text = report.to_string();
+                assert!(text.contains("no forward progress"), "{text}");
+            }
+            other => panic!("expected a hang report, got {other:?}"),
+        }
     }
 
     /// End-to-end: a kernel that writes `gtid * scale` into an output
@@ -246,7 +328,7 @@ mod tests {
 
         dev.load_program(&prog);
         let report = dev.run_kernel(prog.entry).unwrap();
-        let result = dev.download_words(out);
+        let result = dev.download_words(out).unwrap();
         let expect: Vec<u32> = (0..n).map(|i| i * 3).collect();
         assert_eq!(result, expect);
         assert!(report.stats.cycles > 0);

@@ -40,7 +40,7 @@ fn buffers_persist_across_kernel_launches() {
         dev.run_kernel(prog.entry).expect("finishes");
         // NOTE: every core runs the kernel; gtid 0 exists once, so one
         // increment per launch.
-        assert_eq!(dev.download_words(counter)[0], expected);
+        assert_eq!(dev.download_words(counter).expect("download in range")[0], expected);
     }
 }
 
@@ -88,6 +88,6 @@ fn allocations_do_not_overlap() {
     let b = dev.alloc(100).expect("alloc");
     dev.upload(a, &[1u8; 100]).expect("upload");
     dev.upload(b, &[2u8; 100]).expect("upload");
-    assert!(dev.download(a).iter().all(|&x| x == 1));
-    assert!(dev.download(b).iter().all(|&x| x == 2));
+    assert!(dev.download(a).expect("download in range").iter().all(|&x| x == 1));
+    assert!(dev.download(b).expect("download in range").iter().all(|&x| x == 2));
 }

@@ -35,4 +35,4 @@ pub mod unit;
 pub use color::Rgba8;
 pub use filter::{sample_bilinear, sample_point, trilinear_reference};
 pub use state::{FilterMode, TexFormat, TexState, WrapMode};
-pub use unit::{TexRequest, TexResponse, TexUnit, TexUnitConfig, TexUnitStats};
+pub use unit::{TexOccupancy, TexRequest, TexResponse, TexUnit, TexUnitConfig, TexUnitStats};

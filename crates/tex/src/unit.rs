@@ -18,6 +18,7 @@
 use crate::filter::{bilinear_footprint, sample_bilinear, sample_point};
 use crate::state::{FilterMode, TexState};
 use std::collections::VecDeque;
+use vortex_faults::FaultPlan;
 use vortex_mem::elastic::Queue;
 use vortex_mem::{MemReq, MemRsp, Ram, Tag};
 
@@ -77,6 +78,38 @@ pub struct TexUnitStats {
     pub idle_cycles: u64,
 }
 
+/// Queue depths for hang diagnosis (see `vortex-core`'s hang report).
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+pub struct TexOccupancy {
+    /// Batches waiting in the input FIFO.
+    pub input: usize,
+    /// Texel fetches outstanding for the batch owning the scheduler.
+    pub current_outstanding: usize,
+    /// Batches in the sampler pipeline.
+    pub sampler: usize,
+    /// Completed responses not yet drained.
+    pub output: usize,
+    /// Texel memory requests not yet forwarded to the cache.
+    pub mem_out: usize,
+}
+
+impl TexOccupancy {
+    /// `true` when every stage is empty.
+    pub fn is_empty(&self) -> bool {
+        *self == Self::default()
+    }
+}
+
+impl std::fmt::Display for TexOccupancy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "inq={} outstanding={} sampler={} rsp={} memq={}",
+            self.input, self.current_outstanding, self.sampler, self.output, self.mem_out
+        )
+    }
+}
+
 #[derive(Debug)]
 struct Batch {
     tag: Tag,
@@ -103,6 +136,7 @@ pub struct TexUnit {
     mem_out: VecDeque<MemReq>,
     /// Map of outstanding mem tags (all belong to `current`).
     outstanding_tags: Vec<Tag>,
+    fault: Option<FaultPlan>,
     /// Performance counters.
     pub stats: TexUnitStats,
 }
@@ -119,8 +153,17 @@ impl TexUnit {
             next_mem_tag: 0,
             mem_out: VecDeque::new(),
             outstanding_tags: Vec::new(),
+            fault: None,
             stats: TexUnitStats::default(),
         }
+    }
+
+    /// Attaches a fault plan: at the plan's `tex_stall` rate, a cycle's
+    /// sampler countdown and scheduler work are skipped entirely, delaying
+    /// (but never losing) responses. The input FIFO is *not* gated — issue
+    /// sites check fullness before pushing.
+    pub fn set_fault(&mut self, plan: FaultPlan) {
+        self.fault = Some(plan);
     }
 
     /// `true` if a new `tex` instruction can be accepted this cycle.
@@ -217,6 +260,14 @@ impl TexUnit {
 
     /// Advances the unit one cycle.
     pub fn tick(&mut self) {
+        if let Some(plan) = &mut self.fault {
+            if plan.stall_tex() {
+                // The whole unit freezes for this cycle: the sampler does
+                // not count down and the scheduler issues nothing. State is
+                // untouched, so the work completes later.
+                return;
+            }
+        }
         // Sampler pipeline ⑤: count down, emit responses.
         for entry in &mut self.sampler {
             entry.0 = entry.0.saturating_sub(1);
@@ -266,6 +317,20 @@ impl TexUnit {
     /// Pops one completed `tex` response.
     pub fn pop_rsp(&mut self) -> Option<TexResponse> {
         self.output.pop_front()
+    }
+
+    /// Queue depths for hang diagnosis.
+    pub fn occupancy(&self) -> TexOccupancy {
+        TexOccupancy {
+            input: self.input.len(),
+            current_outstanding: self
+                .current
+                .as_ref()
+                .map_or(0, |b| b.to_issue.len() + b.outstanding),
+            sampler: self.sampler.len(),
+            output: self.output.len(),
+            mem_out: self.mem_out.len(),
+        }
     }
 
     /// `true` when nothing is in flight.
@@ -404,6 +469,33 @@ mod tests {
         assert!(unit.issue(mk(0), &[state], &ram).is_ok());
         assert!(!unit.can_accept());
         assert!(unit.issue(mk(1), &[state], &ram).is_err());
+    }
+
+    #[test]
+    fn stall_fault_delays_but_never_loses_responses() {
+        let mut ram = Ram::new();
+        let state = solid_texture(&mut ram, Rgba8::WHITE);
+        let mut baseline = TexUnit::new(TexUnitConfig::default());
+        let mut faulty = TexUnit::new(TexUnitConfig::default());
+        faulty.set_fault(
+            vortex_faults::FaultConfig {
+                seed: 7,
+                tex_stall: 500,
+                ..vortex_faults::FaultConfig::off()
+            }
+            .plan(vortex_faults::site::tex(0)),
+        );
+        let req = || TexRequest {
+            tag: 3,
+            stage: 0,
+            lanes: vec![Some((0.4, 0.4, 0.0)); 4],
+        };
+        baseline.issue(req(), &[state], &ram).unwrap();
+        faulty.issue(req(), &[state], &ram).unwrap();
+        let fast = run(&mut baseline, 1000);
+        let slow = run(&mut faulty, 1000);
+        assert_eq!(fast, slow, "stalls must not change results");
+        assert!(faulty.is_idle(), "stalled unit still drains");
     }
 
     #[test]

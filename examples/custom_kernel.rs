@@ -77,7 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // is a multiple of the machine width (uniform exit) — it is: 1024
     // items over 16 threads. The library kernels use split/join guards.
     let report = device.run_kernel(program.entry)?;
-    let sum: u32 = device.download_words(partials).iter().sum();
+    let sum: u32 = device.download_words(partials)?.iter().sum();
     assert_eq!(sum, n * (n + 1) / 2);
     println!(
         "sum(1..={n}) = {sum} in {} cycles across {} threads",

@@ -125,7 +125,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     dev.write_args(&args);
     let report = dev.run_kernel(prog.entry)?;
 
-    let y = dev.download_floats(by);
+    let y = dev.download_floats(by)?;
 
     // Host reference.
     let matvec = |w: &[f32], x: &[f32], b: &[f32], rows: usize, cols: usize, relu: bool| {

@@ -56,7 +56,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     device.load_program(&program);
     let report = device.run_kernel(program.entry)?;
 
-    let results = device.download_words(out);
+    let results = device.download_words(out)?;
     assert!(results.iter().enumerate().all(|(i, &v)| v == (i * i) as u32));
     println!("first squares: {:?}", &results[..8]);
     println!(

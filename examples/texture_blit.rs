@@ -102,7 +102,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // With a same-size blit at pixel centers, bilinear degenerates to a
     // copy of mip level 0 — verify and report.
-    let out = dev.download(dst);
+    let out = dev.download(dst)?;
     assert_eq!(&out[..], &tex_bytes[..size * size * 4], "blit must copy level 0");
     let tex_stats: u64 = report.stats.cores.iter().map(|c| c.tex_ops).sum();
     println!(

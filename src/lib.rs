@@ -9,6 +9,7 @@
 
 pub use vortex_asm as asm;
 pub use vortex_core as gpu;
+pub use vortex_faults as faults;
 pub use vortex_gfx as gfx;
 pub use vortex_isa as isa;
 pub use vortex_kernels as kernels;

@@ -1,0 +1,156 @@
+//! Fault-injection fuzzing: random seeds and fault plans against a small
+//! SIMT kernel. The contract under test is the resilience layer's:
+//!
+//! * **benign** plans (stalls and delays only) may slow the machine down
+//!   arbitrarily but the kernel must still complete with correct results;
+//! * **destructive** plans (dropped or corrupted responses) may hang or
+//!   time out, but every outcome is a structured [`SimError`] — the
+//!   simulator never panics and never returns silently wrong data;
+//! * identical seeds give identical cycle counts and identical reports.
+
+use proptest::prelude::*;
+use vortex::asm::Assembler;
+use vortex::faults::FaultConfig;
+use vortex::gpu::{Gpu, GpuConfig, SimError};
+use vortex::isa::{csr, Reg};
+
+const ENTRY: u32 = 0x8000_0000;
+const OUT: u32 = 0x4_0000;
+const LANES: u32 = 4;
+
+/// A SIMT kernel with divergence, shared DRAM traffic, and a loop: each
+/// lane computes `sum(0..=tid) * 2 + 1` and stores it to `OUT[tid]`.
+fn kernel() -> vortex::asm::Program {
+    let mut a = Assembler::new();
+    a.li(Reg::X5, LANES as i32);
+    a.tmc(Reg::X5);
+    a.csrr(Reg::X6, csr::VX_TID);
+    a.li(Reg::X7, 0); // acc
+    a.li(Reg::X8, 0); // i
+    // Uniform trip count; lanes mask their contribution with `i <= tid`
+    // arithmetically so the loop branch never diverges.
+    a.label("loop").unwrap();
+    a.slt(Reg::X12, Reg::X6, Reg::X8); // tid < i
+    a.xori(Reg::X12, Reg::X12, 1); // i <= tid
+    a.mul(Reg::X13, Reg::X8, Reg::X12);
+    a.add(Reg::X7, Reg::X7, Reg::X13);
+    a.addi(Reg::X8, Reg::X8, 1);
+    a.li(Reg::X9, LANES as i32);
+    a.blt(Reg::X8, Reg::X9, "loop");
+    // Divergent tail: odd lanes double-and-increment, even lanes copy.
+    a.andi(Reg::X9, Reg::X6, 1);
+    a.split(Reg::X9);
+    a.beqz(Reg::X9, "even");
+    a.slli(Reg::X7, Reg::X7, 1);
+    a.addi(Reg::X7, Reg::X7, 1);
+    a.j("merge");
+    a.label("even").unwrap();
+    a.slli(Reg::X7, Reg::X7, 1);
+    a.addi(Reg::X7, Reg::X7, 1);
+    a.label("merge").unwrap();
+    a.join();
+    a.slli(Reg::X10, Reg::X6, 2);
+    a.li(Reg::X11, OUT as i32);
+    a.add(Reg::X10, Reg::X10, Reg::X11);
+    a.sw(Reg::X7, Reg::X10, 0);
+    a.ecall();
+    a.assemble(ENTRY).expect("kernel assembles")
+}
+
+fn expected(tid: u32) -> u32 {
+    (0..=tid).sum::<u32>() * 2 + 1
+}
+
+/// Runs the kernel under `faults` and returns the structured outcome.
+fn run_under(faults: &FaultConfig) -> Result<u64, SimError> {
+    let mut config = GpuConfig::with_cores(1);
+    config.watchdog_cycles = 5_000;
+    let mut gpu = Gpu::new(config);
+    gpu.apply_faults(faults);
+    let prog = kernel();
+    gpu.ram.write_bytes(prog.base, &prog.to_bytes());
+    gpu.launch(prog.entry);
+    let stats = gpu.run(1_000_000)?;
+    for tid in 0..LANES {
+        assert_eq!(
+            gpu.ram.read_u32(OUT + tid * 4),
+            expected(tid),
+            "lane {tid} result corrupted under benign-completed run {faults}"
+        );
+    }
+    Ok(stats.cycles)
+}
+
+fn plan_strategy() -> impl Strategy<Value = FaultConfig> {
+    (
+        1u64..u64::MAX,
+        0u16..401,
+        0u16..401,
+        (0u16..401, 1u32..97),
+        0u16..151,
+        0u16..301,
+        0u16..151,
+        0u16..301,
+    )
+        .prop_map(
+            |(seed, elastic, dstall, (ddelay, dlat), drop, crsp, corrupt, tstall)| FaultConfig {
+                seed,
+                elastic_stall: elastic,
+                dram_stall: dstall,
+                dram_delay: ddelay,
+                dram_extra_latency: dlat,
+                dram_drop: drop,
+                cache_rsp_stall: crsp,
+                corrupt,
+                tex_stall: tstall,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Benign fault plans (no drops, no corruption) only cost cycles:
+    /// the kernel always completes and results are always correct.
+    #[test]
+    fn benign_faults_never_change_results(plan in plan_strategy()) {
+        let benign = FaultConfig { dram_drop: 0, corrupt: 0, ..plan };
+        prop_assert!(benign.is_benign());
+        let cycles = run_under(&benign).expect("benign faults cannot stop the machine");
+        // Sanity: the clean machine's cycle count is a lower bound.
+        let clean = run_under(&FaultConfig::off()).expect("clean run");
+        prop_assert!(cycles >= clean);
+    }
+
+    /// Any fault plan — including response drops and fill-tag corruption
+    /// — yields either a correct completion or a structured error. The
+    /// assertion is the absence of a panic: `run_under` panics only if a
+    /// *completed* run returned wrong data.
+    #[test]
+    fn no_fault_plan_can_panic_the_simulator(plan in plan_strategy()) {
+        match run_under(&plan) {
+            Ok(_) => {}
+            Err(SimError::Timeout { .. }) => {}
+            Err(SimError::Hang(report)) => {
+                // The report must name at least one stuck component.
+                prop_assert!(
+                    report.stuck_core_mask() != 0
+                        || report.memory != vortex::mem::hierarchy::HierarchyOccupancy::default()
+                );
+            }
+            Err(other) => {
+                prop_assert!(false, "unexpected trap from fault injection: {other}");
+            }
+        }
+    }
+
+    /// Fault injection is deterministic: the same plan (same seed) gives
+    /// the same cycle count on success and the identical structured
+    /// report on failure.
+    #[test]
+    fn identical_seeds_are_identical_runs(plan in plan_strategy()) {
+        let first = run_under(&plan);
+        let second = run_under(&plan);
+        prop_assert_eq!(first, second);
+    }
+}
