@@ -6,12 +6,14 @@
 //! * data-cache bank count (the multi-banking baseline),
 //! * wavefront scheduling policy (the two-level policy of Narasiman et al.),
 //! * cache hierarchy depth (the optional L2/L3 of §4.1.4).
+//!
+//! Each sweep fans out across worker threads ([`vortex_bench::par`]);
+//! results print in sweep order regardless of the worker count.
 
-use vortex_bench::{f0, f2, preamble, Table};
+use vortex_bench::{f0, f2, par, preamble, Table};
 use vortex_core::scheduler::SchedPolicy;
 use vortex_core::GpuConfig;
-use vortex_kernels::{Benchmark, Bfs, Reduce, Saxpy, Sgemm};
-use vortex_mem::hierarchy::{l2_default, l3_default};
+use vortex_kernels::{BenchResult, Benchmark, Bfs, Reduce, Saxpy, Sgemm};
 
 fn main() {
     preamble("ablation studies");
@@ -20,11 +22,15 @@ fn main() {
     println!("### MSHR capacity (saxpy, 1 core)\n");
     let saxpy = Saxpy::new(if vortex_bench::is_fast() { 1024 } else { 8192 });
     let mut t = Table::new(["MSHR entries/bank", "IPC", "cycles"]);
-    for mshr in [2usize, 4, 8, 16, 32] {
+    let mshrs = [2usize, 4, 8, 16, 32];
+    let results = par::par_map(&mshrs, |_, &mshr| {
         let mut config = GpuConfig::with_cores(1);
         config.core.dcache.mshr_size = mshr;
         let r = saxpy.run_on(&config);
         assert!(r.validated);
+        r
+    });
+    for (mshr, r) in mshrs.iter().zip(&results) {
         t.row([mshr.to_string(), f2(r.thread_ipc()), r.stats.cycles.to_string()]);
     }
     println!("{}", t.to_markdown());
@@ -34,11 +40,15 @@ fn main() {
     println!("### D-cache bank count (sgemm, 1 core)\n");
     let sgemm = Sgemm::new(if vortex_bench::is_fast() { 12 } else { 32 });
     let mut t = Table::new(["banks", "IPC", "bank conflicts"]);
-    for banks in [1usize, 2, 4, 8] {
+    let bank_counts = [1usize, 2, 4, 8];
+    let results = par::par_map(&bank_counts, |_, &banks| {
         let mut config = GpuConfig::with_cores(1);
         config.core.dcache.num_banks = banks;
         let r = sgemm.run_on(&config);
         assert!(r.validated);
+        r
+    });
+    for (banks, r) in bank_counts.iter().zip(&results) {
         t.row([
             banks.to_string(),
             f2(r.thread_ipc()),
@@ -58,40 +68,48 @@ fn main() {
     let mut t = Table::new(["benchmark", "two-level IPC", "round-robin IPC"]);
     let bfs = Bfs::new(if vortex_bench::is_fast() { 64 } else { 512 }, 3);
     let benches: Vec<(&str, &dyn Benchmark)> = vec![("sgemm", &sgemm), ("bfs", &bfs)];
-    for (name, b) in benches {
-        let mut row = vec![name.to_string()];
-        for policy in [SchedPolicy::TwoLevel, SchedPolicy::RoundRobin] {
-            let mut config = GpuConfig::with_cores(1);
-            config.core.num_wavefronts = 8;
-            config.core.sched_policy = policy;
-            let r = b.run_on(&config);
-            assert!(r.validated);
-            row.push(f2(r.thread_ipc()));
-        }
-        t.row(row);
+    let policies = [SchedPolicy::TwoLevel, SchedPolicy::RoundRobin];
+    let items: Vec<(usize, SchedPolicy)> = (0..benches.len())
+        .flat_map(|bi| policies.iter().map(move |&p| (bi, p)))
+        .collect();
+    let ipcs = par::par_map(&items, |_, &(bi, policy)| {
+        let mut config = GpuConfig::with_cores(1);
+        config.core.num_wavefronts = 8;
+        config.core.sched_policy = policy;
+        let r = benches[bi].1.run_on(&config);
+        assert!(r.validated);
+        f2(r.thread_ipc())
+    });
+    for (bi, (name, _)) in benches.iter().enumerate() {
+        let row = &ipcs[bi * policies.len()..(bi + 1) * policies.len()];
+        t.row(std::iter::once(name.to_string()).chain(row.iter().cloned()));
     }
     println!("{}", t.to_markdown());
 
     // --- Cache hierarchy depth. -------------------------------------------
     println!("### Cache hierarchy (4 cores, sgemm)\n");
     let mut t = Table::new(["hierarchy", "IPC", "DRAM reads", "DRAM writes"]);
-    for (name, l2, l3) in [
+    let depths = [
         ("L1 only", false, false),
         ("L1 + L2", true, false),
         ("L1 + L2 + L3", true, true),
-    ] {
+    ];
+    let results = par::par_map(&depths, |_, &(_, l2, l3)| {
         let mut config = GpuConfig::with_cores(4);
         if l2 {
             config.cores_per_cluster = 2;
-            config.l2 = Some(l2_default());
+            config.l2 = Some(vortex_mem::hierarchy::l2_default());
         }
         if l3 {
-            config.l3 = Some(l3_default());
+            config.l3 = Some(vortex_mem::hierarchy::l3_default());
         }
         let r = sgemm.run_on(&config);
         assert!(r.validated);
+        r
+    });
+    for ((name, _, _), r) in depths.iter().zip(&results) {
         t.row([
-            name.to_string(),
+            (*name).to_string(),
             f2(r.thread_ipc()),
             f0(r.stats.dram_reads as f64),
             f0(r.stats.dram_writes as f64),
@@ -104,10 +122,14 @@ fn main() {
     println!("### Partial-sum staging: shared memory vs global (reduce, 2 cores)\n");
     let n = if vortex_bench::is_fast() { 4096 } else { 65536 };
     let mut t = Table::new(["staging", "IPC", "cycles", "smem accesses", "DRAM writes"]);
-    for bench in [Reduce::new(n), Reduce::global(n)] {
+    let stagings = [Reduce::new(n), Reduce::global(n)];
+    let results: Vec<BenchResult> = par::par_map(&stagings, |_, bench| {
         let config = GpuConfig::with_cores(2);
         let r = bench.run_on(&config);
         assert!(r.validated);
+        r
+    });
+    for (bench, r) in stagings.iter().zip(&results) {
         t.row([
             bench.name().to_string(),
             f2(r.thread_ipc()),

@@ -120,12 +120,21 @@ fn main() {
         "{:<16} {:>5} {:>6} {:>8} {:>5} {:>5}   verdict",
         "mode", "pass", "wrong", "timeout", "hang", "trap"
     );
+    // The whole (mode × seed) matrix is one parallel work list; outcomes
+    // come back in input order, so the per-mode tallies (and therefore the
+    // printed table) are identical at any worker count.
+    let matrix: Vec<(usize, u64)> = (0..modes.len())
+        .flat_map(|mi| (1..=seeds).map(move |seed| (mi, seed)))
+        .collect();
+    let outcomes = vortex_bench::par::par_map(&matrix, |_, &(mi, seed)| {
+        let faults = FaultConfig { seed, ..modes[mi].1 };
+        run_one(&faults).0
+    });
     let mut failed = false;
-    for (name, base) in &modes {
+    for (mi, (name, base)) in modes.iter().enumerate() {
         let mut tally = Tally::default();
-        for seed in 1..=seeds {
-            let faults = FaultConfig { seed, ..*base };
-            match run_one(&faults).0 {
+        for outcome in &outcomes[mi * seeds as usize..(mi + 1) * seeds as usize] {
+            match *outcome {
                 "pass" => tally.pass += 1,
                 "wrong" => tally.wrong += 1,
                 "timeout" => tally.timeout += 1,

@@ -2,7 +2,7 @@
 //! data-cache bank utilization and IPC at 1/2/4 virtual ports on a single
 //! baseline core.
 
-use vortex_bench::{f2, preamble, suite, Table};
+use vortex_bench::{f2, par, preamble, suite, Table};
 use vortex_core::GpuConfig;
 
 fn main() {
@@ -18,20 +18,32 @@ fn main() {
     );
 
     let benches = suite();
-    for b in &benches {
-        let mut utils = Vec::new();
-        let mut ipcs = Vec::new();
-        for &p in &ports {
-            let mut config = GpuConfig::with_cores(1);
-            config.core.dcache.ports = p;
-            eprintln!("running {} @ {p} port(s) ...", b.name());
-            let r = b.run_on(&config);
-            assert!(r.validated, "{} failed at {p} ports", r.name);
-            utils.push(r.stats.cores[0].dcache.bank_utilization() * 100.0);
-            ipcs.push(r.thread_ipc());
-        }
-        util_t.row(std::iter::once(b.name().to_string()).chain(utils.iter().map(|&u| f2(u))));
-        ipc_t.row(std::iter::once(b.name().to_string()).chain(ipcs.iter().map(|&i| f2(i))));
+    // One work item per (benchmark, port count); the parallel map returns
+    // them in input order, so the row-major reshape below is stable no
+    // matter how many workers ran.
+    let items: Vec<(usize, usize)> = (0..benches.len())
+        .flat_map(|bi| ports.iter().map(move |&p| (bi, p)))
+        .collect();
+    let cells = par::par_map(&items, |_, &(bi, p)| {
+        let b = &benches[bi];
+        let mut config = GpuConfig::with_cores(1);
+        config.core.dcache.ports = p;
+        eprintln!("running {} @ {p} port(s) ...", b.name());
+        let r = b.run_on(&config);
+        assert!(r.validated, "{} failed at {p} ports", r.name);
+        (
+            r.stats.cores[0].dcache.bank_utilization() * 100.0,
+            r.thread_ipc(),
+        )
+    });
+    for (bi, b) in benches.iter().enumerate() {
+        let row = &cells[bi * ports.len()..(bi + 1) * ports.len()];
+        util_t.row(
+            std::iter::once(b.name().to_string()).chain(row.iter().map(|&(u, _)| f2(u))),
+        );
+        ipc_t.row(
+            std::iter::once(b.name().to_string()).chain(row.iter().map(|&(_, i)| f2(i))),
+        );
     }
     println!("{}", util_t.to_markdown());
     println!("{}", ipc_t.to_markdown());

@@ -3,7 +3,7 @@
 //! vary (the design-space exploration that exceeds FPGA capacity and runs
 //! on the cycle-level simulator, §6.5).
 
-use vortex_bench::{f2, preamble, Table};
+use vortex_bench::{f2, par, preamble, Table};
 use vortex_core::{CoreConfig, GpuConfig};
 use vortex_kernels::{Benchmark, Saxpy, Sgemm};
 
@@ -24,7 +24,31 @@ fn main() {
         vec![("sgemm", &sgemm), ("saxpy", &saxpy)]
     };
 
-    for (name, bench) in benches {
+    // The full (benchmark × latency × channels) grid as one parallel work
+    // list — these 16-core simulations are the heaviest in the harness,
+    // and they are all independent.
+    let mut items: Vec<(usize, u32, u32)> = Vec::new();
+    for bi in 0..benches.len() {
+        for &lat in &latencies {
+            for &ch in &channels {
+                items.push((bi, lat, ch));
+            }
+        }
+    }
+    let ipcs = par::par_map(&items, |_, &(bi, lat, ch)| {
+        let (name, bench) = benches[bi];
+        let mut config = GpuConfig::with_cores(16);
+        config.core = CoreConfig::with_dims(16, 16);
+        config.dram.latency = lat;
+        config.dram.channels = ch;
+        eprintln!("running {name} @ latency {lat}, {ch} channels ...");
+        let r = bench.run_on(&config);
+        assert!(r.validated, "{name} failed validation");
+        r.thread_ipc()
+    });
+
+    let mut next = ipcs.iter();
+    for (name, _) in &benches {
         println!("### {name}\n");
         let mut t = Table::new(
             std::iter::once("latency \\ channels".to_string())
@@ -32,15 +56,8 @@ fn main() {
         );
         for &lat in &latencies {
             let mut cells = vec![format!("{lat} cyc")];
-            for &ch in &channels {
-                let mut config = GpuConfig::with_cores(16);
-                config.core = CoreConfig::with_dims(16, 16);
-                config.dram.latency = lat;
-                config.dram.channels = ch;
-                eprintln!("running {name} @ latency {lat}, {ch} channels ...");
-                let r = bench.run_on(&config);
-                assert!(r.validated, "{name} failed validation");
-                cells.push(f2(r.thread_ipc()));
+            for _ in &channels {
+                cells.push(f2(*next.next().expect("grid result")));
             }
             t.row(cells);
         }

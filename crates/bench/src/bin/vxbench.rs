@@ -1,0 +1,240 @@
+//! `vxbench` — simulator *host-throughput* benchmark.
+//!
+//! The cycle-level simulator is the instrument behind every design-space
+//! sweep in the paper's evaluation (§6.5 explicitly moves the 64-core
+//! exploration off the FPGA and onto SIMX); its host throughput bounds how
+//! wide those sweeps can go. `vxbench` runs a fixed workload suite
+//! (`sgemm`, `bfs`, `nearn`, `texture`), reports simulated cycles per
+//! wall-clock second for each, and can emit / check a JSON baseline so the
+//! perf trajectory is tracked PR over PR.
+//!
+//! ```sh
+//! # Measure and write the baseline:
+//! cargo run --release -p vortex-bench --bin vxbench -- --out BENCH_PR2.json
+//! # CI smoke: fail when any workload regresses >30% vs the baseline:
+//! cargo run --release -p vortex-bench --bin vxbench -- --quick --check BENCH_PR2.json
+//! ```
+//!
+//! Simulated cycle counts are fully deterministic (asserted against the
+//! expected values recorded in the baseline when sizes match); only the
+//! wall-clock side varies with the host.
+
+use std::time::Instant;
+use vortex_bench::Table;
+use vortex_core::GpuConfig;
+use vortex_kernels::{Benchmark, Bfs, FilterKind, Nearn, Sgemm, TexBench};
+
+/// Allowed throughput regression vs the checked-in baseline (CI gate).
+const REGRESSION_TOLERANCE: f64 = 0.30;
+
+/// Timing runs per workload; the best (max cps) is reported so scheduler
+/// noise on loaded CI hosts biases toward false *passes*, not failures.
+const RUNS: usize = 3;
+
+struct Measurement {
+    name: &'static str,
+    cycles: u64,
+    instrs: u64,
+    wall_ms: f64,
+    cps: f64,
+}
+
+fn workloads(quick: bool) -> Vec<(&'static str, Box<dyn Benchmark>)> {
+    if quick {
+        vec![
+            ("sgemm", Box::new(Sgemm::new(12)) as Box<dyn Benchmark>),
+            ("bfs", Box::new(Bfs::new(96, 3))),
+            ("nearn", Box::new(Nearn::new(256))),
+            (
+                "texture",
+                Box::new(TexBench::new(FilterKind::Bilinear, true, 5)),
+            ),
+        ]
+    } else {
+        vec![
+            ("sgemm", Box::new(Sgemm::default()) as Box<dyn Benchmark>),
+            ("bfs", Box::new(Bfs::default())),
+            ("nearn", Box::new(Nearn::default())),
+            (
+                "texture",
+                Box::new(TexBench::new(FilterKind::Bilinear, true, 6)),
+            ),
+        ]
+    }
+}
+
+fn measure(name: &'static str, bench: &dyn Benchmark) -> Measurement {
+    let config = GpuConfig::with_cores(1);
+    let mut best: Option<Measurement> = None;
+    for _ in 0..RUNS {
+        let start = Instant::now();
+        let r = bench.run_on(&config);
+        let wall = start.elapsed();
+        assert!(r.validated, "{name} failed validation");
+        let wall_s = wall.as_secs_f64().max(1e-9);
+        let m = Measurement {
+            name,
+            cycles: r.stats.cycles,
+            instrs: r.stats.total_instrs(),
+            wall_ms: wall_s * 1e3,
+            cps: r.stats.cycles as f64 / wall_s,
+        };
+        if let Some(b) = &best {
+            assert_eq!(
+                b.cycles, m.cycles,
+                "{name}: simulated cycle count must be run-to-run deterministic"
+            );
+        }
+        if best.as_ref().is_none_or(|b| m.cps > b.cps) {
+            best = Some(m);
+        }
+    }
+    best.expect("at least one run")
+}
+
+fn to_json(mode: &str, results: &[Measurement]) -> String {
+    // Hand-rolled, line-oriented JSON: one workload object per line so the
+    // (dependency-free) baseline reader in `--check` can parse it with
+    // string operations alone. Keep the field order stable.
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str("  \"bench\": \"vxbench\",\n");
+    out.push_str(&format!("  \"mode\": \"{mode}\",\n"));
+    out.push_str("  \"metric\": \"simulated-cycles-per-second\",\n");
+    out.push_str("  \"workloads\": [\n");
+    for (i, m) in results.iter().enumerate() {
+        let comma = if i + 1 == results.len() { "" } else { "," };
+        out.push_str(&format!(
+            "    {{\"name\": \"{}\", \"cycles\": {}, \"instrs\": {}, \"wall_ms\": {:.3}, \"cps\": {:.0}}}{comma}\n",
+            m.name, m.cycles, m.instrs, m.wall_ms, m.cps
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// Extracts the `"mode"` a baseline was recorded in. Quick-suite and
+/// full-suite cps are *not* comparable (short runs do not amortize
+/// setup), so `--check` refuses to compare across modes.
+fn parse_baseline_mode(json: &str) -> Option<String> {
+    json.lines()
+        .find(|l| l.trim_start().starts_with("\"mode\""))
+        .and_then(|l| l.split(':').nth(1))
+        .map(|v| v.trim().trim_matches(',').trim_matches('"').to_string())
+}
+
+/// Extracts `(name, cps)` pairs from a baseline produced by [`to_json`].
+fn parse_baseline(json: &str) -> Vec<(String, f64)> {
+    let field = |line: &str, key: &str| -> Option<String> {
+        let pat = format!("\"{key}\": ");
+        let start = line.find(&pat)? + pat.len();
+        let rest = &line[start..];
+        let end = rest
+            .find(|c: char| c == ',' || c == '}')
+            .unwrap_or(rest.len());
+        Some(rest[..end].trim().trim_matches('"').to_string())
+    };
+    json.lines()
+        .filter(|l| l.contains("\"name\"") && l.contains("\"cps\""))
+        .filter_map(|l| {
+            let name = field(l, "name")?;
+            let cps: f64 = field(l, "cps")?.parse().ok()?;
+            Some((name, cps))
+        })
+        .collect()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut quick = false;
+    let mut out_file: Option<String> = None;
+    let mut check_file: Option<String> = None;
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--quick" => quick = true,
+            "--out" => out_file = it.next().cloned(),
+            "--check" => check_file = it.next().cloned(),
+            _ => {
+                eprintln!("usage: vxbench [--quick] [--out FILE] [--check FILE]");
+                std::process::exit(2);
+            }
+        }
+    }
+    let mode = if quick { "quick" } else { "full" };
+    eprintln!("vxbench ({mode} suite, best of {RUNS} runs per workload)");
+    if cfg!(debug_assertions) {
+        eprintln!("warning: debug build — throughput numbers are meaningless");
+    }
+
+    let suite = workloads(quick);
+    let mut results = Vec::new();
+    for (name, bench) in &suite {
+        eprintln!("  running {name} ...");
+        results.push(measure(name, bench.as_ref()));
+    }
+
+    let mut t = Table::new(["workload", "sim cycles", "instrs", "wall ms", "Mcycles/s"]);
+    for m in &results {
+        t.row([
+            m.name.to_string(),
+            m.cycles.to_string(),
+            m.instrs.to_string(),
+            format!("{:.1}", m.wall_ms),
+            format!("{:.2}", m.cps / 1e6),
+        ]);
+    }
+    println!("{}", t.to_markdown());
+
+    if let Some(path) = out_file {
+        std::fs::write(&path, to_json(mode, &results)).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(1);
+        });
+        eprintln!("wrote {path}");
+    }
+
+    if let Some(path) = check_file {
+        let json = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            eprintln!("cannot read baseline {path}: {e}");
+            std::process::exit(1);
+        });
+        let baseline = parse_baseline(&json);
+        if baseline.is_empty() {
+            eprintln!("baseline {path} holds no workloads — malformed?");
+            std::process::exit(1);
+        }
+        let base_mode = parse_baseline_mode(&json).unwrap_or_else(|| "full".into());
+        if base_mode != mode {
+            eprintln!(
+                "baseline {path} was recorded in {base_mode} mode but this is a \
+                 {mode} run — cps across suite sizes is not comparable \
+                 (re-record the baseline with {})",
+                if mode == "quick" { "--quick --out" } else { "--out" }
+            );
+            std::process::exit(1);
+        }
+        let mut failed = false;
+        for (name, base_cps) in &baseline {
+            let Some(m) = results.iter().find(|m| m.name == name.as_str()) else {
+                continue; // baseline workload not in this suite selection
+            };
+            let floor = base_cps * (1.0 - REGRESSION_TOLERANCE);
+            let verdict = if m.cps >= floor { "ok" } else { "REGRESSED" };
+            eprintln!(
+                "  {name}: {:.2} Mcps vs baseline {:.2} Mcps (floor {:.2}) — {verdict}",
+                m.cps / 1e6,
+                base_cps / 1e6,
+                floor / 1e6
+            );
+            failed |= m.cps < floor;
+        }
+        if failed {
+            eprintln!(
+                "vxbench: throughput regression beyond {:.0}%",
+                REGRESSION_TOLERANCE * 100.0
+            );
+            std::process::exit(1);
+        }
+    }
+}

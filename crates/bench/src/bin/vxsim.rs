@@ -96,13 +96,16 @@ fn main() {
         }
     }
     gpu.launch(program.entry);
-    match gpu.run(max_cycles) {
+    let outcome = gpu.run(max_cycles);
+    // Dump the trace on *every* outcome: on HANG/TRAP/TIMEOUT the last
+    // instructions before the machine stopped are exactly what is needed.
+    if trace > 0 {
+        for c in 0..cores {
+            print!("{}", gpu.core(c).trace.dump());
+        }
+    }
+    match outcome {
         Ok(stats) => {
-            if trace > 0 {
-                for c in 0..cores {
-                    print!("{}", gpu.core(c).trace.dump());
-                }
-            }
             println!(
                 "PASS: {} cycles, {} instructions ({} thread-instructions)",
                 stats.cycles,
@@ -121,12 +124,15 @@ fn main() {
                 stats.dram_writes
             );
             for (i, c) in stats.cores.iter().enumerate() {
+                // Idle D-caches (no reads served) have no hit rate — print
+                // `n/a` rather than the vacuous 100%.
+                let hit_rate = match c.dcache.measured_hit_rate() {
+                    Some(r) => format!("{:.1}%", r * 100.0),
+                    None => "n/a".to_string(),
+                };
                 println!(
-                    "  core {i}: {} instrs, D$ hit rate {:.1}%, {} divergences, {} barriers",
-                    c.instrs,
-                    c.dcache.hit_rate() * 100.0,
-                    c.divergences,
-                    c.barriers
+                    "  core {i}: {} instrs, D$ hit rate {hit_rate}, {} divergences, {} barriers",
+                    c.instrs, c.divergences, c.barriers
                 );
             }
         }

@@ -28,6 +28,8 @@ use std::fmt::Write as _;
 use vortex_core::GpuConfig;
 use vortex_kernels::{all_rodinia, BenchResult, Benchmark};
 
+pub mod par;
+
 /// A printable markdown table.
 #[derive(Debug, Clone, Default)]
 pub struct Table {
@@ -98,24 +100,23 @@ pub fn suite() -> Vec<Box<dyn Benchmark>> {
     }
 }
 
-/// Runs every Rodinia benchmark on `config`, asserting validation.
+/// Runs every Rodinia benchmark on `config` (in parallel, one simulator
+/// instance per worker), asserting validation. Results come back in suite
+/// order regardless of worker count — see [`par::par_map`].
 ///
 /// # Panics
 /// Panics if any benchmark fails validation — the experiments must not
 /// report numbers from wrong results.
 pub fn run_rodinia_suite(config: &GpuConfig) -> Vec<BenchResult> {
-    suite()
-        .iter()
-        .map(|b| {
-            let r = b.run_on(config);
-            assert!(
-                r.validated,
-                "{} failed validation on {} cores",
-                r.name, config.num_cores
-            );
-            r
-        })
-        .collect()
+    par::par_map(&suite(), |_, b| {
+        let r = b.run_on(config);
+        assert!(
+            r.validated,
+            "{} failed validation on {} cores",
+            r.name, config.num_cores
+        );
+        r
+    })
 }
 
 /// The five design-space configurations of Table 3 / Figure 14, as

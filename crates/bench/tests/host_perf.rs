@@ -1,0 +1,123 @@
+//! Integration tests for the host-performance machinery: decode
+//! memoization must be invisible to simulated timing, the parallel sweep
+//! runner must be invisible to sweep results, and `vxsim --trace` must
+//! dump the retained trace on failing outcomes (where it matters most).
+
+use std::process::Command;
+use vortex_bench::par;
+use vortex_core::{Gpu, GpuConfig, GpuStats};
+use vortex_kernels::{Benchmark, Bfs, FilterKind, Nearn, Sgemm, TexBench};
+
+/// Runs `bench` with the decode memo forced on or off.
+fn run_with_memo(bench: &dyn Benchmark, memo: bool) -> GpuStats {
+    let mut config = GpuConfig::with_cores(1);
+    config.core.decode_cache = memo;
+    let r = bench.run_on(&config);
+    assert!(r.validated, "{} must validate", r.name);
+    r.stats
+}
+
+/// The decode memo is a pure host-side cache: every workload must produce
+/// bit-identical `GpuStats` (cycles, instruction counts, cache counters,
+/// stall breakdowns — everything) with the memo on and off.
+#[test]
+fn decode_memo_is_timing_invisible() {
+    let benches: Vec<(&str, Box<dyn Benchmark>)> = vec![
+        ("sgemm", Box::new(Sgemm::new(8))),
+        ("bfs", Box::new(Bfs::new(64, 3))),
+        ("nearn", Box::new(Nearn::new(128))),
+        ("texture", Box::new(TexBench::new(FilterKind::Bilinear, true, 4))),
+    ];
+    for (name, b) in &benches {
+        let with = run_with_memo(b.as_ref(), true);
+        let without = run_with_memo(b.as_ref(), false);
+        assert_eq!(
+            with, without,
+            "{name}: GpuStats must be identical with the decode memo on/off"
+        );
+    }
+}
+
+/// Builds a small multi-wavefront kernel with enough control flow that a
+/// decode-order bug would scramble the trace.
+fn traced_program() -> vortex_asm::Program {
+    let mut a = vortex_asm::Assembler::new();
+    use vortex_isa::Reg;
+    a.li(Reg::X5, 0);
+    a.li(Reg::X6, 24);
+    a.label("loop").unwrap();
+    a.slli(Reg::X7, Reg::X5, 2);
+    a.lw(Reg::X8, Reg::X7, 0x100);
+    a.add(Reg::X8, Reg::X8, Reg::X5);
+    a.sw(Reg::X8, Reg::X7, 0x100);
+    a.addi(Reg::X5, Reg::X5, 1);
+    a.blt(Reg::X5, Reg::X6, "loop");
+    a.ecall();
+    a.assemble(0x8000_0000).expect("assembles")
+}
+
+fn run_traced(memo: bool) -> (GpuStats, String) {
+    let mut config = GpuConfig::with_cores(1);
+    config.core.decode_cache = memo;
+    let mut gpu = Gpu::new(config);
+    let prog = traced_program();
+    gpu.ram.write_bytes(prog.base, &prog.to_bytes());
+    gpu.core_mut(0).trace = vortex_core::trace::Trace::with_capacity(256);
+    gpu.launch(prog.entry);
+    let stats = gpu.run(1_000_000).expect("kernel finishes");
+    (stats, gpu.core(0).trace.dump())
+}
+
+/// The instruction-by-instruction trace (cycle, wavefront, PC, tmask,
+/// disassembly) must also be byte-identical with the memo on and off.
+#[test]
+fn decode_memo_preserves_trace_dumps() {
+    let (stats_on, trace_on) = run_traced(true);
+    let (stats_off, trace_off) = run_traced(false);
+    assert_eq!(stats_on, stats_off);
+    assert!(trace_on.lines().count() > 10, "trace captured something");
+    assert_eq!(trace_on, trace_off, "trace dumps must match");
+}
+
+/// The parallel sweep runner must return exactly what a sequential run
+/// returns, in the same order — here on real simulator work (a mix of
+/// configurations with very different runtimes, so workers genuinely
+/// finish out of order).
+#[test]
+fn parallel_sweep_matches_sequential_byte_for_byte() {
+    let sgemm = Sgemm::new(8);
+    let sweep: Vec<usize> = vec![1, 2, 1, 4, 2, 1];
+    let run = |_i: usize, &cores: &usize| {
+        let r = sgemm.run_on(&GpuConfig::with_cores(cores));
+        assert!(r.validated);
+        format!("{cores}c: {} cycles {} instrs", r.stats.cycles, r.stats.total_instrs())
+    };
+    let sequential = par::par_map_with_jobs(1, &sweep, run);
+    let parallel = par::par_map_with_jobs(4, &sweep, run);
+    assert_eq!(sequential, parallel);
+}
+
+/// `vxsim --trace N` must print the retained trace even when the run does
+/// not complete — a spin kernel hits the cycle budget (TIMEOUT, exit ≠ 0)
+/// and the last instructions must still appear on stdout.
+#[test]
+fn vxsim_dumps_trace_on_timeout() {
+    let src = "spin:\n    j spin\n";
+    let path = std::env::temp_dir().join(format!("vxsim_spin_{}.s", std::process::id()));
+    std::fs::write(&path, src).expect("write spin kernel");
+    let out = Command::new(env!("CARGO_BIN_EXE_vxsim"))
+        .arg(&path)
+        .args(["--trace", "16", "--max-cycles", "2000"])
+        .output()
+        .expect("vxsim runs");
+    let _ = std::fs::remove_file(&path);
+    assert!(!out.status.success(), "spin kernel must not PASS");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("TIMEOUT"), "expected TIMEOUT, got: {stderr}");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let trace_lines = stdout.lines().filter(|l| l.contains("core0 w0")).count();
+    assert!(
+        trace_lines > 0,
+        "trace must be dumped on the failure path; stdout was: {stdout}"
+    );
+}

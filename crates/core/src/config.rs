@@ -65,6 +65,11 @@ pub struct CoreConfig {
     pub num_barriers: usize,
     /// Wavefront scheduling policy.
     pub sched_policy: SchedPolicy,
+    /// Memoize `vortex_isa::decode` results in a per-core host-side cache
+    /// keyed by instruction word. Pure host-throughput optimization:
+    /// simulated timing and results are bit-identical either way (the
+    /// equivalence tests flip this switch to prove it).
+    pub decode_cache: bool,
 }
 
 impl CoreConfig {
@@ -109,6 +114,7 @@ impl CoreConfig {
             lsu_entries: 8,
             num_barriers: 16,
             sched_policy: SchedPolicy::default(),
+            decode_cache: true,
         }
     }
 

@@ -25,8 +25,9 @@
 
 use crate::barrier::{BarrierOutcome, BarrierTable};
 use crate::config::CoreConfig;
+use crate::decode_cache::DecodeCache;
 use crate::error::{CoreHangState, SimError, WarpHangState};
-use crate::exec::{self, CsrFile, ExecEnv, FuKind, Trap, Writeback};
+use crate::exec::{self, CsrFile, ExecEnv, ExecPool, FuKind, Trap, Writeback};
 use crate::lsu::{tags, Lsu};
 use crate::regfile::RegFile;
 use crate::scheduler::WavefrontScheduler;
@@ -84,13 +85,23 @@ pub struct Core {
     fetch_pending: Vec<Option<u32>>,
     /// Per-wavefront decoded instruction buffer (depth
     /// [`Core::IBUFFER_DEPTH`]).
-    ibuffer: Vec<std::collections::VecDeque<(Instr, u32)>>,
+    /// Per-wavefront decoded-instruction buffers. Each entry carries the
+    /// instruction, its PC, and its precomputed scoreboard need mask (see
+    /// [`Core::hazard_mask`]).
+    ibuffer: Vec<std::collections::VecDeque<(Instr, u32, u64)>>,
     /// Per-wavefront flag: a PC-redirecting instruction is decoded but not
     /// yet executed, so the next fetch address is unknown.
     cf_block: Vec<bool>,
     /// Fast-path I-cache hits waiting their fixed latency:
     /// `(ready cycle, wavefront, pc)`.
     fast_fetch: std::collections::VecDeque<(u64, usize, u32)>,
+    /// Scratch buffer for the (at most one per cycle) I-cache miss
+    /// request, reused so the fetch stage never allocates.
+    fetch_req: Vec<MemReq>,
+    /// Memoized decoder ([`None`] when `config.decode_cache` is off).
+    decode_memo: Option<DecodeCache>,
+    /// Recycled writeback/lane-access buffers for the execute stage.
+    exec_pool: ExecPool,
     issue_rr: usize,
 
     completions: Vec<Completion>,
@@ -109,8 +120,25 @@ pub struct Core {
     tex_mem_pending: Vec<MemReq>,
 
     cycle: u64,
-    /// Performance counters.
-    pub stats: CoreStats,
+    /// Sticky quiescence flag: set once every wavefront has halted and
+    /// every queue, pipeline, and cache in the core is empty. From that
+    /// point a full [`Core::tick`] reduces to exactly two counter bumps
+    /// (`cycle` and the ibuffer-empty stall counter), so the tick takes a
+    /// short-circuit path that performs only those — the stats stay
+    /// bit-identical while idle cores in a multi-core run stop paying the
+    /// full pipeline walk every cycle. Cleared by [`Core::launch`] and by
+    /// a (defensive, should-be-impossible) late memory response. Never set
+    /// while fault plans are attached: faulted components draw from their
+    /// decision streams even on empty offers, so skipping ticks would
+    /// desynchronize them.
+    drained: bool,
+    /// `true` once [`Core::apply_faults`] attached non-noop fault plans.
+    has_faults: bool,
+    /// Performance counters. Holds only the directly-incremented issue-side
+    /// counters during simulation; cycle and component (cache/tex/smem)
+    /// counters are folded in on demand by [`Core::stats_snapshot`] so the
+    /// hot loop does not copy them every cycle.
+    stats: CoreStats,
     /// Instruction trace (disabled by default).
     pub trace: Trace,
 }
@@ -162,6 +190,9 @@ impl Core {
             ibuffer: (0..nw).map(|_| std::collections::VecDeque::new()).collect(),
             cf_block: vec![false; nw],
             fast_fetch: std::collections::VecDeque::new(),
+            fetch_req: Vec::with_capacity(1),
+            decode_memo: config.decode_cache.then(DecodeCache::new),
+            exec_pool: ExecPool::default(),
             issue_rr: 0,
             completions: Vec::new(),
             div_busy_until: 0,
@@ -173,6 +204,8 @@ impl Core {
             next_tex_tag: 0,
             tex_mem_pending: Vec::new(),
             cycle: 0,
+            drained: false,
+            has_faults: false,
             stats: CoreStats::default(),
             trace: Trace::disabled(),
             config,
@@ -195,11 +228,17 @@ impl Core {
         self.fence_waiters.clear();
         self.tex_dest.clear();
         self.tex_mem_pending.clear();
+        self.drained = false;
         self.wavefronts[0].spawn(pc, 1);
     }
 
     /// `true` when every wavefront has halted and all machinery drained.
     pub fn is_done(&self) -> bool {
+        self.drained
+            || self.is_done_slow()
+    }
+
+    fn is_done_slow(&self) -> bool {
         self.wavefronts.iter().all(|w| !w.active)
             && self.lsu.is_idle()
             && self.tex_unit.is_idle()
@@ -214,55 +253,114 @@ impl Core {
         &self.config
     }
 
-    /// Source and destination registers of an instruction (for the
-    /// scoreboard). Returns `(sources, destination)`.
-    fn regs_of(instr: &Instr) -> (Vec<RegId>, Option<RegId>) {
+    /// Registers an instruction reads or writes, written into `out`
+    /// (sources first, destination last) for the scoreboard hazard check;
+    /// returns the filled length. Stack-allocated by the caller: the issue
+    /// stage runs this for every candidate wavefront every cycle, so this
+    /// path must not heap-allocate. Four slots suffice — the widest cases
+    /// (`fma`, `tex`) use three sources plus a destination.
+    fn hazard_regs(instr: &Instr, out: &mut [RegId; 4]) -> usize {
         use Instr::*;
+        let mut n = 0usize;
+        let mut push = |r: RegId| {
+            out[n] = r;
+            n += 1;
+        };
         match *instr {
-            Lui { rd, .. } | Auipc { rd, .. } => (vec![], Some(rd.into())),
-            Jal { rd, .. } => (vec![], Some(rd.into())),
-            Jalr { rd, rs1, .. } => (vec![rs1.into()], Some(rd.into())),
-            Branch { rs1, rs2, .. } => (vec![rs1.into(), rs2.into()], None),
-            Load { rd, rs1, .. } => (vec![rs1.into()], Some(rd.into())),
-            Store { rs1, rs2, .. } => (vec![rs1.into(), rs2.into()], None),
-            OpImm { rd, rs1, .. } => (vec![rs1.into()], Some(rd.into())),
-            Op { rd, rs1, rs2, .. } => (vec![rs1.into(), rs2.into()], Some(rd.into())),
-            Fence | Ecall | Ebreak => (vec![], None),
-            Csr { rd, src, .. } => {
-                let mut srcs = vec![];
-                if let CsrSrc::Reg(r) = src {
-                    srcs.push(r.into());
-                }
-                (srcs, (rd != Reg::X0).then(|| rd.into()))
+            Lui { rd, .. } | Auipc { rd, .. } | Jal { rd, .. } => push(rd.into()),
+            Jalr { rd, rs1, .. } => {
+                push(rs1.into());
+                push(rd.into());
             }
-            Flw { rd, rs1, .. } => (vec![rs1.into()], Some(rd.into())),
-            Fsw { rs1, rs2, .. } => (vec![rs1.into(), rs2.into()], None),
+            Branch { rs1, rs2, .. } | Store { rs1, rs2, .. } => {
+                push(rs1.into());
+                push(rs2.into());
+            }
+            Fsw { rs1, rs2, .. } => {
+                push(rs1.into());
+                push(rs2.into());
+            }
+            Load { rd, rs1, .. } | OpImm { rd, rs1, .. } => {
+                push(rs1.into());
+                push(rd.into());
+            }
+            Flw { rd, rs1, .. } => {
+                push(rs1.into());
+                push(rd.into());
+            }
+            Op { rd, rs1, rs2, .. } => {
+                push(rs1.into());
+                push(rs2.into());
+                push(rd.into());
+            }
+            Fence | Ecall | Ebreak | Join => {}
+            Csr { rd, src, .. } => {
+                if let CsrSrc::Reg(r) = src {
+                    push(r.into());
+                }
+                if rd != Reg::X0 {
+                    push(rd.into());
+                }
+            }
             Fma {
                 rd, rs1, rs2, rs3, ..
-            } => (
-                vec![rs1.into(), rs2.into(), rs3.into()],
-                Some(rd.into()),
-            ),
-            FpOp { rd, rs1, rs2, .. } => (vec![rs1.into(), rs2.into()], Some(rd.into())),
-            FpCmp { rd, rs1, rs2, .. } => (vec![rs1.into(), rs2.into()], Some(rd.into())),
-            FpToInt { rd, rs1, .. } => (vec![rs1.into()], Some(rd.into())),
-            IntToFp { rd, rs1, .. } => (vec![rs1.into()], Some(rd.into())),
-            FmvToInt { rd, rs1 } => (vec![rs1.into()], Some(rd.into())),
-            FmvFromInt { rd, rs1 } => (vec![rs1.into()], Some(rd.into())),
-            FClass { rd, rs1 } => (vec![rs1.into()], Some(rd.into())),
-            Tmc { rs1 } => (vec![rs1.into()], None),
-            Wspawn { rs1, rs2 } => (vec![rs1.into(), rs2.into()], None),
-            Split { rs1 } => (vec![rs1.into()], None),
-            Join => (vec![], None),
-            Bar { rs1, rs2 } => (vec![rs1.into(), rs2.into()], None),
-            Tex { rd, u, v, lod, .. } => (
-                vec![u.into(), v.into(), lod.into()],
-                Some(rd.into()),
-            ),
+            } => {
+                push(rs1.into());
+                push(rs2.into());
+                push(rs3.into());
+                push(rd.into());
+            }
+            FpOp { rd, rs1, rs2, .. } => {
+                push(rs1.into());
+                push(rs2.into());
+                push(rd.into());
+            }
+            FpCmp { rd, rs1, rs2, .. } => {
+                push(rs1.into());
+                push(rs2.into());
+                push(rd.into());
+            }
+            FpToInt { rd, rs1, .. } | FmvToInt { rd, rs1 } | FClass { rd, rs1 } => {
+                push(rs1.into());
+                push(rd.into());
+            }
+            IntToFp { rd, rs1, .. } | FmvFromInt { rd, rs1 } => {
+                push(rs1.into());
+                push(rd.into());
+            }
+            Tmc { rs1 } | Split { rs1 } => push(rs1.into()),
+            Wspawn { rs1, rs2 } | Bar { rs1, rs2 } => {
+                push(rs1.into());
+                push(rs2.into());
+            }
+            Tex { rd, u, v, lod, .. } => {
+                push(u.into());
+                push(v.into());
+                push(lod.into());
+                push(rd.into());
+            }
         }
+        n
     }
 
-    fn apply_writeback(&mut self, wid: usize, wb: &Writeback) {
+    /// The hazard registers of `instr` folded into a 64-bit mask matching
+    /// the scoreboard's pending-bit layout. Computed once per *decoded*
+    /// instruction (at ibuffer insert) so the issue stage's per-cycle
+    /// hazard check is a single AND instead of re-deriving the register
+    /// list of a blocked instruction every cycle it waits.
+    fn hazard_mask(instr: &Instr) -> u64 {
+        let mut need = [RegId(0); 4];
+        let n = Self::hazard_regs(instr, &mut need);
+        let mut mask = 0u64;
+        for r in &need[..n] {
+            mask |= 1 << r.0;
+        }
+        mask
+    }
+
+    /// Applies a writeback and returns its values buffer to the exec pool
+    /// (the per-instruction payload vectors are recycled, not dropped).
+    fn apply_writeback(&mut self, wid: usize, wb: Writeback) {
         for (lane, value) in wb.values.iter().enumerate() {
             if let Some(v) = value {
                 if wb.reg.0 < 32 {
@@ -279,13 +377,14 @@ impl Core {
             }
         }
         self.scoreboard.clear_pending(wid, wb.reg);
+        self.exec_pool.recycle_values(wb.values);
     }
 
     /// Writeback stage: one register write per cycle.
     fn writeback_stage(&mut self) {
         // Priority 1: completed loads.
         if let Some((wid, wb)) = self.lsu.pop_ready() {
-            self.apply_writeback(wid, &wb);
+            self.apply_writeback(wid, wb);
             return;
         }
         // Priority 2: texture responses.
@@ -295,7 +394,7 @@ impl Core {
                     reg,
                     values: rsp.colors,
                 };
-                self.apply_writeback(wid, &wb);
+                self.apply_writeback(wid, wb);
             }
             return;
         }
@@ -309,7 +408,7 @@ impl Core {
             .map(|(i, _)| i)
         {
             let c = self.completions.remove(idx);
-            self.apply_writeback(c.wid, &c.wb);
+            self.apply_writeback(c.wid, c.wb);
         }
     }
 
@@ -326,16 +425,11 @@ impl Core {
         let mut blocked_fu = false;
         for i in 0..nw {
             let wid = (self.issue_rr + i) % nw;
-            let Some((instr, _pc)) = self.ibuffer[wid].front() else {
+            let Some(&(ref instr, _pc, need)) = self.ibuffer[wid].front() else {
                 continue;
             };
-            // Hazard checks.
-            let (srcs, dst) = Self::regs_of(instr);
-            let mut need = srcs;
-            if let Some(d) = dst {
-                need.push(d);
-            }
-            if !self.scoreboard.ready(wid, &need) {
+            // Hazard check: one AND against the precomputed need mask.
+            if self.scoreboard.pending_mask(wid) & need != 0 {
                 blocked_scoreboard = true;
                 continue;
             }
@@ -384,7 +478,7 @@ impl Core {
             return Ok(());
         };
         self.issue_rr = (wid + 1) % nw;
-        let (instr, instr_pc) = self.ibuffer[wid].pop_front().expect("picked non-empty");
+        let (instr, instr_pc, _need) = self.ibuffer[wid].pop_front().expect("picked non-empty");
 
         // Execute functionally.
         let env = ExecEnv {
@@ -403,7 +497,16 @@ impl Core {
             wf.pc = instr_pc.wrapping_add(4);
             self.cf_block[wid] = false;
         }
-        let result = exec::execute(wf, &self.regs, ram, &mut self.csrf, &env, &instr, instr_pc)
+        let result = exec::execute_with(
+            wf,
+            &self.regs,
+            ram,
+            &mut self.csrf,
+            &env,
+            &instr,
+            instr_pc,
+            &mut self.exec_pool,
+        )
             .map_err(|trap| {
                 let (core, pc) = (self.id, instr_pc);
                 match trap {
@@ -457,6 +560,7 @@ impl Core {
                         self.lsu.issue_store(&accesses);
                     }
                 }
+                self.exec_pool.recycle_accesses(accesses);
             }
             FuKind::Tex => {
                 self.stats.tex_ops += 1;
@@ -470,6 +574,7 @@ impl Core {
                 self.tex_unit
                     .issue(TexRequest { tag, stage, lanes }, &states, ram)
                     .expect("tex unit acceptance checked at issue");
+                self.exec_pool.recycle_values(wb.values);
             }
             fu => {
                 if let Some((id, count)) = result.barrier {
@@ -591,9 +696,10 @@ impl Core {
             self.fetch_pending[wid] = Some(pc);
             return;
         }
-        let mut reqs = vec![MemReq::read(wid as Tag, pc)];
-        self.icache.offer(&mut reqs);
-        if reqs.is_empty() {
+        self.fetch_req.clear();
+        self.fetch_req.push(MemReq::read(wid as Tag, pc));
+        self.icache.offer(&mut self.fetch_req);
+        if self.fetch_req.is_empty() {
             self.fetch_pending[wid] = Some(pc);
         }
         // Rejected (bank busy / FIFO full): retry next cycle.
@@ -611,14 +717,22 @@ impl Core {
             return Ok(()); // halted while the fetch was in flight
         }
         let word = ram.read_u32(pc);
-        match decode(word) {
+        // Memoized decode. Keying by the *word just fetched* makes the memo
+        // self-invalidating under self-modifying code: a code write changes
+        // the lookup key, never the cached mapping.
+        let decoded = match self.decode_memo.as_mut() {
+            Some(memo) => memo.decode(word),
+            None => decode(word),
+        };
+        match decoded {
             Ok(instr) => {
                 if Self::blocks_fetch(&instr) {
                     self.cf_block[wid] = true;
                 } else {
                     self.wavefronts[wid].pc = pc.wrapping_add(4);
                 }
-                self.ibuffer[wid].push_back((instr, pc));
+                let need = Self::hazard_mask(&instr);
+                self.ibuffer[wid].push_back((instr, pc, need));
                 Ok(())
             }
             Err(_) => Err(SimError::IllegalInstruction {
@@ -636,6 +750,15 @@ impl Core {
     /// Propagates structured traps ([`SimError`]) from the issue and
     /// decode stages; the caller aborts the simulation and reports them.
     pub fn tick(&mut self, ram: &mut Ram) -> Result<(), SimError> {
+        if self.drained {
+            // The full tick below is a no-op for a drained core except for
+            // these two counters (issue finds every ibuffer empty; every
+            // other stage finds its queues empty) — keep them so the
+            // counters match the unskipped path bit for bit.
+            self.stats.stalls.ibuffer_empty += 1;
+            self.cycle += 1;
+            return Ok(());
+        }
         self.icache.begin_cycle();
         self.dcache.begin_cycle();
 
@@ -654,14 +777,16 @@ impl Core {
             let stores_after = group.iter().filter(|r| r.write).count();
             let accepted_stores = stores_before - stores_after;
             if group.is_empty() {
-                self.lsu.dcache_groups.pop_front();
+                let drained = self.lsu.dcache_groups.pop_front().expect("front exists");
+                self.lsu.recycle_group(drained);
             }
             self.lsu.stores_accepted(accepted_stores);
         }
         if let Some(group) = self.lsu.smem_groups.front_mut() {
             self.smem.offer(group);
             if group.is_empty() {
-                self.lsu.smem_groups.pop_front();
+                let drained = self.lsu.smem_groups.pop_front().expect("front exists");
+                self.lsu.recycle_group(drained);
             }
         }
 
@@ -726,13 +851,46 @@ impl Core {
         }
 
         self.cycle += 1;
-        self.stats.cycles = self.cycle;
-        self.stats.icache = self.icache.stats;
-        self.stats.dcache = self.dcache.stats;
-        self.stats.tex = self.tex_unit.stats;
-        self.stats.smem_accesses = self.smem.accesses;
-        self.stats.smem_conflicts = self.smem.bank_conflicts;
+
+        // Quiescence detection for the fast path above. The first clause
+        // fails on the first active wavefront, so live cores pay almost
+        // nothing for the probe; a winding-down core runs the full check
+        // for the few cycles between its last retirement and idle caches.
+        if !self.has_faults
+            && self.wavefronts.iter().all(|w| !w.active)
+            && self.completions.is_empty()
+            && self.fast_fetch.is_empty()
+            && self.fence_waiters.is_empty()
+            && self.global_barrier_out.is_empty()
+            && self.tex_mem_pending.is_empty()
+            && self.fetch_pending.iter().all(Option::is_none)
+            && self.ibuffer.iter().all(std::collections::VecDeque::is_empty)
+            && self.is_done_slow()
+        {
+            self.drained = true;
+        }
         Ok(())
+    }
+
+    /// The core's performance counters, with the cycle count and the
+    /// component (cache / texture / shared-memory) counters folded in.
+    /// This fold used to happen every cycle in [`Core::tick`]; doing it on
+    /// demand keeps ~250 bytes of copies out of the hot loop.
+    pub fn stats_snapshot(&self) -> CoreStats {
+        let mut stats = self.stats;
+        stats.cycles = self.cycle;
+        stats.icache = self.icache.stats;
+        stats.dcache = self.dcache.stats;
+        stats.tex = self.tex_unit.stats;
+        stats.smem_accesses = self.smem.accesses;
+        stats.smem_conflicts = self.smem.bank_conflicts;
+        stats
+    }
+
+    /// Hit/miss counters of the decode memo (host-side diagnostics;
+    /// `(0, 0)` when the memo is disabled).
+    pub fn decode_memo_stats(&self) -> (u64, u64) {
+        self.decode_memo.as_ref().map_or((0, 0), DecodeCache::stats)
     }
 
     /// Attaches deterministic fault plans to this core's components
@@ -742,6 +900,9 @@ impl Core {
         if faults.is_noop() {
             return;
         }
+        // Fault plans draw from their decision streams even on empty
+        // offers, so the drained-core tick skip must stay off.
+        self.has_faults = true;
         self.icache.set_fault(faults.plan(site::icache(self.id)));
         self.dcache.set_fault(faults.plan(site::dcache(self.id)));
         self.tex_unit.set_fault(faults.plan(site::tex(self.id)));
@@ -791,6 +952,10 @@ impl Core {
 
     /// Delivers a fill response to the right L1.
     pub fn push_l1_mem_rsp(&mut self, rsp: MemRsp, icache: bool) {
+        // A drained core has no outstanding reads, so no response should
+        // reach it — but if one ever does, resume full ticking so the fill
+        // is processed rather than stranded.
+        self.drained = false;
         if icache {
             self.icache.push_mem_rsp(rsp);
         } else {

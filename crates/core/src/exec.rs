@@ -73,6 +73,63 @@ pub struct Writeback {
     pub values: Vec<Option<u32>>,
 }
 
+/// Reusable per-instruction payload buffers. Owned by the core and
+/// threaded into [`execute_with`] so the hot loop recycles writeback and
+/// lane-access vectors instead of allocating fresh ones per instruction.
+#[derive(Debug, Default)]
+pub struct ExecPool {
+    values: Vec<Vec<Option<u32>>>,
+    accesses: Vec<Vec<Option<LaneAccess>>>,
+}
+
+impl ExecPool {
+    /// Pool bound per buffer kind: more than the LSU entries + in-flight
+    /// completions can ever hold live is never reused.
+    const MAX_SPARES: usize = 32;
+
+    fn take_values(&mut self) -> Vec<Option<u32>> {
+        self.values.pop().unwrap_or_default()
+    }
+
+    fn take_accesses(&mut self) -> Vec<Option<LaneAccess>> {
+        self.accesses.pop().unwrap_or_default()
+    }
+
+    /// Returns a spent writeback-values buffer to the pool.
+    pub fn recycle_values(&mut self, mut v: Vec<Option<u32>>) {
+        if self.values.len() < Self::MAX_SPARES {
+            v.clear();
+            self.values.push(v);
+        }
+    }
+
+    /// Returns a spent lane-access buffer to the pool.
+    pub fn recycle_accesses(&mut self, mut v: Vec<Option<LaneAccess>>) {
+        if self.accesses.len() < Self::MAX_SPARES {
+            v.clear();
+            self.accesses.push(v);
+        }
+    }
+
+    /// One value per lane computed by `f`; `None` for inactive lanes.
+    fn lanes(
+        &mut self,
+        nt: usize,
+        tmask: u32,
+        f: &mut dyn FnMut(usize) -> u32,
+    ) -> Vec<Option<u32>> {
+        let mut v = self.take_values();
+        v.extend((0..nt).map(|t| {
+            if tmask & (1 << t) != 0 {
+                Some(f(t))
+            } else {
+                None
+            }
+        }));
+        v
+    }
+}
+
 /// One lane's memory access for the LSU timing model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct LaneAccess {
@@ -150,9 +207,10 @@ impl CsrFile {
         }
     }
 
-    /// All texture stages, decoded (the texture unit's view).
-    pub fn tex_states(&self) -> Vec<TexState> {
-        (0..csr::TEX_STAGES).map(|s| self.tex_state(s)).collect()
+    /// All texture stages, decoded (the texture unit's view). Returned by
+    /// value on the stack — this runs per texture issue, so no allocation.
+    pub fn tex_states(&self) -> [TexState; csr::TEX_STAGES] {
+        std::array::from_fn(|s| self.tex_state(s))
     }
 }
 
@@ -318,7 +376,6 @@ fn fclass(bits: u32) -> u32 {
 /// Returns a [`Trap`] (without corrupting wavefront state) for SIMT
 /// contract violations: divergent branch/`jalr` targets and unbalanced or
 /// over-nested `split`/`join`.
-#[allow(clippy::too_many_lines)]
 pub fn execute(
     wf: &mut Wavefront,
     regs: &RegFile,
@@ -328,27 +385,36 @@ pub fn execute(
     instr: &Instr,
     instr_pc: u32,
 ) -> Result<ExecResult, Trap> {
+    execute_with(wf, regs, ram, csrf, env, instr, instr_pc, &mut ExecPool::default())
+}
+
+/// [`execute`] with caller-provided payload buffers — the simulator hot
+/// loop passes a long-lived [`ExecPool`] so executing an instruction does
+/// not heap-allocate in the steady state.
+///
+/// # Errors
+/// Same contract as [`execute`].
+#[allow(clippy::too_many_lines, clippy::too_many_arguments)]
+pub fn execute_with(
+    wf: &mut Wavefront,
+    regs: &RegFile,
+    ram: &mut Ram,
+    csrf: &mut CsrFile,
+    env: &ExecEnv,
+    instr: &Instr,
+    instr_pc: u32,
+    pool: &mut ExecPool,
+) -> Result<ExecResult, Trap> {
     let wid = wf.wid;
     let nt = env.num_threads;
     let tmask = wf.tmask;
-    let lanes = |f: &mut dyn FnMut(usize) -> u32| -> Vec<Option<u32>> {
-        (0..nt)
-            .map(|t| {
-                if tmask & (1 << t) != 0 {
-                    Some(f(t))
-                } else {
-                    None
-                }
-            })
-            .collect()
-    };
 
     Ok(match *instr {
         Instr::Lui { rd, imm } => {
             let mut r = ExecResult::unit(FuKind::Alu);
             r.wb = Some(Writeback {
                 reg: rd.into(),
-                values: lanes(&mut |_| imm as u32),
+                values: pool.lanes(nt, tmask, &mut |_| imm as u32),
             });
             r
         }
@@ -356,7 +422,7 @@ pub fn execute(
             let mut r = ExecResult::unit(FuKind::Alu);
             r.wb = Some(Writeback {
                 reg: rd.into(),
-                values: lanes(&mut |_| instr_pc.wrapping_add(imm as u32)),
+                values: pool.lanes(nt, tmask, &mut |_| instr_pc.wrapping_add(imm as u32)),
             });
             r
         }
@@ -366,7 +432,7 @@ pub fn execute(
             if rd != vortex_isa::Reg::X0 {
                 r.wb = Some(Writeback {
                     reg: rd.into(),
-                    values: lanes(&mut |_| instr_pc.wrapping_add(4)),
+                    values: pool.lanes(nt, tmask, &mut |_| instr_pc.wrapping_add(4)),
                 });
             }
             r
@@ -389,7 +455,7 @@ pub fn execute(
             if rd != vortex_isa::Reg::X0 {
                 r.wb = Some(Writeback {
                     reg: rd.into(),
-                    values: lanes(&mut |_| instr_pc.wrapping_add(4)),
+                    values: pool.lanes(nt, tmask, &mut |_| instr_pc.wrapping_add(4)),
                 });
             }
             r
@@ -412,10 +478,16 @@ pub fn execute(
                     BranchCond::Geu => a >= b,
                 }
             };
-            let active: Vec<usize> = (0..nt).filter(|t| tmask & (1 << t) != 0).collect();
-            let taken = active.first().map(|&t| take(t)).unwrap_or(false);
-            if !active.iter().all(|&t| take(t) == taken) {
-                return Err(Trap::DivergentBranch);
+            let mut taken = false;
+            let mut first = true;
+            for t in (0..nt).filter(|t| tmask & (1 << t) != 0) {
+                let lane_taken = take(t);
+                if first {
+                    taken = lane_taken;
+                    first = false;
+                } else if lane_taken != taken {
+                    return Err(Trap::DivergentBranch);
+                }
             }
             if taken {
                 wf.pc = instr_pc.wrapping_add(offset as u32);
@@ -428,8 +500,8 @@ pub fn execute(
             rs1,
             offset,
         } => {
-            let mut accesses = Vec::with_capacity(nt);
-            let mut values = Vec::with_capacity(nt);
+            let mut accesses = pool.take_accesses();
+            let mut values = pool.take_values();
             for t in 0..nt {
                 if tmask & (1 << t) != 0 {
                     let addr = regs.read_x(wid, t, rs1).wrapping_add(offset as u32);
@@ -454,7 +526,7 @@ pub fn execute(
             rs2,
             offset,
         } => {
-            let mut accesses = Vec::with_capacity(nt);
+            let mut accesses = pool.take_accesses();
             for t in 0..nt {
                 if tmask & (1 << t) != 0 {
                     let addr = regs.read_x(wid, t, rs1).wrapping_add(offset as u32);
@@ -484,7 +556,7 @@ pub fn execute(
             let mut r = ExecResult::unit(FuKind::Alu);
             r.wb = Some(Writeback {
                 reg: rd.into(),
-                values: lanes(&mut |t| alu_op(kind, regs.read_x(wid, t, rs1), imm as u32)),
+                values: pool.lanes(nt, tmask, &mut |t| alu_op(kind, regs.read_x(wid, t, rs1), imm as u32)),
             });
             r
         }
@@ -500,7 +572,7 @@ pub fn execute(
             let mut r = ExecResult::unit(fu);
             r.wb = Some(Writeback {
                 reg: rd.into(),
-                values: lanes(&mut |t| {
+                values: pool.lanes(nt, tmask, &mut |t| {
                     alu_op(op, regs.read_x(wid, t, rs1), regs.read_x(wid, t, rs2))
                 }),
             });
@@ -524,7 +596,7 @@ pub fn execute(
             if rd != vortex_isa::Reg::X0 {
                 r.wb = Some(Writeback {
                     reg: rd.into(),
-                    values: lanes(&mut |t| old(t)),
+                    values: pool.lanes(nt, tmask, &mut |t| old(t)),
                 });
             }
             // CSR writes use lane 0's operand (texture state is per-core).
@@ -550,8 +622,8 @@ pub fn execute(
             r
         }
         Instr::Flw { rd, rs1, offset } => {
-            let mut accesses = Vec::with_capacity(nt);
-            let mut values = Vec::with_capacity(nt);
+            let mut accesses = pool.take_accesses();
+            let mut values = pool.take_values();
             for t in 0..nt {
                 if tmask & (1 << t) != 0 {
                     let addr = regs.read_x(wid, t, rs1).wrapping_add(offset as u32);
@@ -571,7 +643,7 @@ pub fn execute(
             r
         }
         Instr::Fsw { rs1, rs2, offset } => {
-            let mut accesses = Vec::with_capacity(nt);
+            let mut accesses = pool.take_accesses();
             for t in 0..nt {
                 if tmask & (1 << t) != 0 {
                     let addr = regs.read_x(wid, t, rs1).wrapping_add(offset as u32);
@@ -597,7 +669,7 @@ pub fn execute(
             let mut r = ExecResult::unit(FuKind::Fpu);
             r.wb = Some(Writeback {
                 reg: rd.into(),
-                values: lanes(&mut |t| {
+                values: pool.lanes(nt, tmask, &mut |t| {
                     let a = f32::from_bits(regs.read_f(wid, t, rs1));
                     let b = f32::from_bits(regs.read_f(wid, t, rs2));
                     let c = f32::from_bits(regs.read_f(wid, t, rs3));
@@ -623,7 +695,7 @@ pub fn execute(
             let mut r = ExecResult::unit(fu);
             r.wb = Some(Writeback {
                 reg: rd.into(),
-                values: lanes(&mut |t| {
+                values: pool.lanes(nt, tmask, &mut |t| {
                     let a_bits = regs.read_f(wid, t, rs1);
                     let b_bits = regs.read_f(wid, t, rs2);
                     let a = f32::from_bits(a_bits);
@@ -670,7 +742,7 @@ pub fn execute(
             let mut r = ExecResult::unit(FuKind::Fpu);
             r.wb = Some(Writeback {
                 reg: rd.into(),
-                values: lanes(&mut |t| {
+                values: pool.lanes(nt, tmask, &mut |t| {
                     let a = f32::from_bits(regs.read_f(wid, t, rs1));
                     let b = f32::from_bits(regs.read_f(wid, t, rs2));
                     u32::from(match op {
@@ -688,7 +760,7 @@ pub fn execute(
             let mut r = ExecResult::unit(FuKind::Fpu);
             r.wb = Some(Writeback {
                 reg: rd.into(),
-                values: lanes(&mut |t| {
+                values: pool.lanes(nt, tmask, &mut |t| {
                     fcvt_w_s(f32::from_bits(regs.read_f(wid, t, rs1)), signed)
                 }),
             });
@@ -700,7 +772,7 @@ pub fn execute(
             let mut r = ExecResult::unit(FuKind::Fpu);
             r.wb = Some(Writeback {
                 reg: rd.into(),
-                values: lanes(&mut |t| {
+                values: pool.lanes(nt, tmask, &mut |t| {
                     let x = regs.read_x(wid, t, rs1);
                     let v = if signed { x as i32 as f32 } else { x as f32 };
                     v.to_bits()
@@ -712,7 +784,7 @@ pub fn execute(
             let mut r = ExecResult::unit(FuKind::Fpu);
             r.wb = Some(Writeback {
                 reg: rd.into(),
-                values: lanes(&mut |t| regs.read_f(wid, t, rs1)),
+                values: pool.lanes(nt, tmask, &mut |t| regs.read_f(wid, t, rs1)),
             });
             r
         }
@@ -720,7 +792,7 @@ pub fn execute(
             let mut r = ExecResult::unit(FuKind::Fpu);
             r.wb = Some(Writeback {
                 reg: rd.into(),
-                values: lanes(&mut |t| regs.read_x(wid, t, rs1)),
+                values: pool.lanes(nt, tmask, &mut |t| regs.read_x(wid, t, rs1)),
             });
             r
         }
@@ -728,7 +800,7 @@ pub fn execute(
             let mut r = ExecResult::unit(FuKind::Fpu);
             r.wb = Some(Writeback {
                 reg: rd.into(),
-                values: lanes(&mut |t| fclass(regs.read_f(wid, t, rs1))),
+                values: pool.lanes(nt, tmask, &mut |t| fclass(regs.read_f(wid, t, rs1))),
             });
             r
         }
@@ -812,7 +884,12 @@ pub fn execute(
             // recorded here so the issue stage can mark the scoreboard.
             r.wb = Some(Writeback {
                 reg: rd.into(),
-                values: vec![None; nt], // filled in by the texture response
+                // Filled in by the texture response.
+                values: {
+                    let mut v = pool.take_values();
+                    v.resize(nt, None);
+                    v
+                },
             });
             r
         }

@@ -207,10 +207,17 @@ impl Gpu {
     ///   machine is still making progress (likely a spin-wait or an
     ///   undersized budget);
     /// * [`SimError::Hang`] when the watchdog sees no forward progress for
-    ///   [`GpuConfig::watchdog_cycles`] consecutive cycles — the boxed
+    ///   a full [`GpuConfig::watchdog_cycles`] window — the boxed
     ///   [`HangReport`] names the stuck warps, units, and queues;
     /// * any structured execution trap from the cores (divergence misuse,
     ///   illegal instructions).
+    ///
+    /// The watchdog *samples*: the progress token is a full walk of every
+    /// core and the hierarchy, so it is evaluated once per window rather
+    /// than every cycle. The contract is unchanged — a hang is declared
+    /// only after at least one full window with no progress — but detection
+    /// happens at window granularity, i.e. up to `2 × watchdog_cycles`
+    /// after the machine actually stopped.
     pub fn run(&mut self, max_cycles: u64) -> Result<GpuStats, SimError> {
         self.last_progress_token = self.progress_token();
         self.last_progress_cycle = self.cycle;
@@ -220,14 +227,13 @@ impl Gpu {
             }
             self.step()?;
             let window = self.config.watchdog_cycles;
-            if window != 0 {
+            if window != 0 && self.cycle - self.last_progress_cycle >= window {
                 let token = self.progress_token();
-                if token != self.last_progress_token {
-                    self.last_progress_token = token;
-                    self.last_progress_cycle = self.cycle;
-                } else if self.cycle - self.last_progress_cycle >= window {
+                if token == self.last_progress_token {
                     return Err(SimError::Hang(Box::new(self.hang_report())));
                 }
+                self.last_progress_token = token;
+                self.last_progress_cycle = self.cycle;
             }
         }
         Ok(self.stats())
@@ -237,7 +243,7 @@ impl Gpu {
     pub fn stats(&self) -> GpuStats {
         GpuStats {
             cycles: self.cycle,
-            cores: self.cores.iter().map(|c| c.stats).collect(),
+            cores: self.cores.iter().map(Core::stats_snapshot).collect(),
             dram_reads: self.hierarchy.dram_reads(),
             dram_writes: self.hierarchy.dram_writes(),
         }

@@ -26,6 +26,7 @@
 pub mod barrier;
 pub mod config;
 pub mod core;
+pub mod decode_cache;
 pub mod error;
 pub mod exec;
 pub mod gpu;

@@ -53,10 +53,13 @@ pub struct Lsu {
     /// Lane groups waiting at the shared-memory interface.
     pub smem_groups: VecDeque<Vec<MemReq>>,
     /// Completed loads ready for writeback: `(wid, writeback)`.
-    ready: Vec<(usize, Writeback)>,
+    ready: VecDeque<(usize, Writeback)>,
     /// Stores whose cache traffic is still pending (for fences): counted
     /// when queued, decremented when the cache accepts them.
     outstanding_stores: usize,
+    /// Drained lane-group buffers kept for reuse, so the steady state
+    /// issues memory instructions without allocating.
+    spare_groups: Vec<Vec<MemReq>>,
 }
 
 impl Lsu {
@@ -69,8 +72,25 @@ impl Lsu {
             entries: (0..num_entries.max(1)).map(|_| None).collect(),
             dcache_groups: VecDeque::new(),
             smem_groups: VecDeque::new(),
-            ready: Vec::new(),
+            ready: VecDeque::new(),
             outstanding_stores: 0,
+            spare_groups: Vec::new(),
+        }
+    }
+
+    /// A cleared lane-group buffer, reusing a drained one when available.
+    fn fresh_group(&mut self) -> Vec<MemReq> {
+        self.spare_groups.pop().unwrap_or_default()
+    }
+
+    /// Returns a drained lane group to the reuse pool. Called by the core
+    /// when a group has been fully accepted by its memory interface.
+    pub fn recycle_group(&mut self, mut group: Vec<MemReq>) {
+        // Two interfaces × a queue depth of groups bounds what can ever be
+        // usefully pooled; drop anything beyond that.
+        if self.spare_groups.len() < 2 * Self::GROUP_QUEUE_DEPTH {
+            group.clear();
+            self.spare_groups.push(group);
         }
     }
 
@@ -109,8 +129,8 @@ impl Lsu {
             .position(Option::is_none)
             .expect("LSU entry free (checked by can_accept_load)");
         let mut lanes_left = 0u32;
-        let mut dcache_group = Vec::new();
-        let mut smem_group = Vec::new();
+        let mut dcache_group = self.fresh_group();
+        let mut smem_group = self.fresh_group();
         for (lane, access) in accesses.iter().enumerate() {
             if let Some(a) = access {
                 debug_assert!(!a.write);
@@ -123,16 +143,20 @@ impl Lsu {
                 }
             }
         }
-        if !dcache_group.is_empty() {
+        if dcache_group.is_empty() {
+            self.spare_groups.push(dcache_group);
+        } else {
             self.dcache_groups.push_back(dcache_group);
         }
-        if !smem_group.is_empty() {
+        if smem_group.is_empty() {
+            self.spare_groups.push(smem_group);
+        } else {
             self.smem_groups.push_back(smem_group);
         }
         if lanes_left == 0 {
             // All lanes inactive (can happen after heavy divergence): the
             // load completes immediately.
-            self.ready.push((wid, wb));
+            self.ready.push_back((wid, wb));
         } else {
             self.entries[slot] = Some(LoadEntry {
                 wid,
@@ -144,8 +168,8 @@ impl Lsu {
 
     /// Queues a wavefront store's cache traffic.
     pub fn issue_store(&mut self, accesses: &[Option<LaneAccess>]) {
-        let mut dcache_group = Vec::new();
-        let mut smem_group = Vec::new();
+        let mut dcache_group = self.fresh_group();
+        let mut smem_group = self.fresh_group();
         for access in accesses.iter().flatten() {
             debug_assert!(access.write);
             let req = MemReq::write(0, access.addr);
@@ -156,10 +180,14 @@ impl Lsu {
                 self.outstanding_stores += 1;
             }
         }
-        if !dcache_group.is_empty() {
+        if dcache_group.is_empty() {
+            self.spare_groups.push(dcache_group);
+        } else {
             self.dcache_groups.push_back(dcache_group);
         }
-        if !smem_group.is_empty() {
+        if smem_group.is_empty() {
+            self.spare_groups.push(smem_group);
+        } else {
             self.smem_groups.push_back(smem_group);
         }
     }
@@ -177,18 +205,14 @@ impl Lsu {
             entry.lanes_left &= !(1 << lane);
             if entry.lanes_left == 0 {
                 let entry = self.entries[slot].take().expect("entry just updated");
-                self.ready.push((entry.wid, entry.wb));
+                self.ready.push_back((entry.wid, entry.wb));
             }
         }
     }
 
-    /// Pops one completed load for writeback.
+    /// Pops one completed load for writeback (oldest first).
     pub fn pop_ready(&mut self) -> Option<(usize, Writeback)> {
-        if self.ready.is_empty() {
-            None
-        } else {
-            Some(self.ready.remove(0))
-        }
+        self.ready.pop_front()
     }
 
     /// `true` when a completed load is waiting for the writeback port.

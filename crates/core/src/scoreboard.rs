@@ -56,6 +56,13 @@ impl Scoreboard {
         self.pending[wid] &= !(1 << reg.0);
     }
 
+    /// The raw pending mask for `wid` (bit *i* set = register *i* has a
+    /// write outstanding). Lets callers with a precomputed need mask do
+    /// the hazard check as a single AND.
+    pub fn pending_mask(&self, wid: usize) -> u64 {
+        self.pending[wid]
+    }
+
     /// `true` when the wavefront has any write outstanding.
     pub fn any_pending(&self, wid: usize) -> bool {
         self.pending[wid] != 0

@@ -33,17 +33,29 @@ pub struct Trace {
 }
 
 impl Trace {
+    /// Hard bound on retained events. Requests beyond this are clamped so
+    /// a `--trace 999999999` cannot grow the ring (and host memory)
+    /// unboundedly.
+    pub const MAX_CAPACITY: usize = 1 << 20;
+
     /// Creates a disabled trace (capacity 0 records nothing).
     pub fn disabled() -> Self {
         Self::default()
     }
 
-    /// Creates a trace keeping the most recent `capacity` events.
+    /// Creates a trace keeping the most recent `capacity` events, clamped
+    /// to [`Trace::MAX_CAPACITY`].
     pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.min(Self::MAX_CAPACITY);
         Self {
-            events: VecDeque::with_capacity(capacity.min(1 << 20)),
+            events: VecDeque::with_capacity(capacity),
             capacity,
         }
+    }
+
+    /// The retention bound actually in effect.
+    pub fn capacity(&self) -> usize {
+        self.capacity
     }
 
     /// `true` when recording.
@@ -113,6 +125,21 @@ mod tests {
         }
         let cycles: Vec<u64> = t.events().map(|e| e.cycle).collect();
         assert_eq!(cycles, vec![3, 4]);
+    }
+
+    #[test]
+    fn absurd_capacity_is_clamped_to_the_bound() {
+        // Regression: the ring used to clamp only the *preallocation* while
+        // storing the unclamped capacity, so a huge `--trace N` grew the
+        // ring (and host memory) without bound as events arrived.
+        let t = Trace::with_capacity(999_999_999);
+        assert_eq!(t.capacity(), Trace::MAX_CAPACITY);
+        let mut t = Trace::with_capacity(Trace::MAX_CAPACITY + 1);
+        assert_eq!(t.capacity(), Trace::MAX_CAPACITY);
+        t.record(ev(1));
+        assert!(t.is_enabled());
+        // Sane requests are untouched.
+        assert_eq!(Trace::with_capacity(64).capacity(), 64);
     }
 
     #[test]

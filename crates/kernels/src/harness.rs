@@ -40,7 +40,11 @@ impl BenchResult {
 
 /// A runnable benchmark: generates inputs, runs the kernel on a device of
 /// the given configuration, and validates against the host reference.
-pub trait Benchmark {
+///
+/// `Send + Sync` so the experiment harness can fan a sweep out across
+/// worker threads (each `run_on` builds its own device; benchmarks hold
+/// only their immutable problem description).
+pub trait Benchmark: Send + Sync {
     /// Short name (`sgemm`, `bfs`, ...).
     fn name(&self) -> &'static str;
 

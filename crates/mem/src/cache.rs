@@ -162,11 +162,24 @@ impl CacheStats {
     }
 
     /// Read hit rate.
+    ///
+    /// **Zero-access convention:** a cache that served no reads reports
+    /// `1.0` (vacuously "never missed"). That keeps ratio arithmetic in
+    /// sweep aggregations total, but it is *not* a measurement — reporting
+    /// code that would otherwise print a phantom "100%" for an idle cache
+    /// should use [`CacheStats::measured_hit_rate`] and render `None` as
+    /// `-`/`n/a`.
     pub fn hit_rate(&self) -> f64 {
+        self.measured_hit_rate().unwrap_or(1.0)
+    }
+
+    /// Read hit rate, or `None` when no reads were served (idle cache) —
+    /// the distinction [`CacheStats::hit_rate`] erases.
+    pub fn measured_hit_rate(&self) -> Option<f64> {
         if self.reads == 0 {
-            1.0
+            None
         } else {
-            self.read_hits as f64 / self.reads as f64
+            Some(self.read_hits as f64 / self.reads as f64)
         }
     }
 }
@@ -278,6 +291,10 @@ pub struct Cache {
     /// Remaining busy cycles of an in-progress flush.
     flush_busy: u32,
     fault: Option<FaultPlan>,
+    /// Retired sub-request buffers kept for reuse: the selector builds one
+    /// `subs` vector per accepted bank request, so pooling them keeps the
+    /// steady-state request path allocation-free.
+    spare_subs: Vec<Vec<SubReq>>,
     /// Performance counters.
     pub stats: CacheStats,
 }
@@ -341,6 +358,7 @@ impl Cache {
             responses: VecDeque::new(),
             flush_busy: 0,
             fault: None,
+            spare_subs: Vec::new(),
             stats: CacheStats::default(),
         }
     }
@@ -415,17 +433,22 @@ impl Cache {
             let ports = self.config.ports;
             let bank = &mut self.banks[bank_idx];
 
-            let take = |bank: &mut Bank, stats: &mut CacheStats| -> bool {
+            let take = |bank: &mut Bank,
+                        stats: &mut CacheStats,
+                        spares: &mut Vec<Vec<SubReq>>|
+             -> bool {
                 // New claim: needs input FIFO space.
                 if bank.input.is_full() {
                     stats.fifo_full_rejects += 1;
                     return false;
                 }
+                let mut subs = spares.pop().unwrap_or_default();
+                subs.push(SubReq { tag: req.tag });
                 bank.input
                     .push(BankReq {
                         line,
                         write: req.write,
-                        subs: vec![SubReq { tag: req.tag }],
+                        subs,
                     })
                     .expect("space just checked");
                 bank.claimed = Some(1);
@@ -433,26 +456,17 @@ impl Cache {
             };
 
             let ok = match bank.claimed {
-                None => take(bank, &mut self.stats),
+                None => take(bank, &mut self.stats, &mut self.spare_subs),
                 Some(used) => {
                     // Algorithm 2: coalesce onto the claimed slot when the
-                    // line matches and a virtual port is free.
+                    // line matches and a virtual port is free. The newest
+                    // queued request is widened in place.
                     let newest = bank
                         .input
-                        .iter()
-                        .last()
+                        .back_mut()
                         .expect("claimed bank has a queued request");
                     if used < ports && newest.line == line && newest.write == req.write {
-                        // Append to the just-queued request.
-                        let (l, w) = (newest.line, newest.write);
-                        let mut subs = newest.subs.clone();
-                        subs.push(SubReq { tag: req.tag });
-                        // Replace the back element (Queue has no back_mut).
-                        bank.replace_back(BankReq {
-                            line: l,
-                            write: w,
-                            subs,
-                        });
+                        newest.subs.push(SubReq { tag: req.tag });
                         bank.claimed = Some(used + 1);
                         self.stats.port_coalesced += 1;
                         true
@@ -487,13 +501,28 @@ impl Cache {
         let num_banks = self.config.num_banks;
         let line_bytes = self.config.line_bytes;
         for bank in &mut self.banks {
-            // Response stage: emit one response per sub (reads only).
+            // Idle banks have nothing to shuffle: every stage move and the
+            // scheduler below are no-ops, so skipping them changes no state
+            // and no stats. Most banks are idle most cycles (the I-cache
+            // answers warm fetches via `lookup_for_fetch`, the D-cache
+            // sleeps through compute phases), so this is a large fraction
+            // of the simulator's per-cycle cost.
+            if !bank.in_flight() {
+                continue;
+            }
+            // Response stage: emit one response per sub (reads only), then
+            // recycle the retired request's sub-request buffer.
             if let Some(entry) = bank.stage[2].take() {
                 debug_assert!(entry.hit || entry.req.write, "misses never reach response");
                 if !entry.req.write {
                     for sub in &entry.req.subs {
                         self.responses.push_back(MemRsp { tag: sub.tag });
                     }
+                }
+                let mut subs = entry.req.subs;
+                if self.spare_subs.len() < 64 {
+                    subs.clear();
+                    self.spare_subs.push(subs);
                 }
             }
             // Data → response.
@@ -667,23 +696,6 @@ impl Cache {
     }
 }
 
-impl Bank {
-    /// Replaces the newest queued request (used by virtual-port coalescing).
-    fn replace_back(&mut self, req: BankReq) {
-        let n = self.input.len();
-        debug_assert!(n > 0);
-        // Rebuild the queue with the last element swapped. The queue is
-        // tiny (input FIFO depth ≤ 4), so this is cheap.
-        let mut items: Vec<BankReq> = Vec::with_capacity(n);
-        while let Some(it) = self.input.pop() {
-            items.push(it);
-        }
-        *items.last_mut().expect("n > 0") = req;
-        for it in items {
-            self.input.push(it).expect("same count as before");
-        }
-    }
-}
 
 #[cfg(test)]
 mod tests {
@@ -854,5 +866,19 @@ mod tests {
         assert!(c.stats.bank_utilization() < 1.0);
         let c2 = small_cache(1);
         assert_eq!(c2.stats.bank_utilization(), 1.0);
+    }
+
+    #[test]
+    fn idle_cache_has_no_measured_hit_rate() {
+        // Regression: an idle cache used to be indistinguishable from a
+        // perfectly-hitting one (`hit_rate() == 1.0` either way), so
+        // reports printed a phantom "100%" for cores that never loaded.
+        let idle = CacheStats::default();
+        assert_eq!(idle.measured_hit_rate(), None);
+        assert_eq!(idle.hit_rate(), 1.0, "vacuous convention is kept");
+        let mut c = small_cache(1);
+        let _ = run_until_idle(&mut c, vec![MemReq::read(1, 0x100)], 100);
+        let measured = c.stats.measured_hit_rate().expect("read was served");
+        assert_eq!(measured, c.stats.hit_rate());
     }
 }

@@ -71,6 +71,14 @@ impl<T> Queue<T> {
         self.items.front()
     }
 
+    /// Mutable access to the *newest* element. This is in-place mutation
+    /// of an already-transferred item, not a handshake — it bypasses the
+    /// capacity/fault gates by design (used by virtual-port coalescing to
+    /// widen the newest queued cache request).
+    pub fn back_mut(&mut self) -> Option<&mut T> {
+        self.items.back_mut()
+    }
+
     /// `true` when no further `push` can succeed this cycle.
     pub fn is_full(&self) -> bool {
         self.items.len() >= self.capacity

@@ -3,74 +3,133 @@
 //! Holds the *values* of device memory: program images, kernel arguments,
 //! buffers, textures and frame buffers. Organized as sparse 4 KiB pages so a
 //! full 4 GiB address space costs only what is touched.
+//!
+//! This sits on the simulator's hottest path — every instruction fetch and
+//! every lane of every load/store lands here — so the word accessors
+//! resolve their page once (not once per byte) and the page table is a
+//! *flat directory*: a 32-bit address space is exactly 2²⁰ pages of 4 KiB,
+//! so `addr >> 12` indexes straight into a million-entry vector with no
+//! hashing at all. The directory itself costs 8 MiB of null pointers
+//! (allocated zeroed, so the OS maps it lazily); pages are still only
+//! materialized when written.
 
-use std::collections::HashMap;
+use std::fmt;
 
 const PAGE_SHIFT: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
+const PAGE_MASK: usize = PAGE_SIZE - 1;
+/// Pages covering the whole 32-bit address space.
+const NUM_PAGES: usize = 1 << (32 - PAGE_SHIFT);
 
 /// Sparse byte-addressable memory covering the full 32-bit address space.
-#[derive(Debug, Default, Clone)]
+#[derive(Clone)]
 pub struct Ram {
-    pages: HashMap<u32, Box<[u8; PAGE_SIZE]>>,
+    /// Flat page directory indexed by `addr >> PAGE_SHIFT`.
+    pages: Vec<Option<Box<[u8; PAGE_SIZE]>>>,
+}
+
+impl Default for Ram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl fmt::Debug for Ram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Ram")
+            .field("resident_pages", &self.resident_pages())
+            .finish()
+    }
 }
 
 impl Ram {
     /// Creates an empty (all-zero) memory.
     pub fn new() -> Self {
-        Self::default()
+        Self {
+            // All-`None` directory: `Option<Box<_>>`'s niche makes this an
+            // `alloc_zeroed`, so the 8 MiB are mapped lazily by the OS.
+            pages: vec![None; NUM_PAGES],
+        }
     }
 
     fn page(&self, addr: u32) -> Option<&[u8; PAGE_SIZE]> {
-        self.pages.get(&(addr >> PAGE_SHIFT)).map(|p| &**p)
+        self.pages[(addr >> PAGE_SHIFT) as usize].as_deref()
     }
 
     fn page_mut(&mut self, addr: u32) -> &mut [u8; PAGE_SIZE] {
-        self.pages
-            .entry(addr >> PAGE_SHIFT)
-            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+        self.pages[(addr >> PAGE_SHIFT) as usize]
+            .get_or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
     }
 
     /// Reads one byte (unmapped memory reads as zero).
     pub fn read_u8(&self, addr: u32) -> u8 {
         match self.page(addr) {
-            Some(p) => p[(addr as usize) & (PAGE_SIZE - 1)],
+            Some(p) => p[(addr as usize) & PAGE_MASK],
             None => 0,
         }
     }
 
     /// Writes one byte.
     pub fn write_u8(&mut self, addr: u32, value: u8) {
-        let off = (addr as usize) & (PAGE_SIZE - 1);
+        let off = (addr as usize) & PAGE_MASK;
         self.page_mut(addr)[off] = value;
     }
 
     /// Reads a little-endian u16 (no alignment requirement).
     pub fn read_u16(&self, addr: u32) -> u16 {
-        u16::from_le_bytes([self.read_u8(addr), self.read_u8(addr.wrapping_add(1))])
+        let off = (addr as usize) & PAGE_MASK;
+        if off <= PAGE_SIZE - 2 {
+            // Both bytes on one page: resolve it once.
+            match self.page(addr) {
+                Some(p) => u16::from_le_bytes([p[off], p[off + 1]]),
+                None => 0,
+            }
+        } else {
+            u16::from_le_bytes([self.read_u8(addr), self.read_u8(addr.wrapping_add(1))])
+        }
     }
 
     /// Writes a little-endian u16.
     pub fn write_u16(&mut self, addr: u32, value: u16) {
-        let [b0, b1] = value.to_le_bytes();
-        self.write_u8(addr, b0);
-        self.write_u8(addr.wrapping_add(1), b1);
+        let off = (addr as usize) & PAGE_MASK;
+        let bytes = value.to_le_bytes();
+        if off <= PAGE_SIZE - 2 {
+            self.page_mut(addr)[off..off + 2].copy_from_slice(&bytes);
+        } else {
+            self.write_u8(addr, bytes[0]);
+            self.write_u8(addr.wrapping_add(1), bytes[1]);
+        }
     }
 
     /// Reads a little-endian u32 (no alignment requirement).
     pub fn read_u32(&self, addr: u32) -> u32 {
-        u32::from_le_bytes([
-            self.read_u8(addr),
-            self.read_u8(addr.wrapping_add(1)),
-            self.read_u8(addr.wrapping_add(2)),
-            self.read_u8(addr.wrapping_add(3)),
-        ])
+        let off = (addr as usize) & PAGE_MASK;
+        if off <= PAGE_SIZE - 4 {
+            // Fast path (every aligned access): one page lookup, not four.
+            match self.page(addr) {
+                Some(p) => u32::from_le_bytes([p[off], p[off + 1], p[off + 2], p[off + 3]]),
+                None => 0,
+            }
+        } else {
+            u32::from_le_bytes([
+                self.read_u8(addr),
+                self.read_u8(addr.wrapping_add(1)),
+                self.read_u8(addr.wrapping_add(2)),
+                self.read_u8(addr.wrapping_add(3)),
+            ])
+        }
     }
 
     /// Writes a little-endian u32.
     pub fn write_u32(&mut self, addr: u32, value: u32) {
-        for (i, b) in value.to_le_bytes().into_iter().enumerate() {
-            self.write_u8(addr.wrapping_add(i as u32), b);
+        let off = (addr as usize) & PAGE_MASK;
+        let bytes = value.to_le_bytes();
+        if off <= PAGE_SIZE - 4 {
+            self.page_mut(addr)[off..off + 4].copy_from_slice(&bytes);
+        } else {
+            for (i, b) in bytes.into_iter().enumerate() {
+                self.write_u8(addr.wrapping_add(i as u32), b);
+            }
         }
     }
 
@@ -85,23 +144,39 @@ impl Ram {
     }
 
     /// Bulk-copies `bytes` into memory starting at `addr` (the DMA path of
-    /// the runtime's command processor).
+    /// the runtime's command processor). Copies page-sized chunks.
     pub fn write_bytes(&mut self, addr: u32, bytes: &[u8]) {
-        for (i, &b) in bytes.iter().enumerate() {
-            self.write_u8(addr.wrapping_add(i as u32), b);
+        let mut addr = addr;
+        let mut rest = bytes;
+        while !rest.is_empty() {
+            let off = (addr as usize) & PAGE_MASK;
+            let chunk = (PAGE_SIZE - off).min(rest.len());
+            self.page_mut(addr)[off..off + chunk].copy_from_slice(&rest[..chunk]);
+            rest = &rest[chunk..];
+            addr = addr.wrapping_add(chunk as u32);
         }
     }
 
     /// Bulk-reads `len` bytes starting at `addr`.
     pub fn read_bytes(&self, addr: u32, len: usize) -> Vec<u8> {
-        (0..len)
-            .map(|i| self.read_u8(addr.wrapping_add(i as u32)))
-            .collect()
+        let mut out = vec![0u8; len];
+        let mut addr = addr;
+        let mut filled = 0;
+        while filled < len {
+            let off = (addr as usize) & PAGE_MASK;
+            let chunk = (PAGE_SIZE - off).min(len - filled);
+            if let Some(p) = self.page(addr) {
+                out[filled..filled + chunk].copy_from_slice(&p[off..off + chunk]);
+            }
+            filled += chunk;
+            addr = addr.wrapping_add(chunk as u32);
+        }
+        out
     }
 
     /// Number of resident 4 KiB pages (memory footprint diagnostics).
     pub fn resident_pages(&self) -> usize {
-        self.pages.len()
+        self.pages.iter().filter(|p| p.is_some()).count()
     }
 }
 
@@ -147,10 +222,36 @@ mod tests {
     }
 
     #[test]
+    fn unaligned_word_straddles_pages_at_every_offset() {
+        // Exercise both the fast single-page path and the boundary
+        // fallback for u16/u32 at every offset near a page edge.
+        for delta in 0..8u32 {
+            let mut ram = Ram::new();
+            let addr = (PAGE_SIZE as u32) * 3 - 4 + delta;
+            ram.write_u32(addr, 0x1122_3344 ^ delta);
+            assert_eq!(ram.read_u32(addr), 0x1122_3344 ^ delta, "u32 @ -4+{delta}");
+            let mut ram = Ram::new();
+            ram.write_u16(addr, (0xBEEF ^ delta) as u16);
+            assert_eq!(ram.read_u16(addr), (0xBEEF ^ delta) as u16, "u16 @ -4+{delta}");
+        }
+    }
+
+    #[test]
     fn bulk_round_trip() {
         let mut ram = Ram::new();
         let data: Vec<u8> = (0..=255).collect();
         ram.write_bytes(0x8000, &data);
         assert_eq!(ram.read_bytes(0x8000, 256), data);
+    }
+
+    #[test]
+    fn bulk_round_trip_across_pages() {
+        let mut ram = Ram::new();
+        let data: Vec<u8> = (0..PAGE_SIZE * 2 + 100).map(|i| (i * 7) as u8).collect();
+        let base = PAGE_SIZE as u32 - 50;
+        ram.write_bytes(base, &data);
+        assert_eq!(ram.read_bytes(base, data.len()), data);
+        // A partially unmapped bulk read still returns zeros for the holes.
+        assert_eq!(ram.read_bytes(0x7000_0000, 64), vec![0u8; 64]);
     }
 }

@@ -38,6 +38,9 @@ pub struct SharedMem {
     config: SharedMemConfig,
     /// In-flight accesses: (ready cycle, response).
     in_flight: VecDeque<(u64, MemRsp)>,
+    /// Per-bank claim flags, reused across [`SharedMem::offer`] calls so
+    /// the per-cycle path does not allocate.
+    bank_used: Vec<bool>,
     cycle: u64,
     /// Accesses accepted.
     pub accesses: u64,
@@ -56,6 +59,7 @@ impl SharedMem {
         Self {
             config,
             in_flight: VecDeque::new(),
+            bank_used: vec![false; config.num_banks],
             cycle: 0,
             accesses: 0,
             bank_conflicts: 0,
@@ -66,17 +70,17 @@ impl SharedMem {
     /// one access per bank, removing accepted requests from `reqs`; the
     /// rest must be re-offered next cycle (conflict serialization).
     pub fn offer(&mut self, reqs: &mut Vec<MemReq>) -> usize {
-        let mut used = vec![false; self.config.num_banks];
+        self.bank_used.fill(false);
         let mut accepted = 0;
         let mut i = 0;
         while i < reqs.len() {
             let bank = ((reqs[i].addr / 4) as usize) % self.config.num_banks;
-            if used[bank] {
+            if self.bank_used[bank] {
                 self.bank_conflicts += 1;
                 i += 1;
                 continue;
             }
-            used[bank] = true;
+            self.bank_used[bank] = true;
             let req = reqs.remove(i);
             self.accesses += 1;
             if !req.write {
