@@ -1,7 +1,7 @@
 //! Figure 14: IPC for the five design-space core configurations across
 //! the benchmark suite (single core).
 
-use vortex_bench::{f2, preamble, run_rodinia_suite, Table, DESIGN_SPACE};
+use vortex_bench::{dump_sweep, f2, preamble, run_rodinia_suite, Table, DESIGN_SPACE};
 use vortex_core::{CoreConfig, GpuConfig};
 
 fn main() {
@@ -29,4 +29,13 @@ fn main() {
         "(paper's shape: 2W-8T fastest for sgemm, 8W-2T slowest; 4W-4T the \
          area/perf compromise)"
     );
+    let rows: Vec<_> = DESIGN_SPACE
+        .iter()
+        .zip(&per_config)
+        .flat_map(|((w, th), rs)| {
+            rs.iter()
+                .map(move |r| (format!("{w}W-{th}T/{}", r.name), r.stats.clone()))
+        })
+        .collect();
+    dump_sweep("fig14: IPC by core configuration", &rows);
 }

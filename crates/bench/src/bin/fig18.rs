@@ -1,7 +1,7 @@
 //! Figure 18: Vortex performance scaling — aggregate IPC as the core
 //! count grows from 1 to 32.
 
-use vortex_bench::{f2, preamble, run_rodinia_suite, Table, CORE_COUNTS};
+use vortex_bench::{dump_sweep, f2, preamble, run_rodinia_suite, Table, CORE_COUNTS};
 use vortex_core::GpuConfig;
 
 fn main() {
@@ -28,4 +28,12 @@ fn main() {
          near-linearly; memory-bound group scales sublinearly; nearn is \
          flattest, throttled by its long-latency fsqrt)"
     );
+    let rows: Vec<_> = per_count
+        .iter()
+        .flat_map(|(cores, rs)| {
+            rs.iter()
+                .map(move |r| (format!("{cores}c/{}", r.name), r.stats.clone()))
+        })
+        .collect();
+    dump_sweep("fig18: performance scaling by core count", &rows);
 }

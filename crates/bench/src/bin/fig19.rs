@@ -2,7 +2,7 @@
 //! data-cache bank utilization and IPC at 1/2/4 virtual ports on a single
 //! baseline core.
 
-use vortex_bench::{f2, par, preamble, suite, Table};
+use vortex_bench::{dump_sweep, f2, par, preamble, suite, Table};
 use vortex_core::GpuConfig;
 
 fn main() {
@@ -31,22 +31,30 @@ fn main() {
         eprintln!("running {} @ {p} port(s) ...", b.name());
         let r = b.run_on(&config);
         assert!(r.validated, "{} failed at {p} ports", r.name);
-        (
-            r.stats.cores[0].dcache.bank_utilization() * 100.0,
-            r.thread_ipc(),
-        )
+        let util = r.stats.cores[0].dcache.bank_utilization() * 100.0;
+        (util, r.thread_ipc(), r.stats)
     });
     for (bi, b) in benches.iter().enumerate() {
         let row = &cells[bi * ports.len()..(bi + 1) * ports.len()];
         util_t.row(
-            std::iter::once(b.name().to_string()).chain(row.iter().map(|&(u, _)| f2(u))),
+            std::iter::once(b.name().to_string())
+                .chain(row.iter().map(|(u, _, _)| f2(*u))),
         );
         ipc_t.row(
-            std::iter::once(b.name().to_string()).chain(row.iter().map(|&(_, i)| f2(i))),
+            std::iter::once(b.name().to_string())
+                .chain(row.iter().map(|(_, i, _)| f2(*i))),
         );
     }
     println!("{}", util_t.to_markdown());
     println!("{}", ipc_t.to_markdown());
+    let rows: Vec<_> = items
+        .iter()
+        .zip(&cells)
+        .map(|(&(bi, p), (_, _, stats))| {
+            (format!("{}/{p}-port", benches[bi].name()), stats.clone())
+        })
+        .collect();
+    dump_sweep("fig19: virtual-port bank utilization and IPC", &rows);
     println!(
         "(paper's shape: sgemm and vecadd show the lowest 1-port utilization \
          — 67%/71% — and utilization rises toward 100% with ports; sgemm \

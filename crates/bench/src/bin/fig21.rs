@@ -3,7 +3,7 @@
 //! vary (the design-space exploration that exceeds FPGA capacity and runs
 //! on the cycle-level simulator, §6.5).
 
-use vortex_bench::{f2, par, preamble, Table};
+use vortex_bench::{dump_sweep, f2, par, preamble, Table};
 use vortex_core::{CoreConfig, GpuConfig};
 use vortex_kernels::{Benchmark, Saxpy, Sgemm};
 
@@ -35,7 +35,7 @@ fn main() {
             }
         }
     }
-    let ipcs = par::par_map(&items, |_, &(bi, lat, ch)| {
+    let points = par::par_map(&items, |_, &(bi, lat, ch)| {
         let (name, bench) = benches[bi];
         let mut config = GpuConfig::with_cores(16);
         config.core = CoreConfig::with_dims(16, 16);
@@ -44,8 +44,9 @@ fn main() {
         eprintln!("running {name} @ latency {lat}, {ch} channels ...");
         let r = bench.run_on(&config);
         assert!(r.validated, "{name} failed validation");
-        r.thread_ipc()
+        r.stats
     });
+    let ipcs: Vec<f64> = points.iter().map(vortex_core::GpuStats::thread_ipc).collect();
 
     let mut next = ipcs.iter();
     for (name, _) in &benches {
@@ -67,4 +68,12 @@ fn main() {
         "(paper's shape: IPC falls with latency and recovers with added \
          bandwidth; the memory-bound kernel reacts much more strongly)"
     );
+    let rows: Vec<_> = items
+        .iter()
+        .zip(points)
+        .map(|(&(bi, lat, ch), stats)| {
+            (format!("{}/lat{lat}/{ch}ch", benches[bi].0), stats)
+        })
+        .collect();
+    dump_sweep("fig21: memory latency/bandwidth scaling", &rows);
 }

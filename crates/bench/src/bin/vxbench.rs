@@ -66,6 +66,7 @@ fn workloads(quick: bool) -> Vec<(&'static str, Box<dyn Benchmark>)> {
 fn measure(name: &'static str, bench: &dyn Benchmark) -> Measurement {
     let config = GpuConfig::with_cores(1);
     let mut best: Option<Measurement> = None;
+    let mut reference_stats = None;
     for _ in 0..RUNS {
         let start = Instant::now();
         let r = bench.run_on(&config);
@@ -88,7 +89,21 @@ fn measure(name: &'static str, bench: &dyn Benchmark) -> Measurement {
         if best.as_ref().is_none_or(|b| m.cps > b.cps) {
             best = Some(m);
         }
+        reference_stats = Some(r.stats);
     }
+    // Telemetry gate: one extra run with an aggressive sampling window.
+    // Sampling is read-only observation, so every counter — cycles, stall
+    // breakdowns, cache stats — must be bit-identical to the unsampled
+    // runs; any divergence means a hook perturbed simulated timing.
+    let mut sampled_config = GpuConfig::with_cores(1);
+    sampled_config.sample_interval = 64;
+    let sampled = bench.run_on(&sampled_config);
+    assert!(sampled.validated, "{name} failed validation (sampled)");
+    assert_eq!(
+        sampled.stats,
+        reference_stats.expect("at least one run"),
+        "{name}: GpuStats must be bit-identical with telemetry on/off"
+    );
     best.expect("at least one run")
 }
 

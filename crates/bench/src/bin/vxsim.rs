@@ -4,6 +4,7 @@
 //! ```sh
 //! cargo run --release -p vortex-bench --bin vxsim -- kernel.s \
 //!     [--cores N] [--warps W] [--threads T] [--ports P] [--trace N] [--disasm] \
+//!     [--sample N] [--stats-json FILE] [--timeline FILE] [--trace-out FILE] \
 //!     [--inject seed=S,dram_drop=R,...]
 //! ```
 //!
@@ -11,22 +12,51 @@
 //! comma-separated `key=value` list (see `vortex_faults::FaultConfig::
 //! from_spec`). On a hang the watchdog's structured report is printed.
 //!
+//! Observability flags:
+//! * `--sample N` snapshots per-core counter deltas every N cycles into a
+//!   time series (exported by `--stats-json` / `--timeline`);
+//! * `--stats-json FILE` writes the final `GpuStats` (plus the time
+//!   series, when sampled) as JSON — also on TIMEOUT/HANG/TRAP, where the
+//!   partial counters are the diagnosis;
+//! * `--timeline FILE` writes a Chrome/Perfetto `trace_event` JSON
+//!   timeline built from the instruction trace (enable with `--trace N`),
+//!   counter tracks from `--sample`, and watchdog instants on a hang;
+//! * `--trace-out FILE` redirects the instruction-trace dump, which
+//!   otherwise goes to stderr so it never interleaves with the report.
+//!
 //! The program boots like real Vortex: every core starts wavefront 0,
 //! thread 0 at the image base; use `wspawn`/`tmc` (or the `emit_spawn_tasks`
 //! prologue) to light up the machine, and `ecall` to finish.
 
+use std::io::Write as _;
 use vortex_asm::parse_asm;
 use vortex_core::{CoreConfig, Gpu, GpuConfig, SimError};
 use vortex_faults::FaultConfig;
+use vortex_obs::Timeline;
 use vortex_runtime::abi;
 
 fn usage() -> ! {
     eprintln!(
         "usage: vxsim <kernel.s> [--cores N] [--warps W] [--threads T] \
          [--ports P] [--trace N] [--disasm] [--max-cycles N] \
-         [--inject k=v,...]"
+         [--sample N] [--stats-json FILE] [--timeline FILE] \
+         [--trace-out FILE] [--inject k=v,...]"
     );
     std::process::exit(2);
+}
+
+fn write_file(path: &str, what: &str, contents: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("cannot write {what} {path}: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn take_path<'a>(it: &mut impl Iterator<Item = &'a String>, what: &str) -> String {
+    it.next().cloned().unwrap_or_else(|| {
+        eprintln!("{what} needs a file path");
+        usage()
+    })
 }
 
 fn main() {
@@ -36,6 +66,10 @@ fn main() {
     let mut trace = 0usize;
     let mut disasm = false;
     let mut max_cycles = 100_000_000u64;
+    let mut sample = 0u64;
+    let mut stats_json: Option<String> = None;
+    let mut timeline_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut faults = FaultConfig::off();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -54,6 +88,10 @@ fn main() {
             "--ports" => ports = num("--ports"),
             "--trace" => trace = num("--trace"),
             "--max-cycles" => max_cycles = num("--max-cycles") as u64,
+            "--sample" => sample = num("--sample") as u64,
+            "--stats-json" => stats_json = Some(take_path(&mut it, "--stats-json")),
+            "--timeline" => timeline_out = Some(take_path(&mut it, "--timeline")),
+            "--trace-out" => trace_out = Some(take_path(&mut it, "--trace-out")),
             "--inject" => {
                 let spec = it.next().unwrap_or_else(|| {
                     eprintln!("--inject needs a spec (e.g. seed=1,dram_drop=5)");
@@ -87,22 +125,52 @@ fn main() {
     let mut config = GpuConfig::with_cores(cores);
     config.core = CoreConfig::with_dims(warps, threads);
     config.core.dcache.ports = ports;
+    config.sample_interval = sample;
     let mut gpu = Gpu::new(config);
     gpu.apply_faults(&faults);
     gpu.ram.write_bytes(program.base, &program.to_bytes());
     if trace > 0 {
         for c in 0..cores {
-            gpu.core_mut(c).trace = vortex_core::trace::Trace::with_capacity(trace);
+            gpu.core_mut(c).trace =
+                vortex_core::trace::Trace::with_capacity_for(trace, threads);
         }
     }
     gpu.launch(program.entry);
     let outcome = gpu.run(max_cycles);
     // Dump the trace on *every* outcome: on HANG/TRAP/TIMEOUT the last
     // instructions before the machine stopped are exactly what is needed.
+    // Default sink is stderr so the trace never interleaves with the
+    // stats report on stdout; --trace-out redirects it to a file.
     if trace > 0 {
+        let mut dump = String::new();
         for c in 0..cores {
-            print!("{}", gpu.core(c).trace.dump());
+            dump.push_str(&gpu.core(c).trace.dump());
         }
+        match &trace_out {
+            Some(path) => write_file(path, "trace", &dump),
+            None => {
+                let _ = std::io::stderr().write_all(dump.as_bytes());
+            }
+        }
+    }
+    // The stats snapshot is valid on every outcome; on an abnormal stop
+    // the partial counters (plus the sampled series) are the diagnosis.
+    if let Some(path) = &stats_json {
+        let doc = vortex_obs::render_stats(&file, &gpu.stats(), gpu.time_series());
+        write_file(path, "stats JSON", &doc);
+    }
+    if let Some(path) = &timeline_out {
+        let mut tl = Timeline::new();
+        for c in 0..cores {
+            tl.add_core_trace(c, gpu.core(c).trace.events());
+        }
+        if let Some(ts) = gpu.time_series() {
+            tl.add_time_series(ts);
+        }
+        if let Err(SimError::Hang(report)) = &outcome {
+            tl.add_hang_report(report);
+        }
+        write_file(path, "timeline", &tl.render());
     }
     match outcome {
         Ok(stats) => {
@@ -110,11 +178,7 @@ fn main() {
                 "PASS: {} cycles, {} instructions ({} thread-instructions)",
                 stats.cycles,
                 stats.total_instrs(),
-                stats
-                    .cores
-                    .iter()
-                    .map(|c| c.thread_instrs)
-                    .sum::<u64>()
+                stats.total_thread_instrs()
             );
             println!(
                 "IPC {:.3} (thread IPC {:.3}); DRAM {} reads / {} writes",
@@ -123,6 +187,14 @@ fn main() {
                 stats.dram_reads,
                 stats.dram_writes
             );
+            let merged = stats.merged_dcache();
+            if let Some(r) = merged.measured_hit_rate() {
+                println!(
+                    "D$ (all cores): {} reads, hit rate {:.1}%",
+                    merged.reads,
+                    r * 100.0
+                );
+            }
             for (i, c) in stats.cores.iter().enumerate() {
                 // Idle D-caches (no reads served) have no hit rate — print
                 // `n/a` rather than the vacuous 100%.

@@ -25,7 +25,7 @@
 #![warn(missing_docs)]
 
 use std::fmt::Write as _;
-use vortex_core::GpuConfig;
+use vortex_core::{GpuConfig, GpuStats};
 use vortex_kernels::{all_rodinia, BenchResult, Benchmark};
 
 pub mod par;
@@ -89,6 +89,30 @@ pub fn f0(v: f64) -> String {
 /// `VORTEX_FAST` env var) — useful for smoke-testing the harness.
 pub fn is_fast() -> bool {
     std::env::args().any(|a| a == "--fast") || std::env::var("VORTEX_FAST").is_ok()
+}
+
+/// The `--stats-json FILE` argument, when the user passed one.
+pub fn stats_json_arg() -> Option<String> {
+    let mut args = std::env::args();
+    while let Some(a) = args.next() {
+        if a == "--stats-json" {
+            return args.next();
+        }
+    }
+    None
+}
+
+/// Writes the sweep's per-point stats as JSON when `--stats-json FILE`
+/// was given; a no-op otherwise. Every fig binary calls this after its
+/// markdown tables, so sweeps become machine-diffable without re-running.
+pub fn dump_sweep(title: &str, rows: &[(String, GpuStats)]) {
+    let Some(path) = stats_json_arg() else { return };
+    let doc = vortex_obs::render_sweep(title, rows);
+    if let Err(e) = std::fs::write(&path, doc) {
+        eprintln!("cannot write sweep JSON {path}: {e}");
+        std::process::exit(1);
+    }
+    eprintln!("wrote sweep JSON to {path}");
 }
 
 /// The benchmark suite at the selected scale.

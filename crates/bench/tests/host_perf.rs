@@ -1,12 +1,15 @@
-//! Integration tests for the host-performance machinery: decode
-//! memoization must be invisible to simulated timing, the parallel sweep
-//! runner must be invisible to sweep results, and `vxsim --trace` must
-//! dump the retained trace on failing outcomes (where it matters most).
+//! Integration tests for the host-performance and observability
+//! machinery: decode memoization and telemetry sampling must be invisible
+//! to simulated timing, the parallel sweep runner must be invisible to
+//! sweep results, `vxsim --trace` must dump the retained trace on failing
+//! outcomes (where it matters most), and the JSON exports must parse and
+//! carry their schemas' required keys.
 
 use std::process::Command;
 use vortex_bench::par;
 use vortex_core::{Gpu, GpuConfig, GpuStats};
 use vortex_kernels::{Benchmark, Bfs, FilterKind, Nearn, Sgemm, TexBench};
+use vortex_obs::Value;
 
 /// Runs `bench` with the decode memo forced on or off.
 fn run_with_memo(bench: &dyn Benchmark, memo: bool) -> GpuStats {
@@ -34,6 +37,34 @@ fn decode_memo_is_timing_invisible() {
         assert_eq!(
             with, without,
             "{name}: GpuStats must be identical with the decode memo on/off"
+        );
+    }
+}
+
+/// Telemetry sampling is read-only observation: every workload must
+/// produce bit-identical `GpuStats` (cycles, instruction counts, cache
+/// counters, stall breakdowns — everything) with sampling off and with an
+/// aggressive 64-cycle window. This is the overhead-discipline guarantee:
+/// `--sample` can never perturb what it measures.
+#[test]
+fn telemetry_sampling_is_timing_invisible() {
+    let benches: Vec<(&str, Box<dyn Benchmark>)> = vec![
+        ("sgemm", Box::new(Sgemm::new(8))),
+        ("bfs", Box::new(Bfs::new(64, 3))),
+        ("nearn", Box::new(Nearn::new(128))),
+        ("texture", Box::new(TexBench::new(FilterKind::Bilinear, true, 4))),
+    ];
+    for (name, b) in &benches {
+        let mut off = GpuConfig::with_cores(1);
+        off.sample_interval = 0;
+        let mut on = GpuConfig::with_cores(1);
+        on.sample_interval = 64;
+        let r_off = b.run_on(&off);
+        let r_on = b.run_on(&on);
+        assert!(r_off.validated && r_on.validated, "{name} must validate");
+        assert_eq!(
+            r_off.stats, r_on.stats,
+            "{name}: GpuStats must be identical with telemetry on/off"
         );
     }
 }
@@ -97,9 +128,10 @@ fn parallel_sweep_matches_sequential_byte_for_byte() {
     assert_eq!(sequential, parallel);
 }
 
-/// `vxsim --trace N` must print the retained trace even when the run does
+/// `vxsim --trace N` must dump the retained trace even when the run does
 /// not complete — a spin kernel hits the cycle budget (TIMEOUT, exit ≠ 0)
-/// and the last instructions must still appear on stdout.
+/// and the last instructions must still appear on **stderr** (the trace's
+/// default sink, so it never interleaves with the stdout report).
 #[test]
 fn vxsim_dumps_trace_on_timeout() {
     let src = "spin:\n    j spin\n";
@@ -114,10 +146,163 @@ fn vxsim_dumps_trace_on_timeout() {
     assert!(!out.status.success(), "spin kernel must not PASS");
     let stderr = String::from_utf8_lossy(&out.stderr);
     assert!(stderr.contains("TIMEOUT"), "expected TIMEOUT, got: {stderr}");
-    let stdout = String::from_utf8_lossy(&out.stdout);
-    let trace_lines = stdout.lines().filter(|l| l.contains("core0 w0")).count();
+    let trace_lines = stderr.lines().filter(|l| l.contains("core0 w0")).count();
     assert!(
         trace_lines > 0,
-        "trace must be dumped on the failure path; stdout was: {stdout}"
+        "trace must be dumped on the failure path; stderr was: {stderr}"
     );
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        !stdout.contains("core0 w0"),
+        "trace must not leak onto stdout; stdout was: {stdout}"
+    );
+}
+
+/// A small loop kernel with memory traffic, used by the export smoke
+/// tests below.
+const EXPORT_KERNEL: &str = "\
+    li x5, 0
+    li x6, 16
+loop:
+    slli x7, x5, 2
+    lw x8, 0x100(x7)
+    add x8, x8, x5
+    sw x8, 0x100(x7)
+    addi x5, x5, 1
+    blt x5, x6, loop
+    ecall
+";
+
+fn run_vxsim_exports(tag: &str, extra: &[&str]) -> (std::process::Output, Vec<String>) {
+    let dir = std::env::temp_dir();
+    let asm = dir.join(format!("vxsim_export_{tag}_{}.s", std::process::id()));
+    std::fs::write(&asm, EXPORT_KERNEL).expect("write kernel");
+    let outputs: Vec<String> = extra
+        .iter()
+        .map(|f| {
+            dir.join(format!("vxsim_{}_{tag}_{}.json", f.trim_start_matches("--"), std::process::id()))
+                .to_string_lossy()
+                .into_owned()
+        })
+        .collect();
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_vxsim"));
+    cmd.arg(&asm);
+    for (flag, file) in extra.iter().zip(&outputs) {
+        cmd.arg(flag).arg(file);
+    }
+    let out = cmd
+        .args(["--sample", "64", "--trace", "4096"])
+        .output()
+        .expect("vxsim runs");
+    let _ = std::fs::remove_file(&asm);
+    (out, outputs)
+}
+
+/// `vxsim --stats-json` must emit a document that parses with the
+/// in-repo JSON reader and carries every `vortex-stats-v1` key, including
+/// the sampled time series.
+#[test]
+fn vxsim_stats_json_parses_with_required_keys() {
+    let (out, files) = run_vxsim_exports("stats", &["--stats-json"]);
+    assert!(out.status.success(), "kernel must PASS: {:?}", out);
+    let text = std::fs::read_to_string(&files[0]).expect("stats JSON written");
+    let _ = std::fs::remove_file(&files[0]);
+    let v = Value::parse(&text).expect("stats JSON parses");
+    assert_eq!(v.get("schema").unwrap().as_str(), Some(vortex_obs::STATS_SCHEMA));
+    for key in [
+        "label", "cycles", "total_instrs", "total_thread_instrs", "ipc",
+        "thread_ipc", "dram_reads", "dram_writes", "stalls", "icache",
+        "dcache", "tex", "cores", "timeseries",
+    ] {
+        assert!(v.get(key).is_some(), "stats JSON must carry '{key}'");
+    }
+    let cores = v.get("cores").unwrap().as_arr().unwrap();
+    assert_eq!(cores.len(), 1);
+    assert!(cores[0].get("stalls").unwrap().get("total").unwrap().as_num().is_some());
+    // --sample 64 was on: the time series must be present with windows.
+    let ts = v.get("timeseries").unwrap();
+    assert!(ts.get("interval").unwrap().as_num() == Some(64.0));
+    assert!(
+        !ts.get("samples").unwrap().as_arr().unwrap().is_empty(),
+        "sampled run must produce windows"
+    );
+}
+
+/// `vxsim --timeline` must emit Chrome/Perfetto trace-event JSON: a
+/// `traceEvents` array holding track-name metadata, instruction duration
+/// events, and counter samples.
+#[test]
+fn vxsim_timeline_parses_as_trace_events() {
+    let (out, files) = run_vxsim_exports("timeline", &["--timeline"]);
+    assert!(out.status.success(), "kernel must PASS: {:?}", out);
+    let text = std::fs::read_to_string(&files[0]).expect("timeline written");
+    let _ = std::fs::remove_file(&files[0]);
+    let v = Value::parse(&text).expect("timeline parses");
+    let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+    let ph = |p: &str| events.iter().filter(|e| e.get("ph").unwrap().as_str() == Some(p)).count();
+    assert!(ph("M") >= 2, "process + thread name metadata");
+    assert!(ph("X") > 10, "instruction duration events from --trace");
+    assert!(ph("C") > 0, "counter tracks from --sample");
+    let x = events
+        .iter()
+        .find(|e| e.get("ph").unwrap().as_str() == Some("X"))
+        .unwrap();
+    for key in ["name", "ts", "dur", "pid", "tid"] {
+        assert!(x.get(key).is_some(), "duration events must carry '{key}'");
+    }
+}
+
+/// Acceptance: with telemetry enabled, the *real* sgemm benchmark's
+/// stats JSON and Perfetto timeline must load cleanly — the sampled time
+/// series lands in the stats document and drives counter tracks.
+#[test]
+fn sgemm_stats_json_and_timeline_load_cleanly() {
+    let mut config = GpuConfig::with_cores(1);
+    config.sample_interval = 256;
+    let r = Sgemm::new(8).run_on(&config);
+    assert!(r.validated, "sgemm must validate");
+    let series = r.series.as_ref().expect("sampling was enabled");
+    assert!(!series.samples.is_empty(), "sgemm runs long enough to sample");
+
+    let stats_doc = vortex_obs::render_stats("sgemm", &r.stats, Some(series));
+    let v = Value::parse(&stats_doc).expect("sgemm stats JSON parses");
+    assert_eq!(v.get("label").unwrap().as_str(), Some("sgemm"));
+    assert_eq!(
+        v.get("cycles").unwrap().as_num(),
+        Some(r.stats.cycles as f64)
+    );
+    let windows = v
+        .get("timeseries")
+        .unwrap()
+        .get("samples")
+        .unwrap()
+        .as_arr()
+        .unwrap();
+    assert_eq!(windows.len(), series.samples.len());
+
+    let mut tl = vortex_obs::Timeline::new();
+    tl.add_time_series(series);
+    let v = Value::parse(&tl.render()).expect("sgemm timeline parses");
+    let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+    assert!(
+        events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("C"))
+            .count()
+            >= series.samples.len(),
+        "every window must produce counter events"
+    );
+}
+
+/// `--trace-out FILE` must move the instruction trace into the file and
+/// keep both stdout and stderr free of trace lines.
+#[test]
+fn vxsim_trace_out_redirects_the_dump() {
+    let (out, files) = run_vxsim_exports("traceout", &["--trace-out"]);
+    assert!(out.status.success(), "kernel must PASS: {:?}", out);
+    let text = std::fs::read_to_string(&files[0]).expect("trace file written");
+    let _ = std::fs::remove_file(&files[0]);
+    assert!(text.lines().filter(|l| l.contains("core0 w0")).count() > 10);
+    assert!(!String::from_utf8_lossy(&out.stdout).contains("core0 w0"));
+    assert!(!String::from_utf8_lossy(&out.stderr).contains("core0 w0"));
 }

@@ -149,6 +149,14 @@ pub struct GpuConfig {
     /// Must comfortably exceed the longest legitimate quiet period (DRAM
     /// latency plus any injected delays). `0` disables the watchdog.
     pub watchdog_cycles: u64,
+    /// Telemetry sampling interval in cycles: every `sample_interval`
+    /// cycles [`crate::Gpu::run`] snapshots per-core counter deltas and
+    /// occupancies into an in-memory time series (see
+    /// [`crate::telemetry`]). `0` (the default) disables sampling; the
+    /// disabled cost is one branch per run-loop iteration. Sampling is
+    /// read-only: simulated cycles and [`crate::GpuStats`] are
+    /// bit-identical on or off.
+    pub sample_interval: u64,
 }
 
 impl GpuConfig {
@@ -170,6 +178,7 @@ impl GpuConfig {
             l3: None,
             dram,
             watchdog_cycles: 10_000,
+            sample_interval: 0,
         }
     }
 

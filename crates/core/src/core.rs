@@ -887,6 +887,18 @@ impl Core {
         stats
     }
 
+    /// Decoded instructions parked across all wavefront ibuffers right
+    /// now (telemetry-sampler probe).
+    pub fn ibuffer_occupancy(&self) -> usize {
+        self.ibuffer.iter().map(std::collections::VecDeque::len).sum()
+    }
+
+    /// D-cache MSHR entries outstanding right now (telemetry-sampler
+    /// probe).
+    pub fn dcache_mshr_pending(&self) -> usize {
+        self.dcache.mshr_pending()
+    }
+
     /// Hit/miss counters of the decode memo (host-side diagnostics;
     /// `(0, 0)` when the memo is disabled).
     pub fn decode_memo_stats(&self) -> (u64, u64) {

@@ -11,6 +11,7 @@ use crate::config::GpuConfig;
 use crate::core::Core;
 use crate::error::{HangReport, SimError};
 use crate::stats::GpuStats;
+use crate::telemetry::{Telemetry, TimeSeries};
 use vortex_faults::FaultConfig;
 use vortex_mem::hierarchy::{HierarchyConfig, MemHierarchy};
 use vortex_mem::{MemReq, MemRsp, Ram, Tag};
@@ -32,6 +33,10 @@ pub struct Gpu {
     last_progress_token: u64,
     /// Watchdog: cycle of the last observed progress.
     last_progress_cycle: u64,
+    /// Windowed counter sampler ([`None`] when
+    /// [`GpuConfig::sample_interval`] is 0 — the run loop then pays one
+    /// branch per iteration and nothing else).
+    telemetry: Option<Telemetry>,
 }
 
 impl Gpu {
@@ -47,6 +52,8 @@ impl Gpu {
             l3: config.l3,
             dram: config.dram,
         });
+        let telemetry = (config.sample_interval > 0)
+            .then(|| Telemetry::new(config.sample_interval, config.num_cores));
         Self {
             cores,
             hierarchy,
@@ -55,6 +62,7 @@ impl Gpu {
             cycle: 0,
             last_progress_token: 0,
             last_progress_cycle: 0,
+            telemetry,
             config,
         }
     }
@@ -226,6 +234,11 @@ impl Gpu {
                 return Err(SimError::Timeout { cycles: self.cycle });
             }
             self.step()?;
+            if let Some(tel) = &self.telemetry {
+                if tel.due(self.cycle) {
+                    self.take_sample();
+                }
+            }
             let window = self.config.watchdog_cycles;
             if window != 0 && self.cycle - self.last_progress_cycle >= window {
                 let token = self.progress_token();
@@ -237,6 +250,29 @@ impl Gpu {
             }
         }
         Ok(self.stats())
+    }
+
+    /// Records one telemetry window: cumulative counter snapshots plus
+    /// instantaneous occupancies. Read-only with respect to simulated
+    /// state — the machine cannot observe that it is being sampled.
+    fn take_sample(&mut self) {
+        let cores: Vec<_> = self.cores.iter().map(Core::stats_snapshot).collect();
+        let occupancies: Vec<_> = self
+            .cores
+            .iter()
+            .map(|c| (c.ibuffer_occupancy(), c.dcache_mshr_pending()))
+            .collect();
+        let reads = self.hierarchy.dram_reads();
+        let writes = self.hierarchy.dram_writes();
+        let cycle = self.cycle;
+        let tel = self.telemetry.as_mut().expect("caller checked enablement");
+        tel.record(cycle, &cores, &occupancies, reads, writes);
+    }
+
+    /// The sampled time series, when telemetry is enabled (empty until the
+    /// first full window elapses).
+    pub fn time_series(&self) -> Option<&TimeSeries> {
+        self.telemetry.as_ref().map(Telemetry::series)
     }
 
     /// Snapshot of all counters.

@@ -36,6 +36,7 @@ pub mod regfile;
 pub mod scheduler;
 pub mod scoreboard;
 pub mod stats;
+pub mod telemetry;
 pub mod trace;
 pub mod warp;
 
@@ -43,4 +44,5 @@ pub use crate::core::Core;
 pub use config::{CoreConfig, GpuConfig, SMEM_BASE};
 pub use error::{CoreHangState, HangReport, SimError, WarpHangState};
 pub use gpu::Gpu;
-pub use stats::{CoreStats, GpuStats};
+pub use stats::{CoreStats, GpuStats, StallStats};
+pub use telemetry::{CoreWindow, TelemetrySample, TimeSeries};

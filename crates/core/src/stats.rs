@@ -15,6 +15,16 @@ pub struct StallStats {
     pub fu_busy: u64,
 }
 
+impl StallStats {
+    /// All issue-stall cycles. The issue stage charges every cycle to
+    /// exactly one bucket — an issued instruction or one stall reason —
+    /// so per core `cycles == instrs + stalls.total()` holds exactly (the
+    /// invariant `tests/stall_attribution.rs` asserts).
+    pub fn total(&self) -> u64 {
+        self.ibuffer_empty + self.scoreboard + self.fu_busy
+    }
+}
+
 /// One core's counters.
 #[derive(Debug, Default, Clone, Copy, PartialEq)]
 pub struct CoreStats {
@@ -106,9 +116,51 @@ impl GpuStats {
         if self.cycles == 0 {
             0.0
         } else {
-            let t: u64 = self.cores.iter().map(|c| c.thread_instrs).sum();
-            t as f64 / self.cycles as f64
+            self.total_thread_instrs() as f64 / self.cycles as f64
         }
+    }
+
+    /// Total thread-instructions across cores (each active lane counts).
+    pub fn total_thread_instrs(&self) -> u64 {
+        self.cores.iter().map(|c| c.thread_instrs).sum()
+    }
+
+    /// Instruction-cache counters merged across cores.
+    pub fn merged_icache(&self) -> CacheStats {
+        let mut merged = CacheStats::default();
+        for c in &self.cores {
+            merged.merge(&c.icache);
+        }
+        merged
+    }
+
+    /// Data-cache counters merged across cores.
+    pub fn merged_dcache(&self) -> CacheStats {
+        let mut merged = CacheStats::default();
+        for c in &self.cores {
+            merged.merge(&c.dcache);
+        }
+        merged
+    }
+
+    /// Texture-unit counters merged across cores.
+    pub fn merged_tex(&self) -> TexUnitStats {
+        let mut merged = TexUnitStats::default();
+        for c in &self.cores {
+            merged.merge(&c.tex);
+        }
+        merged
+    }
+
+    /// Issue-stall counters merged across cores.
+    pub fn merged_stalls(&self) -> StallStats {
+        let mut merged = StallStats::default();
+        for c in &self.cores {
+            merged.ibuffer_empty += c.stalls.ibuffer_empty;
+            merged.scoreboard += c.stalls.scoreboard;
+            merged.fu_busy += c.stalls.fu_busy;
+        }
+        merged
     }
 }
 
@@ -141,5 +193,54 @@ mod tests {
             dram_writes: 0,
         };
         assert!((g.ipc() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aggregate_accessors_sum_across_cores() {
+        let mut a = CoreStats {
+            cycles: 100,
+            instrs: 10,
+            thread_instrs: 40,
+            ..CoreStats::default()
+        };
+        a.icache.reads = 7;
+        a.icache.read_hits = 6;
+        a.dcache.reads = 20;
+        a.dcache.writes = 5;
+        a.tex.requests = 3;
+        a.stalls = StallStats {
+            ibuffer_empty: 50,
+            scoreboard: 30,
+            fu_busy: 10,
+        };
+        let mut b = a;
+        b.thread_instrs = 80;
+        b.dcache.reads = 30;
+        b.tex.requests = 4;
+        b.stalls.scoreboard = 5;
+        let g = GpuStats {
+            cycles: 100,
+            cores: vec![a, b],
+            dram_reads: 0,
+            dram_writes: 0,
+        };
+        assert_eq!(g.total_thread_instrs(), 120);
+        assert_eq!(g.merged_icache().reads, 14);
+        assert_eq!(g.merged_icache().read_hits, 12);
+        assert_eq!(g.merged_dcache().reads, 50);
+        assert_eq!(g.merged_dcache().writes, 10);
+        assert_eq!(g.merged_tex().requests, 7);
+        assert_eq!(g.merged_stalls().scoreboard, 35);
+        assert_eq!(g.merged_stalls().total(), 50 + 50 + 35 + 10 + 10);
+    }
+
+    #[test]
+    fn stall_total_sums_every_reason() {
+        let s = StallStats {
+            ibuffer_empty: 1,
+            scoreboard: 2,
+            fu_busy: 3,
+        };
+        assert_eq!(s.total(), 6);
     }
 }

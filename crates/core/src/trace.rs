@@ -26,10 +26,23 @@ pub struct TraceEvent {
 }
 
 /// A bounded instruction trace (ring buffer).
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct Trace {
     events: VecDeque<TraceEvent>,
     capacity: usize,
+    /// Binary width used to render thread masks in [`Trace::dump`];
+    /// follows the configured threads-per-wavefront.
+    tmask_width: usize,
+}
+
+impl Default for Trace {
+    fn default() -> Self {
+        Self {
+            events: VecDeque::new(),
+            capacity: 0,
+            tmask_width: Self::DEFAULT_TMASK_WIDTH,
+        }
+    }
 }
 
 impl Trace {
@@ -38,19 +51,38 @@ impl Trace {
     /// unboundedly.
     pub const MAX_CAPACITY: usize = 1 << 20;
 
+    /// Default tmask render width (the paper's baseline 4T core).
+    pub const DEFAULT_TMASK_WIDTH: usize = 4;
+
     /// Creates a disabled trace (capacity 0 records nothing).
     pub fn disabled() -> Self {
         Self::default()
     }
 
     /// Creates a trace keeping the most recent `capacity` events, clamped
-    /// to [`Trace::MAX_CAPACITY`].
+    /// to [`Trace::MAX_CAPACITY`]. Thread masks render at the default
+    /// 4-bit width; use [`Trace::with_capacity_for`] on wider cores.
     pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_capacity_for(capacity, Self::DEFAULT_TMASK_WIDTH)
+    }
+
+    /// Creates a trace whose dump renders thread masks at `num_threads`
+    /// bits. A fixed `{:04b}` width truncates nothing (Rust widths are
+    /// minimums) but misleads on >4-thread cores, where lane 4+ bits make
+    /// the column ragged and a 4-lane mask becomes ambiguous — so the
+    /// width must follow the configured thread count.
+    pub fn with_capacity_for(capacity: usize, num_threads: usize) -> Self {
         let capacity = capacity.min(Self::MAX_CAPACITY);
         Self {
             events: VecDeque::with_capacity(capacity),
             capacity,
+            tmask_width: num_threads.max(1),
         }
+    }
+
+    /// The thread-mask render width in effect.
+    pub fn tmask_width(&self) -> usize {
+        self.tmask_width
     }
 
     /// The retention bound actually in effect.
@@ -86,8 +118,14 @@ impl Trace {
         for e in &self.events {
             let _ = writeln!(
                 out,
-                "[{:>8}] core{} w{} {:#010x} tmask={:04b} {}",
-                e.cycle, e.core, e.wid, e.pc, e.tmask, e.text
+                "[{:>8}] core{} w{} {:#010x} tmask={:0width$b} {}",
+                e.cycle,
+                e.core,
+                e.wid,
+                e.pc,
+                e.tmask,
+                e.text,
+                width = self.tmask_width
             );
         }
         out
@@ -148,5 +186,28 @@ mod tests {
         t.record(ev(7));
         assert_eq!(t.dump().lines().count(), 1);
         assert!(t.dump().contains("nop"));
+    }
+
+    #[test]
+    fn tmask_width_follows_thread_count() {
+        // Regression: the dump used a fixed `{:04b}`, which renders an
+        // 8-thread mask like 0b1011_0001 at 8 digits but a sparse one like
+        // 0b0001 at 4 — ambiguous and ragged on >4-thread configs.
+        let mut wide = Trace::with_capacity_for(4, 8);
+        wide.record(TraceEvent {
+            tmask: 0b0000_0001,
+            ..ev(1)
+        });
+        assert!(
+            wide.dump().contains("tmask=00000001"),
+            "8-thread config pads to 8 digits: {}",
+            wide.dump()
+        );
+        let mut narrow = Trace::with_capacity(4);
+        narrow.record(ev(1));
+        assert!(narrow.dump().contains("tmask=1111"), "{}", narrow.dump());
+        assert_eq!(Trace::with_capacity_for(4, 16).tmask_width(), 16);
+        // Degenerate zero-thread request still renders at least one digit.
+        assert_eq!(Trace::with_capacity_for(4, 0).tmask_width(), 1);
     }
 }

@@ -1,5 +1,6 @@
 //! The benchmark abstraction the experiment harness drives.
 
+use vortex_core::telemetry::TimeSeries;
 use vortex_core::{GpuConfig, GpuStats};
 
 /// The paper's benchmark classification (§6.1).
@@ -24,6 +25,9 @@ pub struct BenchResult {
     pub validated: bool,
     /// Work items processed.
     pub work: usize,
+    /// The sampled telemetry time series, when the config enabled one
+    /// (`GpuConfig::sample_interval > 0`); `None` otherwise.
+    pub series: Option<TimeSeries>,
 }
 
 impl BenchResult {

@@ -163,6 +163,7 @@ impl Benchmark for Reduce {
             .fold(0u32, |acc, &v| acc.wrapping_add(v));
         let expect: u32 = data.iter().fold(0u32, |acc, &v| acc.wrapping_add(v));
         BenchResult {
+            series: dev.time_series().cloned(),
             name: self.name().into(),
             stats: report.stats,
             validated: total == expect,

@@ -191,6 +191,7 @@ impl Benchmark for Bfs {
             .collect();
         let expect = reference_bfs(&srcs, &dsts, nodes);
         BenchResult {
+            series: dev.time_series().cloned(),
             name: self.name().into(),
             stats: last_stats.expect("at least one launch"),
             validated: got == expect,

@@ -193,6 +193,7 @@ impl Benchmark for Gaussian {
 
         let stats = last_stats.expect("at least one launch");
         BenchResult {
+            series: dev.time_series().cloned(),
             name: self.name().into(),
             stats,
             validated,

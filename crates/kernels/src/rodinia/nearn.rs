@@ -112,6 +112,7 @@ impl Benchmark for Nearn {
             })
             .collect();
         BenchResult {
+            series: dev.time_series().cloned(),
             name: self.name().into(),
             stats: report.stats,
             validated: util::approx_eq_slices(&got, &expect, 1e-6),

@@ -87,6 +87,7 @@ impl Benchmark for Saxpy {
             .map(|(xi, yi)| self.alpha.mul_add(*xi, *yi))
             .collect();
         BenchResult {
+            series: dev.time_series().cloned(),
             name: self.name().into(),
             stats: report.stats,
             validated: util::approx_eq_slices(&got, &expect, 1e-6),

@@ -131,6 +131,7 @@ impl Benchmark for Sfilter {
         let got = dev.download_floats(buf_dst).expect("download in range");
         let expect = reference(&src, n);
         BenchResult {
+            series: dev.time_series().cloned(),
             name: self.name().into(),
             stats: report.stats,
             validated: util::approx_eq_slices(&got, &expect, 1e-5),

@@ -135,6 +135,7 @@ impl Benchmark for Sgemm {
         let c = dev.download_floats(buf_c).expect("download in range");
         let expect = reference(&a, &b, n);
         BenchResult {
+            series: dev.time_series().cloned(),
             name: self.name().into(),
             stats: report.stats,
             validated: util::approx_eq_slices(&c, &expect, 1e-5),

@@ -83,6 +83,7 @@ impl Benchmark for Vecadd {
         let c = dev.download_floats(buf_c).expect("download in range");
         let expect: Vec<f32> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
         BenchResult {
+            series: dev.time_series().cloned(),
             name: self.name().into(),
             stats: report.stats,
             validated: util::approx_eq_slices(&c, &expect, 1e-6),

@@ -500,6 +500,8 @@ impl Benchmark for TexBench {
         }
 
         BenchResult {
+
+            series: dev.time_series().cloned(),
             name: self.name().into(),
             stats: report.stats,
             validated: ok,

@@ -182,6 +182,23 @@ impl CacheStats {
             Some(self.read_hits as f64 / self.reads as f64)
         }
     }
+
+    /// Folds another cache's counters into this one (used to aggregate
+    /// per-core L1 counters into a whole-GPU view).
+    pub fn merge(&mut self, other: &CacheStats) {
+        self.reads += other.reads;
+        self.writes += other.writes;
+        self.read_hits += other.read_hits;
+        self.read_misses += other.read_misses;
+        self.mshr_merges += other.mshr_merges;
+        self.offered += other.offered;
+        self.accepted += other.accepted;
+        self.bank_conflicts += other.bank_conflicts;
+        self.fifo_full_rejects += other.fifo_full_rejects;
+        self.port_coalesced += other.port_coalesced;
+        self.early_full_stalls += other.early_full_stalls;
+        self.flushes += other.flushes;
+    }
 }
 
 /// What occupies a bank pipeline stage.
@@ -374,6 +391,13 @@ impl Cache {
     /// (`corrupt` — which strands the real line's MSHR entry, a hang).
     pub fn set_fault(&mut self, plan: FaultPlan) {
         self.fault = Some(plan);
+    }
+
+    /// Core requests currently parked in MSHRs waiting on fills, summed
+    /// across banks. Cheaper than a full [`Cache::occupancy`] walk; the
+    /// telemetry sampler reads this once per window.
+    pub fn mshr_pending(&self) -> usize {
+        self.banks.iter().map(|b| b.mshr.pending()).sum()
     }
 
     /// Queue depths for hang diagnosis.

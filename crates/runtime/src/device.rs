@@ -204,6 +204,13 @@ impl Device {
         })
     }
 
+    /// The sampled telemetry time series, when `GpuConfig::
+    /// sample_interval` enabled one. Windows accumulate across launches
+    /// on the same device (telemetry follows GPU cycles, not kernels).
+    pub fn time_series(&self) -> Option<&vortex_core::telemetry::TimeSeries> {
+        self.gpu.time_series()
+    }
+
     /// The underlying GPU (tests and experiments that need direct access).
     pub fn gpu(&self) -> &Gpu {
         &self.gpu

@@ -78,6 +78,18 @@ pub struct TexUnitStats {
     pub idle_cycles: u64,
 }
 
+impl TexUnitStats {
+    /// Folds another unit's counters into this one (used to aggregate
+    /// per-core texture counters into a whole-GPU view).
+    pub fn merge(&mut self, other: &TexUnitStats) {
+        self.requests += other.requests;
+        self.texels_generated += other.texels_generated;
+        self.texels_fetched += other.texels_fetched;
+        self.mem_busy_cycles += other.mem_busy_cycles;
+        self.idle_cycles += other.idle_cycles;
+    }
+}
+
 /// Queue depths for hang diagnosis (see `vortex-core`'s hang report).
 #[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
 pub struct TexOccupancy {
