@@ -5,7 +5,7 @@
 //! cargo run --release -p vortex-bench --bin vxsim -- kernel.s \
 //!     [--cores N] [--warps W] [--threads T] [--ports P] [--trace N] [--disasm] \
 //!     [--sample N] [--stats-json FILE] [--timeline FILE] [--trace-out FILE] \
-//!     [--inject seed=S,dram_drop=R,...]
+//!     [--inject seed=S,dram_drop=R,...] [--sim-threads N]
 //! ```
 //!
 //! `--inject` enables deterministic fault injection; the spec is a
@@ -40,7 +40,7 @@ fn usage() -> ! {
         "usage: vxsim <kernel.s> [--cores N] [--warps W] [--threads T] \
          [--ports P] [--trace N] [--disasm] [--max-cycles N] \
          [--sample N] [--stats-json FILE] [--timeline FILE] \
-         [--trace-out FILE] [--inject k=v,...]"
+         [--trace-out FILE] [--inject k=v,...] [--sim-threads N]"
     );
     std::process::exit(2);
 }
@@ -67,6 +67,7 @@ fn main() {
     let mut disasm = false;
     let mut max_cycles = 100_000_000u64;
     let mut sample = 0u64;
+    let mut sim_threads: Option<usize> = None;
     let mut stats_json: Option<String> = None;
     let mut timeline_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
@@ -89,6 +90,7 @@ fn main() {
             "--trace" => trace = num("--trace"),
             "--max-cycles" => max_cycles = num("--max-cycles") as u64,
             "--sample" => sample = num("--sample") as u64,
+            "--sim-threads" => sim_threads = Some(num("--sim-threads")),
             "--stats-json" => stats_json = Some(take_path(&mut it, "--stats-json")),
             "--timeline" => timeline_out = Some(take_path(&mut it, "--timeline")),
             "--trace-out" => trace_out = Some(take_path(&mut it, "--trace-out")),
@@ -126,6 +128,13 @@ fn main() {
     config.core = CoreConfig::with_dims(warps, threads);
     config.core.dcache.ports = ports;
     config.sample_interval = sample;
+    // Host pool threads for the per-cycle compute phase. `--threads` is
+    // taken (SIMT threads per wavefront), hence the longer name; without
+    // the flag the `VORTEX_SIM_THREADS` default from `with_cores` stands.
+    // Results are bit-identical at any setting — this is wall-clock only.
+    if let Some(n) = sim_threads {
+        config.sim_threads = n;
+    }
     let mut gpu = Gpu::new(config);
     gpu.apply_faults(&faults);
     gpu.ram.write_bytes(program.base, &program.to_bytes());

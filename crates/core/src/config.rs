@@ -157,6 +157,14 @@ pub struct GpuConfig {
     /// read-only: simulated cycles and [`crate::GpuStats`] are
     /// bit-identical on or off.
     pub sample_interval: u64,
+    /// Host worker threads used to tick cores inside one simulation
+    /// (`1` = fully sequential, today's behavior). Values above `1` fan
+    /// the per-cycle compute phase out over a persistent scoped thread
+    /// pool; the commit phase stays serial and in fixed core-id order, so
+    /// simulated cycles and [`crate::GpuStats`] are bit-identical at any
+    /// setting (see `Gpu::run`). Clamped to the core count at run time.
+    /// [`GpuConfig::with_cores`] seeds this from `VORTEX_SIM_THREADS`.
+    pub sim_threads: usize,
 }
 
 impl GpuConfig {
@@ -179,6 +187,7 @@ impl GpuConfig {
             dram,
             watchdog_cycles: 10_000,
             sample_interval: 0,
+            sim_threads: sim_threads_from_env(),
         }
     }
 
@@ -193,6 +202,20 @@ impl Default for GpuConfig {
     fn default() -> Self {
         Self::with_cores(1)
     }
+}
+
+/// Host simulation threads requested via `VORTEX_SIM_THREADS` (default 1 =
+/// sequential). Unparsable or zero values fall back to 1, matching the
+/// project convention of never letting an env knob change simulated
+/// behavior — thread count only affects wall-clock. Reading the knob here
+/// (inside [`GpuConfig::with_cores`]) means the entire test suite and every
+/// benchmark exercise the parallel path when the variable is set, which is
+/// how CI runs the tier-1 suite at both 1 and 4 threads.
+pub fn sim_threads_from_env() -> usize {
+    std::env::var("VORTEX_SIM_THREADS")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .map_or(1, |n| n.max(1))
 }
 
 #[cfg(test)]

@@ -38,7 +38,7 @@ use crate::warp::{StallReason, Wavefront};
 use std::collections::HashMap;
 use vortex_faults::{site, FaultConfig};
 use vortex_isa::{decode, CsrSrc, Instr, Reg};
-use vortex_mem::{Cache, MemReq, MemRsp, Ram, SharedMem, Tag};
+use vortex_mem::{Cache, MemReq, MemRsp, Ram, RamView, SharedMem, Tag, WriteLog};
 use vortex_tex::{TexRequest, TexUnit};
 
 /// A pending arithmetic completion waiting for the writeback port.
@@ -118,6 +118,13 @@ pub struct Core {
     next_tex_tag: Tag,
     /// Texture-unit memory requests waiting for the D-cache.
     tex_mem_pending: Vec<MemReq>,
+
+    /// Stores buffered by this cycle's compute phase, applied to the
+    /// functional RAM by [`Core::commit_stores`] during the commit phase.
+    /// Reads from this core (execute-stage loads, instruction fetch) see
+    /// the pending entries, so a core's own same-cycle stores stay visible
+    /// to it exactly as under the old eager-store model.
+    store_log: WriteLog,
 
     cycle: u64,
     /// Sticky quiescence flag: set once every wavefront has halted and
@@ -203,6 +210,7 @@ impl Core {
             tex_dest: HashMap::new(),
             next_tex_tag: 0,
             tex_mem_pending: Vec::new(),
+            store_log: WriteLog::new(),
             cycle: 0,
             drained: false,
             has_faults: false,
@@ -228,6 +236,7 @@ impl Core {
         self.fence_waiters.clear();
         self.tex_dest.clear();
         self.tex_mem_pending.clear();
+        self.store_log.clear();
         self.drained = false;
         self.wavefronts[0].spawn(pc, 1);
     }
@@ -246,6 +255,7 @@ impl Core {
             && self.dcache.is_idle()
             && self.smem.is_idle()
             && self.completions.is_empty()
+            && self.store_log.is_empty()
     }
 
     /// The per-core configuration.
@@ -417,7 +427,7 @@ impl Core {
     /// # Errors
     /// Propagates execution traps (divergence misuse, divergent branches)
     /// as [`SimError`]s carrying the trap site.
-    fn issue_stage(&mut self, ram: &mut Ram) -> Result<(), SimError> {
+    fn issue_stage(&mut self, ram: &Ram) -> Result<(), SimError> {
         let nw = self.config.num_wavefronts;
         // Find a wavefront with a decoded instruction, round-robin.
         let mut picked = None;
@@ -497,10 +507,13 @@ impl Core {
             wf.pc = instr_pc.wrapping_add(4);
             self.cf_block[wid] = false;
         }
+        // Execute against the RAM snapshot with stores deferred into this
+        // core's write log (read-your-write preserved by the view).
+        let mut mem = RamView::new(ram, &mut self.store_log);
         let result = exec::execute_with(
             wf,
             &self.regs,
-            ram,
+            &mut mem,
             &mut self.csrf,
             &env,
             &instr,
@@ -716,7 +729,10 @@ impl Core {
         if !self.wavefronts[wid].active {
             return Ok(()); // halted while the fetch was in flight
         }
-        let word = ram.read_u32(pc);
+        // Fetch through the write log: a store buffered earlier this cycle
+        // (self-modifying code) must be visible to this core's own fetch,
+        // exactly as it was when stores applied eagerly.
+        let word = self.store_log.read_u32(ram, pc);
         // Memoized decode. Keying by the *word just fetched* makes the memo
         // self-invalidating under self-modifying code: a code write changes
         // the lookup key, never the cached mapping.
@@ -744,12 +760,17 @@ impl Core {
         }
     }
 
-    /// Advances the core one cycle. `ram` is the functional memory.
+    /// Advances the core one cycle: the *compute phase* of the two-phase
+    /// protocol. `ram` is a read-snapshot of the functional memory; stores
+    /// executed this cycle land in the core's write log and become globally
+    /// visible only when the caller invokes [`Core::commit_stores`] (in
+    /// fixed core-id order, which is what makes parallel core ticking
+    /// deterministic).
     ///
     /// # Errors
     /// Propagates structured traps ([`SimError`]) from the issue and
     /// decode stages; the caller aborts the simulation and reports them.
-    pub fn tick(&mut self, ram: &mut Ram) -> Result<(), SimError> {
+    pub fn tick(&mut self, ram: &Ram) -> Result<(), SimError> {
         if self.drained {
             // The full tick below is a no-op for a drained core except for
             // these two counters (issue finds every ibuffer empty; every
@@ -870,6 +891,26 @@ impl Core {
             self.drained = true;
         }
         Ok(())
+    }
+
+    /// Commit phase: applies this cycle's buffered stores to the functional
+    /// RAM in program order and clears the log. The GPU level calls this
+    /// for every core in ascending core-id order after all compute phases
+    /// finish, so global store-application order is a pure function of the
+    /// configuration — never of host thread scheduling.
+    pub fn commit_stores(&mut self, ram: &mut Ram) {
+        if !self.store_log.is_empty() {
+            self.store_log.apply(ram);
+        }
+    }
+
+    /// Decisions drawn across this core's fault plans (I-cache, D-cache,
+    /// texture unit); 0 when no faults are attached. Part of the per-site
+    /// determinism audit: every per-core plan is ticked inside
+    /// [`Core::tick`] on exactly one thread, so equal draw totals across
+    /// host thread counts prove the streams stayed per-site deterministic.
+    pub fn fault_draws(&self) -> u64 {
+        self.icache.fault_draws() + self.dcache.fault_draws() + self.tex_unit.fault_draws()
     }
 
     /// The core's performance counters, with the cycle count and the

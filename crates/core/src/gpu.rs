@@ -5,13 +5,33 @@
 //! kernel-execution entry points the runtime drives. In the paper's system
 //! this sits below the AFU command processor (Figure 4); the command
 //! processor itself lives in `vortex-runtime`.
+//!
+//! ### Two-phase cycles and deterministic parallelism
+//!
+//! Every simulated cycle is an explicit two-phase protocol:
+//!
+//! 1. **compute** — each core ticks against a read-snapshot of the
+//!    functional [`Ram`], buffering its stores into a private write log
+//!    (its L1s, queues and fault plans are private already);
+//! 2. **commit** — in fixed core-id order: write logs apply to RAM, L1
+//!    miss traffic drains into the shared hierarchy, the hierarchy ticks,
+//!    and responses / global-barrier releases distribute back.
+//!
+//! Because cores never touch shared state during compute and the commit
+//! phase is serial and order-fixed, the compute phase can fan out over a
+//! worker pool ([`GpuConfig::sim_threads`] > 1) with *bit-identical*
+//! results — cycles, [`GpuStats`], telemetry and fault decisions are a
+//! pure function of the configuration, never of host thread scheduling.
+//! Sequential mode ([`Gpu::step`]) runs the same two phases on one thread.
 
 use crate::barrier::{BarrierOutcome, BarrierTable};
 use crate::config::GpuConfig;
 use crate::core::Core;
 use crate::error::{HangReport, SimError};
+use crate::pool::{self, PoolCtl};
 use crate::stats::GpuStats;
 use crate::telemetry::{Telemetry, TimeSeries};
+use std::sync::{Mutex, MutexGuard, RwLock};
 use vortex_faults::FaultConfig;
 use vortex_mem::hierarchy::{HierarchyConfig, MemHierarchy};
 use vortex_mem::{MemReq, MemRsp, Ram, Tag};
@@ -37,6 +57,36 @@ pub struct Gpu {
     /// [`GpuConfig::sample_interval`] is 0 — the run loop then pays one
     /// branch per iteration and nothing else).
     telemetry: Option<Telemetry>,
+    /// Reused scratch for global-barrier release ids, so the commit phase
+    /// never allocates in the steady state.
+    release_scratch: Vec<usize>,
+}
+
+/// Uniform indexed access to the core array during the serial commit
+/// phase. Sequential mode passes the plain `[Core]` slice; parallel mode
+/// passes the per-cycle vector of mutex guards (one lock round per cycle,
+/// not one per access).
+trait CoreArray {
+    fn len(&self) -> usize;
+    fn core_mut(&mut self, i: usize) -> &mut Core;
+}
+
+impl CoreArray for [Core] {
+    fn len(&self) -> usize {
+        self.len()
+    }
+    fn core_mut(&mut self, i: usize) -> &mut Core {
+        &mut self[i]
+    }
+}
+
+impl CoreArray for [MutexGuard<'_, Core>] {
+    fn len(&self) -> usize {
+        self.len()
+    }
+    fn core_mut(&mut self, i: usize) -> &mut Core {
+        &mut self[i]
+    }
 }
 
 impl Gpu {
@@ -63,6 +113,7 @@ impl Gpu {
             last_progress_token: 0,
             last_progress_cycle: 0,
             telemetry,
+            release_scratch: Vec::new(),
             config,
         }
     }
@@ -109,30 +160,80 @@ impl Gpu {
         }
     }
 
-    /// Advances the whole processor one cycle.
+    /// Advances the whole processor one cycle: the sequential form of the
+    /// two-phase protocol (compute every core against the RAM snapshot,
+    /// then commit in core-id order). Parallel runs execute exactly these
+    /// phases with the compute loop fanned out, so `step`-driven and
+    /// multi-threaded simulations are bit-identical.
     ///
     /// # Errors
-    /// Propagates structured execution traps from the cores.
+    /// Propagates structured execution traps from the cores. Every core
+    /// still computes its cycle even when an earlier core traps (matching
+    /// parallel mode, where sibling compute phases are already in flight);
+    /// the lowest-core-id trap is returned and the commit phase is
+    /// skipped.
     pub fn step(&mut self) -> Result<(), SimError> {
+        // Compute phase.
+        let mut first_err = None;
         for core in &mut self.cores {
-            core.tick(&mut self.ram)?;
+            if let Err(e) = core.tick(&self.ram) {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
+
+        // Commit phase.
+        Self::commit_cycle(
+            self.config.core.num_wavefronts,
+            self.cores.as_mut_slice(),
+            &mut self.ram,
+            &mut self.hierarchy,
+            &mut self.global_barriers,
+            &mut self.release_scratch,
+        );
+        self.cycle += 1;
+        Ok(())
+    }
+
+    /// The commit phase, shared verbatim by sequential ([`Gpu::step`]) and
+    /// parallel (`run_par`) execution: write logs apply to RAM, L1 miss
+    /// traffic drains into the hierarchy, the hierarchy ticks, fill
+    /// responses and global-barrier releases distribute back. Every loop
+    /// walks cores in ascending id order — that fixed order is the whole
+    /// determinism argument, so nothing here may depend on anything else.
+    fn commit_cycle<A: CoreArray + ?Sized>(
+        nw: usize,
+        cores: &mut A,
+        ram: &mut Ram,
+        hierarchy: &mut MemHierarchy,
+        global_barriers: &mut BarrierTable,
+        releases: &mut Vec<usize>,
+    ) {
+        // Buffered stores → functional RAM, in core-id then program order.
+        for cid in 0..cores.len() {
+            cores.core_mut(cid).commit_stores(ram);
         }
 
         // L1 miss traffic → hierarchy (only pop what the hierarchy takes).
-        for (cid, core) in self.cores.iter_mut().enumerate() {
+        for cid in 0..cores.len() {
+            let core = cores.core_mut(cid);
             while let Some(req) = core.peek_icache_mem_req().copied() {
                 let wrapped = MemReq {
                     tag: req.tag | ICACHE_BIT,
                     ..req
                 };
-                if self.hierarchy.push_req(cid, wrapped).is_ok() {
+                if hierarchy.push_req(cid, wrapped).is_ok() {
                     core.pop_icache_mem_req();
                 } else {
                     break;
                 }
             }
             while let Some(req) = core.peek_dcache_mem_req().copied() {
-                if self.hierarchy.push_req(cid, req).is_ok() {
+                if hierarchy.push_req(cid, req).is_ok() {
                     core.pop_dcache_mem_req();
                 } else {
                     break;
@@ -140,11 +241,12 @@ impl Gpu {
             }
         }
 
-        self.hierarchy.tick();
+        hierarchy.tick();
 
         // Fill responses → owning L1.
-        for (cid, core) in self.cores.iter_mut().enumerate() {
-            while let Some(rsp) = self.hierarchy.pop_rsp(cid) {
+        for cid in 0..cores.len() {
+            let core = cores.core_mut(cid);
+            while let Some(rsp) = hierarchy.pop_rsp(cid) {
                 let icache = rsp.tag & ICACHE_BIT != 0;
                 core.push_l1_mem_rsp(
                     MemRsp {
@@ -157,26 +259,20 @@ impl Gpu {
 
         // Global barriers (barrier ids with the MSB set): participants are
         // wavefronts across all cores, identified as core*NW + wid.
-        let nw = self.config.core.num_wavefronts;
-        let mut releases: Vec<usize> = Vec::new();
-        for (cid, core) in self.cores.iter_mut().enumerate() {
+        releases.clear();
+        for cid in 0..cores.len() {
+            let core = cores.core_mut(cid);
             for arrival in core.take_global_barrier_arrivals() {
-                let slot = (arrival.id as usize) % self.global_barriers.len();
-                match self
-                    .global_barriers
-                    .arrive(slot, cid * nw + arrival.wid, arrival.count)
-                {
+                let slot = (arrival.id as usize) % global_barriers.len();
+                match global_barriers.arrive(slot, cid * nw + arrival.wid, arrival.count) {
                     BarrierOutcome::Wait => {}
                     BarrierOutcome::Release(ids) => releases.extend(ids),
                 }
             }
         }
-        for gid in releases {
-            self.cores[gid / nw].release_wavefront(gid % nw);
+        for &gid in releases.iter() {
+            cores.core_mut(gid / nw).release_wavefront(gid % nw);
         }
-
-        self.cycle += 1;
-        Ok(())
     }
 
     /// `true` when every core has drained and the memory system is quiet.
@@ -187,12 +283,20 @@ impl Gpu {
     /// Monotone whole-machine progress token: changes whenever any core
     /// retires work or the DRAM services traffic. Used by the watchdog.
     fn progress_token(&self) -> u64 {
-        let mut token = self
-            .hierarchy
+        Self::progress_token_with(&self.hierarchy, self.cores.iter())
+    }
+
+    /// [`Gpu::progress_token`] over an explicit core iterator, so the
+    /// parallel run loop (cores moved into mutex slots) can share it.
+    fn progress_token_with<'a>(
+        hierarchy: &MemHierarchy,
+        cores: impl Iterator<Item = &'a Core>,
+    ) -> u64 {
+        let mut token = hierarchy
             .dram_reads()
-            .wrapping_add(self.hierarchy.dram_writes())
-            .wrapping_add(self.hierarchy.dram_dropped());
-        for core in &self.cores {
+            .wrapping_add(hierarchy.dram_writes())
+            .wrapping_add(hierarchy.dram_dropped());
+        for core in cores {
             token = token.wrapping_add(core.progress_token());
         }
         token
@@ -200,12 +304,38 @@ impl Gpu {
 
     /// Builds the watchdog's diagnosis of the current (stuck) state.
     pub fn hang_report(&self) -> HangReport {
+        Self::hang_report_with(
+            self.cycle,
+            self.config.watchdog_cycles,
+            &self.hierarchy,
+            self.cores.iter(),
+        )
+    }
+
+    fn hang_report_with<'a>(
+        cycle: u64,
+        window: u64,
+        hierarchy: &MemHierarchy,
+        cores: impl Iterator<Item = &'a Core>,
+    ) -> HangReport {
         HangReport {
-            cycle: self.cycle,
-            window: self.config.watchdog_cycles,
-            cores: self.cores.iter().map(Core::hang_state).collect(),
-            memory: self.hierarchy.occupancy(),
+            cycle,
+            window,
+            cores: cores.map(Core::hang_state).collect(),
+            memory: hierarchy.occupancy(),
         }
+    }
+
+    /// Per-site fault-plan draw counts: one entry per core (its I-cache,
+    /// D-cache and texture plans summed) plus a final entry for the shared
+    /// hierarchy (DRAM + L2s + L3). Every plan is per-site and ticked by
+    /// exactly one thread, so equal vectors at equal simulation points
+    /// across `sim_threads` settings audit that fault decision streams are
+    /// consumed deterministically regardless of host parallelism.
+    pub fn fault_draws(&self) -> Vec<u64> {
+        let mut draws: Vec<u64> = self.cores.iter().map(Core::fault_draws).collect();
+        draws.push(self.hierarchy.fault_draws());
+        draws
     }
 
     /// Runs until the kernel finishes, up to `max_cycles`.
@@ -226,7 +356,15 @@ impl Gpu {
     /// only after at least one full window with no progress — but detection
     /// happens at window granularity, i.e. up to `2 × watchdog_cycles`
     /// after the machine actually stopped.
+    /// When [`GpuConfig::sim_threads`] exceeds 1 (clamped to the core
+    /// count), the compute phase of every cycle fans out over a persistent
+    /// scoped worker pool while commit stays serial — results are
+    /// bit-identical to `sim_threads = 1`, only wall-clock changes.
     pub fn run(&mut self, max_cycles: u64) -> Result<GpuStats, SimError> {
+        let threads = self.config.sim_threads.clamp(1, self.config.num_cores);
+        if threads > 1 {
+            return self.run_par(max_cycles, threads);
+        }
         self.last_progress_token = self.progress_token();
         self.last_progress_cycle = self.cycle;
         while !self.is_done() {
@@ -252,21 +390,194 @@ impl Gpu {
         Ok(self.stats())
     }
 
+    /// Multi-threaded [`Gpu::run`]: cores move into per-core mutex slots
+    /// and the functional RAM into a read-write lock for the duration of
+    /// the run, a scoped pool of `threads - 1` workers plus this thread
+    /// ticks contiguous core chunks each compute phase, and this thread
+    /// alone runs the serial commit phase. Fields are restored on every
+    /// exit path (the `Gpu` looks untouched from outside; a *panic* in a
+    /// worker propagates out of the scope and leaves the `Gpu` unusable —
+    /// acceptable, since panics abort the simulation anyway).
+    fn run_par(&mut self, max_cycles: u64, threads: usize) -> Result<GpuStats, SimError> {
+        let num_cores = self.config.num_cores;
+        let chunk = num_cores.div_ceil(threads);
+        let slots: Vec<Mutex<Core>> = self.cores.drain(..).map(Mutex::new).collect();
+        let ram_cell = RwLock::new(std::mem::take(&mut self.ram));
+        let ctl = PoolCtl::new(threads - 1);
+
+        let outcome = std::thread::scope(|scope| {
+            for w in 0..threads - 1 {
+                // Worker `w` owns cores [chunk·(w+1), chunk·(w+2)); the
+                // main thread keeps chunk 0 so it computes rather than
+                // idles during the fan-out.
+                let start = (chunk * (w + 1)).min(num_cores);
+                let end = (chunk * (w + 2)).min(num_cores);
+                let (ctl, slots, ram_cell) = (&ctl, &slots, &ram_cell);
+                scope.spawn(move || pool::worker_loop(ctl, w, start..end, slots, ram_cell));
+            }
+            let result = self.run_par_loop(max_cycles, &ctl, &slots, &ram_cell, 0..chunk);
+            ctl.shutdown();
+            result
+        });
+
+        self.cores = slots
+            .into_iter()
+            .map(|m| m.into_inner().expect("core slot not poisoned"))
+            .collect();
+        self.ram = ram_cell.into_inner().expect("ram lock not poisoned");
+        outcome
+    }
+
+    /// The per-cycle loop of a parallel run. Mirrors the sequential loop
+    /// in [`Gpu::run`] exactly — same phase order, same telemetry and
+    /// watchdog placement — with the compute phase distributed and every
+    /// serial section performed under one lock round per cycle.
+    fn run_par_loop(
+        &mut self,
+        max_cycles: u64,
+        ctl: &PoolCtl,
+        slots: &[Mutex<Core>],
+        ram_cell: &RwLock<Ram>,
+        main_range: std::ops::Range<usize>,
+    ) -> Result<GpuStats, SimError> {
+        let nw = self.config.core.num_wavefronts;
+        fn lock_all<'a>(slots: &'a [Mutex<Core>]) -> Vec<MutexGuard<'a, Core>> {
+            slots
+                .iter()
+                .map(|s| s.lock().expect("core slot not poisoned"))
+                .collect()
+        }
+
+        // Watchdog baseline + already-done check (run() may be re-entered
+        // on a finished machine).
+        {
+            let guards = lock_all(slots);
+            self.last_progress_token =
+                Self::progress_token_with(&self.hierarchy, guards.iter().map(|g| &**g));
+            self.last_progress_cycle = self.cycle;
+            if guards.iter().all(|c| c.is_done()) && self.hierarchy.is_idle() {
+                return Ok(Self::stats_with(
+                    self.cycle,
+                    &self.hierarchy,
+                    guards.iter().map(|g| &**g),
+                ));
+            }
+        }
+
+        loop {
+            if self.cycle >= max_cycles {
+                return Err(SimError::Timeout { cycles: self.cycle });
+            }
+
+            // ---- Compute phase: workers + this thread's own chunk. ----
+            ctl.start_cycle();
+            let mut err: Option<SimError> = None;
+            {
+                let ram = ram_cell.read().expect("ram lock not poisoned");
+                for cid in main_range.clone() {
+                    let mut core = slots[cid].lock().expect("core slot not poisoned");
+                    if let Err(e) = core.tick(&ram) {
+                        if err.is_none() {
+                            err = Some(e);
+                        }
+                    }
+                }
+            }
+            ctl.wait_workers();
+            if err.is_none() {
+                // Worker chunks are in ascending core-id order and each
+                // records only its own lowest-core error, so the first
+                // occupied slot is the globally lowest one — the same
+                // error a sequential run returns.
+                for w in 0..ctl.workers() {
+                    if let Some(e) = ctl.take_error(w) {
+                        err = Some(e);
+                        break;
+                    }
+                }
+            }
+            if let Some(e) = err {
+                return Err(e);
+            }
+
+            // ---- Commit phase + per-cycle serial work, one lock round. ----
+            let mut ram = ram_cell.write().expect("ram lock not poisoned");
+            let mut guards = lock_all(slots);
+            Self::commit_cycle(
+                nw,
+                guards.as_mut_slice(),
+                &mut ram,
+                &mut self.hierarchy,
+                &mut self.global_barriers,
+                &mut self.release_scratch,
+            );
+            self.cycle += 1;
+
+            if let Some(tel) = self.telemetry.as_mut() {
+                if tel.due(self.cycle) {
+                    Self::take_sample_with(
+                        tel,
+                        self.cycle,
+                        &self.hierarchy,
+                        guards.iter().map(|g| &**g),
+                    );
+                }
+            }
+
+            let window = self.config.watchdog_cycles;
+            if window != 0 && self.cycle - self.last_progress_cycle >= window {
+                let token =
+                    Self::progress_token_with(&self.hierarchy, guards.iter().map(|g| &**g));
+                if token == self.last_progress_token {
+                    return Err(SimError::Hang(Box::new(Self::hang_report_with(
+                        self.cycle,
+                        window,
+                        &self.hierarchy,
+                        guards.iter().map(|g| &**g),
+                    ))));
+                }
+                self.last_progress_token = token;
+                self.last_progress_cycle = self.cycle;
+            }
+
+            if guards.iter().all(|c| c.is_done()) && self.hierarchy.is_idle() {
+                return Ok(Self::stats_with(
+                    self.cycle,
+                    &self.hierarchy,
+                    guards.iter().map(|g| &**g),
+                ));
+            }
+        }
+    }
+
     /// Records one telemetry window: cumulative counter snapshots plus
     /// instantaneous occupancies. Read-only with respect to simulated
     /// state — the machine cannot observe that it is being sampled.
     fn take_sample(&mut self) {
-        let cores: Vec<_> = self.cores.iter().map(Core::stats_snapshot).collect();
-        let occupancies: Vec<_> = self
-            .cores
-            .iter()
+        let tel = self.telemetry.as_mut().expect("caller checked enablement");
+        Self::take_sample_with(tel, self.cycle, &self.hierarchy, self.cores.iter());
+    }
+
+    /// [`Gpu::take_sample`] over an explicit core iterator (shared with
+    /// the parallel run loop). `Clone` because the snapshot and occupancy
+    /// probes walk the cores separately.
+    fn take_sample_with<'a>(
+        tel: &mut Telemetry,
+        cycle: u64,
+        hierarchy: &MemHierarchy,
+        cores: impl Iterator<Item = &'a Core> + Clone,
+    ) {
+        let snapshots: Vec<_> = cores.clone().map(Core::stats_snapshot).collect();
+        let occupancies: Vec<_> = cores
             .map(|c| (c.ibuffer_occupancy(), c.dcache_mshr_pending()))
             .collect();
-        let reads = self.hierarchy.dram_reads();
-        let writes = self.hierarchy.dram_writes();
-        let cycle = self.cycle;
-        let tel = self.telemetry.as_mut().expect("caller checked enablement");
-        tel.record(cycle, &cores, &occupancies, reads, writes);
+        tel.record(
+            cycle,
+            &snapshots,
+            &occupancies,
+            hierarchy.dram_reads(),
+            hierarchy.dram_writes(),
+        );
     }
 
     /// The sampled time series, when telemetry is enabled (empty until the
@@ -277,11 +588,19 @@ impl Gpu {
 
     /// Snapshot of all counters.
     pub fn stats(&self) -> GpuStats {
+        Self::stats_with(self.cycle, &self.hierarchy, self.cores.iter())
+    }
+
+    fn stats_with<'a>(
+        cycle: u64,
+        hierarchy: &MemHierarchy,
+        cores: impl Iterator<Item = &'a Core>,
+    ) -> GpuStats {
         GpuStats {
-            cycles: self.cycle,
-            cores: self.cores.iter().map(Core::stats_snapshot).collect(),
-            dram_reads: self.hierarchy.dram_reads(),
-            dram_writes: self.hierarchy.dram_writes(),
+            cycles: cycle,
+            cores: cores.map(Core::stats_snapshot).collect(),
+            dram_reads: hierarchy.dram_reads(),
+            dram_writes: hierarchy.dram_writes(),
         }
     }
 }

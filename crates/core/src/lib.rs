@@ -32,6 +32,7 @@ pub mod exec;
 pub mod gpu;
 pub mod ipdom;
 pub mod lsu;
+mod pool;
 pub mod regfile;
 pub mod scheduler;
 pub mod scoreboard;
@@ -41,7 +42,7 @@ pub mod trace;
 pub mod warp;
 
 pub use crate::core::Core;
-pub use config::{CoreConfig, GpuConfig, SMEM_BASE};
+pub use config::{sim_threads_from_env, CoreConfig, GpuConfig, SMEM_BASE};
 pub use error::{CoreHangState, HangReport, SimError, WarpHangState};
 pub use gpu::Gpu;
 pub use stats::{CoreStats, GpuStats, StallStats};

@@ -1,0 +1,191 @@
+//! The persistent scoped worker pool behind parallel core ticking.
+//!
+//! One pool lives for the duration of a single `Gpu::run` call: `run_par`
+//! moves the cores into per-core `Mutex` slots and the functional RAM into
+//! an `RwLock`, spawns `sim_threads - 1` workers inside a
+//! `std::thread::scope`, and keeps one contiguous chunk of cores for the
+//! main thread. Per-cycle coordination is two atomics — a *generation*
+//! counter the main thread bumps to release a compute phase, and a *done*
+//! counter the workers bump when their chunk finishes. Workers spin
+//! briefly waiting for the next generation (the serial commit phase
+//! between cycles is about a microsecond, far below any OS wakeup), then
+//! yield, then park on a condvar so an idle pool costs nothing; the main
+//! thread takes the park lock before notifying, so a worker that re-checks
+//! the generation under that lock can never miss its wakeup. The spin
+//! budget is sized to the host: when `available_parallelism` cannot give
+//! every pool thread its own CPU, spinning is skipped entirely — on an
+//! oversubscribed host a pause loop just keeps the CPU away from the very
+//! thread being waited for.
+//!
+//! Determinism does not depend on any of this machinery: workers only ever
+//! touch their own cores (disjoint chunks) through the slot mutexes and
+//! read RAM through the shared read lock, so the cycle's outcome is fixed
+//! before synchronization even begins. The pool affects wall-clock only.
+
+use crate::core::Core;
+use crate::error::SimError;
+use std::ops::Range;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex, RwLock};
+use vortex_mem::Ram;
+
+/// Spin iterations before a waiting thread backs off, when the host has a
+/// CPU per pool thread. Sized so the inter-cycle gap (serial commit on the
+/// main thread) is always absorbed by spinning; parking happens only at
+/// end of run or during long host-side pauses such as telemetry flushes.
+const SPIN_BUDGET: u32 = 1 << 14;
+
+/// `sched_yield` rounds a waiting worker takes after its spin budget and
+/// before parking on the condvar. Yielding hands the CPU to whichever
+/// thread the wait is actually for, so on an oversubscribed host this is
+/// the fast path; parking only happens when the gap outlasts many quanta.
+const YIELD_BUDGET: u32 = 1 << 6;
+
+/// Shared coordination state between the main thread and the workers.
+pub(crate) struct PoolCtl {
+    /// Compute-phase generation; a bump releases every worker once.
+    generation: AtomicU64,
+    /// Workers that have finished the current compute phase.
+    done: AtomicUsize,
+    /// Set once; workers exit at the next generation check.
+    shutdown: AtomicBool,
+    /// Park support for workers that exhausted their spin budget.
+    park_lock: Mutex<()>,
+    park_cv: Condvar,
+    /// Per-worker error slot: the lowest-core-id trap of the worker's
+    /// chunk this phase, if any.
+    errors: Vec<Mutex<Option<SimError>>>,
+    workers: usize,
+    /// Spin iterations before yielding: [`SPIN_BUDGET`] when the host has
+    /// a CPU for every pool thread plus the main thread, `0` when
+    /// oversubscribed — burning the only runnable CPU in a pause loop
+    /// while the peer we are waiting for sits unscheduled turns a
+    /// microsecond handoff into a scheduler quantum.
+    spin: u32,
+}
+
+impl PoolCtl {
+    /// Coordination state for `workers` pool threads (main not included).
+    pub fn new(workers: usize) -> Self {
+        Self {
+            generation: AtomicU64::new(0),
+            done: AtomicUsize::new(0),
+            shutdown: AtomicBool::new(false),
+            park_lock: Mutex::new(()),
+            park_cv: Condvar::new(),
+            errors: (0..workers).map(|_| Mutex::new(None)).collect(),
+            workers,
+            spin: std::thread::available_parallelism()
+                .map_or(0, |n| if n.get() > workers { SPIN_BUDGET } else { 0 }),
+        }
+    }
+
+    /// Number of pool threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Releases every worker into the next compute phase.
+    pub fn start_cycle(&self) {
+        self.done.store(0, Ordering::Release);
+        self.generation.fetch_add(1, Ordering::Release);
+        // Take the park lock before notifying: a worker only ever waits
+        // after re-checking the generation *under this lock*, so either it
+        // sees the bump above and skips the wait, or it is already waiting
+        // when the notification fires. No wakeup can be lost.
+        let _guard = self.park_lock.lock().expect("park lock not poisoned");
+        self.park_cv.notify_all();
+    }
+
+    /// Waits until every worker has finished the current compute phase:
+    /// spins within the host-sized budget, then yields so an oversubscribed
+    /// CPU goes to the workers being waited for.
+    pub fn wait_workers(&self) {
+        let mut spins = 0u32;
+        while self.done.load(Ordering::Acquire) < self.workers {
+            spins += 1;
+            if spins < self.spin {
+                std::hint::spin_loop();
+            } else {
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    /// Takes worker `w`'s recorded trap from the phase just finished.
+    pub fn take_error(&self, w: usize) -> Option<SimError> {
+        self.errors[w].lock().expect("error slot not poisoned").take()
+    }
+
+    /// Tells the workers to exit and wakes any that are parked.
+    pub fn shutdown(&self) {
+        self.shutdown.store(true, Ordering::Release);
+        let _guard = self.park_lock.lock().expect("park lock not poisoned");
+        self.park_cv.notify_all();
+    }
+}
+
+/// Body of one pool thread: waits for each compute-phase generation, ticks
+/// its contiguous chunk of cores against the RAM read-snapshot, records at
+/// most one trap (the chunk's lowest core id), and reports done.
+pub(crate) fn worker_loop(
+    ctl: &PoolCtl,
+    worker: usize,
+    cores: Range<usize>,
+    slots: &[Mutex<Core>],
+    ram: &RwLock<Ram>,
+) {
+    let mut seen = 0u64;
+    loop {
+        // Wait for the next generation: spin, then yield, then park.
+        let mut spins = 0u32;
+        loop {
+            if ctl.shutdown.load(Ordering::Acquire) {
+                return;
+            }
+            let generation = ctl.generation.load(Ordering::Acquire);
+            if generation != seen {
+                seen = generation;
+                break;
+            }
+            spins += 1;
+            if spins < ctl.spin {
+                std::hint::spin_loop();
+            } else if spins < ctl.spin.saturating_add(YIELD_BUDGET) {
+                std::thread::yield_now();
+            } else {
+                let guard = ctl.park_lock.lock().expect("park lock not poisoned");
+                // Re-check under the lock (see `PoolCtl::start_cycle`).
+                if ctl.shutdown.load(Ordering::Acquire)
+                    || ctl.generation.load(Ordering::Acquire) != seen
+                {
+                    continue;
+                }
+                // Spurious wakeups are fine: the outer loop re-checks.
+                drop(ctl.park_cv.wait(guard).expect("park wait not poisoned"));
+            }
+        }
+
+        // Compute phase for this worker's chunk. The slot mutexes are
+        // uncontended (each core belongs to exactly one thread, and the
+        // main thread only locks during the commit phase, after `done`).
+        {
+            let ram = ram.read().expect("ram lock not poisoned");
+            let mut err: Option<SimError> = None;
+            for cid in cores.clone() {
+                let mut core = slots[cid].lock().expect("core slot not poisoned");
+                if let Err(e) = core.tick(&ram) {
+                    if err.is_none() {
+                        err = Some(e);
+                    }
+                }
+            }
+            if let Some(e) = err {
+                *ctl.errors[worker].lock().expect("error slot not poisoned") = Some(e);
+            }
+        }
+        // The RAM read guard is dropped before signalling done, so the
+        // main thread's write lock in the commit phase cannot deadlock.
+        ctl.done.fetch_add(1, Ordering::Release);
+    }
+}

@@ -1,0 +1,197 @@
+//! Parallel ≡ sequential: the two-phase tick must make simulated cycles,
+//! every `GpuStats` counter, the final memory image, the telemetry time
+//! series, and each fault site's RNG draw count bit-identical at any
+//! `sim_threads` setting. These tests run one multi-core workload (global
+//! barriers, divergence, cross-core memory traffic) across
+//! `sim_threads ∈ {1, 2, 3, 8}` — 3 exercises uneven core chunking — and
+//! compare everything.
+
+use vortex_asm::Assembler;
+use vortex_core::{Gpu, GpuConfig, GpuStats};
+use vortex_faults::FaultConfig;
+use vortex_isa::{csr, vx, Reg};
+
+const ENTRY: u32 = 0x8000_0000;
+const NUM_CORES: usize = 8;
+const SLOTS: u32 = 0x9000;
+const RESULTS: u32 = 0x9400;
+
+/// A kernel that stresses the commit phase: every core lights up all its
+/// wavefronts and threads, each thread hammers a private global-memory
+/// counter (store→load traffic through the D$), odd threads take a
+/// divergent extra path, and wavefront 0 / thread 0 of every core runs
+/// two rounds of publish → fence → global barrier → sum-all-slots.
+fn kernel() -> Assembler {
+    let mut a = Assembler::new();
+    a.csrr(Reg::X5, csr::VX_NW);
+    a.la(Reg::X6, "worker");
+    a.wspawn(Reg::X5, Reg::X6);
+    a.j("worker");
+
+    a.label("worker").unwrap();
+    a.csrr(Reg::X5, csr::VX_NT);
+    a.tmc(Reg::X5);
+    // Per-thread: bump mem[SLOTS + 4*gtid] sixteen times through memory.
+    a.csrr(Reg::X6, csr::VX_GTID);
+    a.slli(Reg::X7, Reg::X6, 2);
+    a.li(Reg::X8, SLOTS as i32);
+    a.add(Reg::X7, Reg::X7, Reg::X8);
+    a.li(Reg::X9, 0); // loop counter
+    a.li(Reg::X10, 16);
+    a.label("bump").unwrap();
+    a.lw(Reg::X11, Reg::X7, 0);
+    a.addi(Reg::X11, Reg::X11, 1);
+    a.sw(Reg::X11, Reg::X7, 0);
+    a.addi(Reg::X9, Reg::X9, 1);
+    a.blt(Reg::X9, Reg::X10, "bump");
+    // Divergence: odd gtids add an extra 100 (split/join, IPDOM stack).
+    a.andi(Reg::X12, Reg::X6, 1);
+    a.split(Reg::X12);
+    a.beqz(Reg::X12, "even");
+    a.lw(Reg::X11, Reg::X7, 0);
+    a.addi(Reg::X11, Reg::X11, 100);
+    a.sw(Reg::X11, Reg::X7, 0);
+    a.label("even").unwrap();
+    a.join();
+    // Only wavefront 0, thread 0 of each core does the barrier rounds.
+    a.csrr(Reg::X13, csr::VX_WID);
+    a.csrr(Reg::X14, csr::VX_TID);
+    a.add(Reg::X13, Reg::X13, Reg::X14);
+    a.seqz(Reg::X13, Reg::X13);
+    a.split(Reg::X13);
+    a.beqz(Reg::X13, "done");
+    a.csrr(Reg::X15, csr::VX_CID);
+    a.li(Reg::X20, 0); // round
+    a.li(Reg::X21, 0); // accumulator
+    a.label("round").unwrap();
+    // results[cid] = accumulator so far; publish, sync, sum all slots.
+    a.slli(Reg::X16, Reg::X15, 2);
+    a.li(Reg::X17, RESULTS as i32);
+    a.add(Reg::X16, Reg::X16, Reg::X17);
+    a.addi(Reg::X18, Reg::X21, 7);
+    a.sw(Reg::X18, Reg::X16, 0);
+    a.fence();
+    a.li(Reg::X22, vx::BAR_GLOBAL_BIT as i32);
+    a.add(Reg::X22, Reg::X22, Reg::X20);
+    a.li(Reg::X23, NUM_CORES as i32);
+    a.bar(Reg::X22, Reg::X23);
+    a.li(Reg::X24, RESULTS as i32);
+    for i in 0..NUM_CORES as i32 {
+        a.lw(Reg::X25, Reg::X24, i * 4);
+        a.add(Reg::X21, Reg::X21, Reg::X25);
+    }
+    a.li(Reg::X22, vx::BAR_GLOBAL_BIT as i32);
+    a.addi(Reg::X22, Reg::X22, 4);
+    a.add(Reg::X22, Reg::X22, Reg::X20);
+    a.li(Reg::X23, NUM_CORES as i32);
+    a.bar(Reg::X22, Reg::X23);
+    a.addi(Reg::X20, Reg::X20, 1);
+    a.li(Reg::X26, 2);
+    a.blt(Reg::X20, Reg::X26, "round");
+    // Final per-core answer.
+    a.sw(Reg::X21, Reg::X16, 4 * NUM_CORES as i32);
+    a.label("done").unwrap();
+    a.join();
+    a.ecall();
+    a
+}
+
+struct RunOutcome {
+    stats: GpuStats,
+    mem: Vec<u8>,
+    series: Option<vortex_core::TimeSeries>,
+    fault_draws: Vec<u64>,
+}
+
+/// Runs [`kernel`] on an 8-core GPU with the given host-thread count and
+/// optional fault injection / telemetry sampling, returning everything
+/// that must be invariant across `sim_threads`.
+fn run_with(sim_threads: usize, faults: Option<&FaultConfig>, sample: u64) -> RunOutcome {
+    let prog = kernel().assemble(ENTRY).expect("kernel assembles");
+    let mut config = GpuConfig::with_cores(NUM_CORES);
+    config.sim_threads = sim_threads;
+    config.sample_interval = sample;
+    // Injected DRAM delays can stretch quiet periods; keep the watchdog
+    // well clear of them (same margin as the fault-matrix harness).
+    config.watchdog_cycles = 50_000;
+    let mut gpu = Gpu::new(config);
+    if let Some(f) = faults {
+        gpu.apply_faults(f);
+    }
+    gpu.ram.write_bytes(prog.base, &prog.to_bytes());
+    gpu.launch(prog.entry);
+    let stats = gpu.run(5_000_000).expect("kernel completes");
+    let mem = (SLOTS..RESULTS + 4 * (NUM_CORES as u32 + 1))
+        .map(|addr| gpu.ram.read_u8(addr))
+        .collect();
+    RunOutcome {
+        stats,
+        mem,
+        series: gpu.time_series().cloned(),
+        fault_draws: gpu.fault_draws(),
+    }
+}
+
+/// Asserts two outcomes are bit-identical, with a readable label.
+fn assert_same(label: &str, a: &RunOutcome, b: &RunOutcome) {
+    assert_eq!(a.stats.cycles, b.stats.cycles, "{label}: cycle count");
+    assert_eq!(a.stats, b.stats, "{label}: GpuStats");
+    assert_eq!(a.mem, b.mem, "{label}: final memory image");
+    assert_eq!(a.series, b.series, "{label}: telemetry time series");
+    assert_eq!(a.fault_draws, b.fault_draws, "{label}: fault-site draws");
+}
+
+#[test]
+fn stats_bit_identical_across_sim_threads() {
+    let baseline = run_with(1, None, 0);
+    // The kernel itself must have done its work (not trivially empty).
+    let total = u32::from_le_bytes(baseline.mem[0..4].try_into().unwrap());
+    assert_eq!(total, 16, "gtid 0 bumped its slot 16 times");
+    assert!(baseline.stats.cycles > 0);
+    for threads in [2, 3, 8] {
+        let run = run_with(threads, None, 0);
+        assert_same(&format!("sim_threads {threads} vs 1"), &baseline, &run);
+    }
+}
+
+#[test]
+fn fault_injection_bit_identical_across_sim_threads() {
+    // Non-fatal fault classes only (drops would hang by design); rates
+    // high enough that every site's stream is actually consumed.
+    let faults = FaultConfig::from_spec(
+        "seed=1234,elastic_stall=300,dram_stall=400,dram_delay=500,\
+         dram_extra_latency=40,cache_rsp_stall=300",
+    )
+    .expect("valid spec");
+    let baseline = run_with(1, Some(&faults), 0);
+    assert!(
+        baseline.fault_draws.iter().sum::<u64>() > 0,
+        "fault sites must actually consume their decision streams"
+    );
+    for threads in [2, 3, 8] {
+        let run = run_with(threads, Some(&faults), 0);
+        assert_same(
+            &format!("faulted sim_threads {threads} vs 1"),
+            &baseline,
+            &run,
+        );
+    }
+}
+
+#[test]
+fn telemetry_sampling_bit_identical_across_sim_threads() {
+    let baseline = run_with(1, None, 64);
+    let series = baseline.series.as_ref().expect("sampling enabled");
+    assert!(!series.samples.is_empty(), "run is long enough to sample");
+    for threads in [2, 8] {
+        let run = run_with(threads, None, 64);
+        assert_same(
+            &format!("sampled sim_threads {threads} vs 1"),
+            &baseline,
+            &run,
+        );
+    }
+    // Sampling itself must not perturb simulation: unsampled run agrees.
+    let unsampled = run_with(2, None, 0);
+    assert_eq!(unsampled.stats, baseline.stats, "sampling is read-only");
+}

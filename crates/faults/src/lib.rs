@@ -71,6 +71,7 @@ impl FaultConfig {
         FaultPlan {
             cfg: *self,
             state: splitmix(self.seed ^ site.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ 0x5EED_F417),
+            draws: 0,
         }
     }
 
@@ -192,6 +193,8 @@ fn splitmix(mut z: u64) -> u64 {
 pub struct FaultPlan {
     cfg: FaultConfig,
     state: u64,
+    /// Decisions drawn from the stream so far (see [`FaultPlan::draws`]).
+    draws: u64,
 }
 
 impl FaultPlan {
@@ -200,7 +203,18 @@ impl FaultPlan {
         &self.cfg
     }
 
+    /// How many decisions this plan has drawn. Because a plan's stream
+    /// position fully determines every future decision, equal draw counts
+    /// at equal simulation points are a sufficient audit that two runs
+    /// (e.g. at different host thread counts) consumed each per-site
+    /// stream identically — the parallel simulator's determinism test
+    /// compares these across `sim_threads` settings.
+    pub fn draws(&self) -> u64 {
+        self.draws
+    }
+
     fn next(&mut self) -> u64 {
+        self.draws += 1;
         self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
         splitmix(self.state)
     }

@@ -393,6 +393,12 @@ impl Cache {
         self.fault = Some(plan);
     }
 
+    /// Decisions drawn from the attached fault plan so far (0 when no plan
+    /// is attached) — input to the per-site determinism audit.
+    pub fn fault_draws(&self) -> u64 {
+        self.fault.as_ref().map_or(0, FaultPlan::draws)
+    }
+
     /// Core requests currently parked in MSHRs waiting on fills, summed
     /// across banks. Cheaper than a full [`Cache::occupancy`] walk; the
     /// telemetry sampler reads this once per window.

@@ -78,6 +78,12 @@ impl Dram {
         self.fault = Some(plan);
     }
 
+    /// Decisions drawn from the controller's fault plan plus its input
+    /// queue's handshake plan — input to the per-site determinism audit.
+    pub fn fault_draws(&self) -> u64 {
+        self.fault.as_ref().map_or(0, FaultPlan::draws) + self.input.fault_draws()
+    }
+
     /// Attempts to enqueue a request; fails (backpressure) when the input
     /// queue is full.
     pub fn push_req(&mut self, req: MemReq) -> Result<(), MemReq> {

@@ -113,6 +113,12 @@ impl<T> Queue<T> {
     pub fn clear(&mut self) {
         self.items.clear();
     }
+
+    /// Decisions drawn from the attached fault plan so far (0 when no plan
+    /// is attached) — input to the per-site determinism audit.
+    pub fn fault_draws(&self) -> u64 {
+        self.fault.as_ref().map_or(0, FaultPlan::draws)
+    }
 }
 
 /// A single-entry pipeline register with elastic semantics: a stage that

@@ -453,6 +453,16 @@ impl MemHierarchy {
         }
     }
 
+    /// Decisions drawn across every fault plan attached above the L1s
+    /// (DRAM + shared cache levels) — input to the per-site determinism
+    /// audit: equal totals at equal simulation points mean the shared
+    /// hierarchy consumed its decision streams identically.
+    pub fn fault_draws(&self) -> u64 {
+        self.dram.fault_draws()
+            + self.l2.iter().map(|l| l.cache.fault_draws()).sum::<u64>()
+            + self.l3.as_ref().map_or(0, |l| l.cache.fault_draws())
+    }
+
     /// Queue depths across the whole hierarchy, for hang diagnosis.
     pub fn occupancy(&self) -> HierarchyOccupancy {
         let (dram_input, dram_in_flight, dram_responses) = self.dram.occupancy();

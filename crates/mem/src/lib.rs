@@ -38,6 +38,7 @@ pub mod hierarchy;
 pub mod mshr;
 pub mod ram;
 pub mod req;
+pub mod shadow;
 pub mod smem;
 
 pub use cache::{Cache, CacheConfig, CacheOccupancy, CacheStats};
@@ -45,4 +46,5 @@ pub use dram::{Dram, DramConfig};
 pub use hierarchy::{HierarchyConfig, HierarchyOccupancy, MemHierarchy};
 pub use ram::Ram;
 pub use req::{MemReq, MemRsp, Tag};
+pub use shadow::{RamView, WriteLog};
 pub use smem::{SharedMem, SharedMemConfig};

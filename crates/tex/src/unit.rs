@@ -178,6 +178,12 @@ impl TexUnit {
         self.fault = Some(plan);
     }
 
+    /// Decisions drawn from the attached fault plan so far (0 when no plan
+    /// is attached) — input to the per-site determinism audit.
+    pub fn fault_draws(&self) -> u64 {
+        self.fault.as_ref().map_or(0, FaultPlan::draws)
+    }
+
     /// `true` if a new `tex` instruction can be accepted this cycle.
     pub fn can_accept(&self) -> bool {
         !self.input.is_full()

@@ -1,6 +1,6 @@
 //! Graphics: render two textured, depth-tested triangles through the full
 //! pipeline — host geometry + binning, device rasterization with the
-//! hardware `tex` instruction — and write the frame to `frame.ppm`.
+//! hardware `tex` instruction — and write the frame to `target/frame.ppm`.
 //!
 //! ```sh
 //! cargo run --release --example graphics
@@ -59,9 +59,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             fb.depth[i] = fb_tri.depth[i];
         }
     }
-    std::fs::write("frame.ppm", fb.to_ppm())?;
+    // Keep run artifacts out of the repo root: target/ is already
+    // build-output territory (and gitignored).
+    std::fs::create_dir_all("target")?;
+    std::fs::write("target/frame.ppm", fb.to_ppm())?;
     println!(
-        "wrote frame.ppm ({}x{}, {:.0}% covered, checksum {:#018x})",
+        "wrote target/frame.ppm ({}x{}, {:.0}% covered, checksum {:#018x})",
         fb.width,
         fb.height,
         fb.coverage(Rgba8::new(16, 16, 32, 255)) * 100.0,
