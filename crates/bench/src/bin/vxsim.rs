@@ -5,7 +5,9 @@
 //! cargo run --release -p vortex-bench --bin vxsim -- kernel.s \
 //!     [--cores N] [--warps W] [--threads T] [--ports P] [--trace N] [--disasm] \
 //!     [--sample N] [--stats-json FILE] [--timeline FILE] [--trace-out FILE] \
-//!     [--inject seed=S,dram_drop=R,...] [--sim-threads N]
+//!     [--inject seed=S,dram_drop=R,...] [--sim-threads N] \
+//!     [--checkpoint-every N] [--checkpoint-dir DIR] [--resume FILE] \
+//!     [--resume-retry N]
 //! ```
 //!
 //! `--inject` enables deterministic fault injection; the spec is a
@@ -16,13 +18,44 @@
 //! * `--sample N` snapshots per-core counter deltas every N cycles into a
 //!   time series (exported by `--stats-json` / `--timeline`);
 //! * `--stats-json FILE` writes the final `GpuStats` (plus the time
-//!   series, when sampled) as JSON — also on TIMEOUT/HANG/TRAP, where the
-//!   partial counters are the diagnosis;
+//!   series, when sampled, and the recovery report, when rollbacks
+//!   happened) as JSON — also on TIMEOUT/HANG/TRAP, where the partial
+//!   counters are the diagnosis;
 //! * `--timeline FILE` writes a Chrome/Perfetto `trace_event` JSON
 //!   timeline built from the instruction trace (enable with `--trace N`),
-//!   counter tracks from `--sample`, and watchdog instants on a hang;
+//!   counter tracks from `--sample`, watchdog instants on a hang, and
+//!   recovery-rollback instants;
 //! * `--trace-out FILE` redirects the instruction-trace dump, which
 //!   otherwise goes to stderr so it never interleaves with the report.
+//!
+//! Checkpoint/restore (crash safety):
+//! * `--checkpoint-every N` pauses the simulation every N cycles and
+//!   writes the complete machine state (architectural state, memory
+//!   image, fault-plan positions, telemetry) to a versioned, checksummed
+//!   snapshot `ckpt-<cycle>.vxsnap` under `--checkpoint-dir` (default
+//!   `.`). A run interrupted at any checkpoint boundary and resumed is
+//!   bit-identical to an uninterrupted run.
+//! * `--resume FILE` restores a snapshot instead of booting the kernel
+//!   image. The command line must rebuild the same configuration (same
+//!   `--cores/--warps/...` and `--inject`) — a mismatch is refused with a
+//!   structured error, never undefined behavior.
+//! * `--resume-retry N` arms watchdog-triggered auto-recovery: on a hang,
+//!   roll back to the last good checkpoint, mask fault injection, and
+//!   re-execute, up to N times. Every rollback is recorded in a recovery
+//!   report (stdout, stats JSON, timeline instants). Hang detection
+//!   happens inside each checkpoint chunk, so `--checkpoint-every` should
+//!   exceed the watchdog window (it is rounded up with a warning
+//!   otherwise).
+//!
+//! Exit codes (stable, for scripting):
+//! * `0` — PASS; `1` — host I/O error; `2` — usage error;
+//! * `10` — HANG (watchdog declared no forward progress);
+//! * `11` — TRAP (divergence misuse, illegal instruction, ...);
+//! * `12` — BAD ACCESS (reserved for the runtime driver's bounds faults;
+//!   raw `vxsim` kernels fault through the trap path instead);
+//! * `13` — SNAPSHOT CORRUPT (`--resume` file truncated, checksum
+//!   mismatch, wrong version, or taken under a different configuration);
+//! * `14` — TIMEOUT (cycle budget exhausted while still making progress).
 //!
 //! The program boots like real Vortex: every core starts wavefront 0,
 //! thread 0 at the image base; use `wspawn`/`tmc` (or the `emit_spawn_tasks`
@@ -32,23 +65,46 @@ use std::io::Write as _;
 use vortex_asm::parse_asm;
 use vortex_core::{CoreConfig, Gpu, GpuConfig, SimError};
 use vortex_faults::FaultConfig;
-use vortex_obs::Timeline;
+use vortex_obs::{RecoveryAttempt, RecoveryReport, Timeline};
 use vortex_runtime::abi;
+
+/// Host-side I/O failure (unreadable kernel, unwritable artifact).
+const EXIT_IO: i32 = 1;
+/// Command-line usage error.
+const EXIT_USAGE: i32 = 2;
+/// The watchdog declared a hang and no retry budget remained.
+const EXIT_HANG: i32 = 10;
+/// The pipeline raised a structured trap.
+const EXIT_TRAP: i32 = 11;
+/// Reserved: the runtime driver's out-of-bounds buffer faults. Raw
+/// `vxsim` kernels have no driver-tracked buffers, so this code is
+/// documented here for tools sharing the convention but never produced
+/// by this binary.
+#[allow(dead_code)]
+const EXIT_BAD_ACCESS: i32 = 12;
+/// A `--resume` snapshot could not be restored.
+const EXIT_SNAPSHOT_CORRUPT: i32 = 13;
+/// The cycle budget ran out while the machine was still making progress.
+const EXIT_TIMEOUT: i32 = 14;
 
 fn usage() -> ! {
     eprintln!(
         "usage: vxsim <kernel.s> [--cores N] [--warps W] [--threads T] \
          [--ports P] [--trace N] [--disasm] [--max-cycles N] \
          [--sample N] [--stats-json FILE] [--timeline FILE] \
-         [--trace-out FILE] [--inject k=v,...] [--sim-threads N]"
+         [--trace-out FILE] [--inject k=v,...] [--sim-threads N] \
+         [--checkpoint-every N] [--checkpoint-dir DIR] [--resume FILE] \
+         [--resume-retry N]\n\
+         exit codes: 0 pass, 1 io, 2 usage, 10 hang, 11 trap, \
+         12 bad-access (reserved), 13 snapshot-corrupt, 14 timeout"
     );
-    std::process::exit(2);
+    std::process::exit(EXIT_USAGE);
 }
 
 fn write_file(path: &str, what: &str, contents: &str) {
     if let Err(e) = std::fs::write(path, contents) {
         eprintln!("cannot write {what} {path}: {e}");
-        std::process::exit(1);
+        std::process::exit(EXIT_IO);
     }
 }
 
@@ -71,6 +127,10 @@ fn main() {
     let mut stats_json: Option<String> = None;
     let mut timeline_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
+    let mut checkpoint_every = 0u64;
+    let mut checkpoint_dir = ".".to_string();
+    let mut resume: Option<String> = None;
+    let mut resume_retry = 0u32;
     let mut faults = FaultConfig::off();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -91,6 +151,10 @@ fn main() {
             "--max-cycles" => max_cycles = num("--max-cycles") as u64,
             "--sample" => sample = num("--sample") as u64,
             "--sim-threads" => sim_threads = Some(num("--sim-threads")),
+            "--checkpoint-every" => checkpoint_every = num("--checkpoint-every") as u64,
+            "--resume-retry" => resume_retry = num("--resume-retry") as u32,
+            "--checkpoint-dir" => checkpoint_dir = take_path(&mut it, "--checkpoint-dir"),
+            "--resume" => resume = Some(take_path(&mut it, "--resume")),
             "--stats-json" => stats_json = Some(take_path(&mut it, "--stats-json")),
             "--timeline" => timeline_out = Some(take_path(&mut it, "--timeline")),
             "--trace-out" => trace_out = Some(take_path(&mut it, "--trace-out")),
@@ -114,11 +178,11 @@ fn main() {
     let Some(file) = file else { usage() };
     let source = std::fs::read_to_string(&file).unwrap_or_else(|e| {
         eprintln!("cannot read {file}: {e}");
-        std::process::exit(1);
+        std::process::exit(EXIT_IO);
     });
     let program = parse_asm(&source, abi::CODE_BASE).unwrap_or_else(|e| {
         eprintln!("assembly error: {e}");
-        std::process::exit(1);
+        std::process::exit(EXIT_IO);
     });
     if disasm {
         println!("{}", program.disassemble());
@@ -135,17 +199,133 @@ fn main() {
     if let Some(n) = sim_threads {
         config.sim_threads = n;
     }
+    // Hang detection runs inside each checkpoint chunk; a chunk shorter
+    // than the watchdog window would never accumulate a full window, so
+    // round the interval up rather than silently disarm the watchdog.
+    if checkpoint_every > 0 && config.watchdog_cycles > checkpoint_every {
+        eprintln!(
+            "note: --checkpoint-every {checkpoint_every} is shorter than the \
+             watchdog window ({}); using the window instead",
+            config.watchdog_cycles
+        );
+        checkpoint_every = config.watchdog_cycles;
+    }
     let mut gpu = Gpu::new(config);
     gpu.apply_faults(&faults);
-    gpu.ram.write_bytes(program.base, &program.to_bytes());
+    // Recent checkpoints the recovery policy can roll back to, newest
+    // last. A stack rather than a single slot: the watchdog declares a
+    // hang up to two windows after progress actually stopped, so the
+    // newest checkpoint may already contain the latched failure (e.g. a
+    // dropped DRAM response that will never arrive). Each rollback pops —
+    // a retry that fails again automatically reaches one checkpoint
+    // further back.
+    let mut good: Vec<(u64, Vec<u8>)> = Vec::new();
+    const KEPT_CHECKPOINTS: usize = 8;
+    match &resume {
+        Some(path) => {
+            // The snapshot carries the full memory image, fault-plan
+            // positions, and telemetry; nothing is booted here. The
+            // configuration (rebuilt from the command line above) is
+            // checked against the snapshot's fingerprint on restore.
+            let bytes = std::fs::read(path).unwrap_or_else(|e| {
+                eprintln!("cannot read snapshot {path}: {e}");
+                std::process::exit(EXIT_IO);
+            });
+            if let Err(e) = gpu.restore_snapshot(&bytes) {
+                eprintln!("SNAPSHOT CORRUPT: {e}");
+                std::process::exit(EXIT_SNAPSHOT_CORRUPT);
+            }
+            good.push((gpu.cycle(), bytes));
+        }
+        None => {
+            gpu.ram.write_bytes(program.base, &program.to_bytes());
+            gpu.launch(program.entry);
+            if resume_retry > 0 {
+                // The boot state is the floor of the rollback stack: a
+                // failure that latched before the oldest surviving
+                // periodic checkpoint can still replay from cycle 0 with
+                // faults masked instead of exhausting the stack and
+                // giving up.
+                good.push((0, gpu.save_snapshot()));
+            }
+        }
+    }
     if trace > 0 {
         for c in 0..cores {
             gpu.core_mut(c).trace =
                 vortex_core::trace::Trace::with_capacity_for(trace, threads);
         }
     }
-    gpu.launch(program.entry);
-    let outcome = gpu.run(max_cycles);
+    if checkpoint_every > 0 {
+        if let Err(e) = std::fs::create_dir_all(&checkpoint_dir) {
+            eprintln!("cannot create checkpoint dir {checkpoint_dir}: {e}");
+            std::process::exit(EXIT_IO);
+        }
+    }
+
+    // The run loop: with checkpointing off this is a single `run` to the
+    // budget; with it on, the budget is covered in checkpoint-interval
+    // chunks, each pause writing a snapshot any later invocation can
+    // `--resume` from with bit-identical results. A hang with retry
+    // budget left rolls back to the last good snapshot, masks fault
+    // injection (deterministic replay would otherwise fail identically),
+    // and re-executes.
+    let mut recovery = RecoveryReport::default();
+    let mut retries_left = resume_retry;
+    let outcome = loop {
+        let target = if checkpoint_every > 0 {
+            ((gpu.cycle() / checkpoint_every + 1) * checkpoint_every).min(max_cycles)
+        } else {
+            max_cycles
+        };
+        match gpu.run(target) {
+            Err(SimError::Timeout { cycles }) if cycles < max_cycles => {
+                // A checkpoint boundary, not a real timeout: persist and
+                // keep going.
+                let snap = gpu.save_snapshot();
+                let path = format!("{checkpoint_dir}/ckpt-{cycles}.vxsnap");
+                if let Err(e) = std::fs::write(&path, &snap) {
+                    eprintln!("cannot write checkpoint {path}: {e}");
+                    std::process::exit(EXIT_IO);
+                }
+                if good.len() == KEPT_CHECKPOINTS {
+                    good.remove(0);
+                }
+                good.push((cycles, snap));
+            }
+            Err(SimError::Hang(report)) if retries_left > 0 && !good.is_empty() => {
+                let (ck_cycle, snap) = good.pop().expect("checked above");
+                retries_left -= 1;
+                recovery.attempts.push(RecoveryAttempt {
+                    attempt: recovery.attempts.len() as u32 + 1,
+                    failure_cycle: report.cycle,
+                    restored_cycle: ck_cycle,
+                    cause: format!(
+                        "hang: no forward progress for {} cycles",
+                        report.window
+                    ),
+                    faults_masked: true,
+                });
+                eprintln!(
+                    "HANG at cycle {}; rolling back to checkpoint at cycle \
+                     {ck_cycle} ({} retr{} left)",
+                    report.cycle,
+                    retries_left,
+                    if retries_left == 1 { "y" } else { "ies" }
+                );
+                if let Err(e) = gpu.restore_snapshot(&snap) {
+                    eprintln!("SNAPSHOT CORRUPT during rollback: {e}");
+                    std::process::exit(EXIT_SNAPSHOT_CORRUPT);
+                }
+                gpu.clear_faults();
+            }
+            other => break other,
+        }
+    };
+    recovery.recovered = outcome.is_ok();
+    if !recovery.is_empty() {
+        eprintln!("{recovery}");
+    }
     // Dump the trace on *every* outcome: on HANG/TRAP/TIMEOUT the last
     // instructions before the machine stopped are exactly what is needed.
     // Default sink is stderr so the trace never interleaves with the
@@ -165,7 +345,12 @@ fn main() {
     // The stats snapshot is valid on every outcome; on an abnormal stop
     // the partial counters (plus the sampled series) are the diagnosis.
     if let Some(path) = &stats_json {
-        let doc = vortex_obs::render_stats(&file, &gpu.stats(), gpu.time_series());
+        let doc = vortex_obs::render_stats_with_recovery(
+            &file,
+            &gpu.stats(),
+            gpu.time_series(),
+            Some(&recovery),
+        );
         write_file(path, "stats JSON", &doc);
     }
     if let Some(path) = &timeline_out {
@@ -179,6 +364,7 @@ fn main() {
         if let Err(SimError::Hang(report)) = &outcome {
             tl.add_hang_report(report);
         }
+        tl.add_recovery_report(&recovery);
         write_file(path, "timeline", &tl.render());
     }
     match outcome {
@@ -218,13 +404,14 @@ fn main() {
             }
         }
         Err(e) => {
-            let label = match &e {
-                SimError::Timeout { .. } => "TIMEOUT",
-                SimError::Hang(_) => "HANG",
-                _ => "TRAP",
+            let (label, code) = match &e {
+                SimError::Timeout { .. } => ("TIMEOUT", EXIT_TIMEOUT),
+                SimError::Hang(_) => ("HANG", EXIT_HANG),
+                SimError::SnapshotCorrupt(_) => ("SNAPSHOT CORRUPT", EXIT_SNAPSHOT_CORRUPT),
+                _ => ("TRAP", EXIT_TRAP),
             };
             eprintln!("{label}: {e}");
-            std::process::exit(1);
+            std::process::exit(code);
         }
     }
 }

@@ -165,6 +165,16 @@ pub struct GpuConfig {
     /// setting (see `Gpu::run`). Clamped to the core count at run time.
     /// [`GpuConfig::with_cores`] seeds this from `VORTEX_SIM_THREADS`.
     pub sim_threads: usize,
+    /// Checkpoint *drill* interval in cycles: when non-zero, `Gpu::run`
+    /// kills and resurrects the machine every `checkpoint_drill` cycles —
+    /// serialize with `Gpu::save_snapshot`, rebuild a fresh `Gpu` from
+    /// this configuration, restore, continue. A host-side exercise of the
+    /// crash-recovery path (used by the CI snapshot smoke job to prove the
+    /// gate workloads' cycle counts survive interruption); simulated
+    /// behavior is bit-identical on or off, like `sim_threads` it never
+    /// enters the snapshot fingerprint. `0` (the default) disables the
+    /// drill at the cost of one branch per `run` call.
+    pub checkpoint_drill: u64,
 }
 
 impl GpuConfig {
@@ -188,6 +198,7 @@ impl GpuConfig {
             watchdog_cycles: 10_000,
             sample_interval: 0,
             sim_threads: sim_threads_from_env(),
+            checkpoint_drill: 0,
         }
     }
 

@@ -1050,4 +1050,209 @@ impl Core {
     pub fn regs(&self) -> &RegFile {
         &self.regs
     }
+
+    /// Detaches every fault plan from this core's components and re-enables
+    /// the drained-core fast path (recovery masking: after a rollback the
+    /// retry re-runs the remaining cycles fault-free).
+    pub fn clear_faults(&mut self) {
+        self.icache.clear_fault();
+        self.dcache.clear_fault();
+        self.tex_unit.clear_fault();
+        self.has_faults = false;
+    }
+
+    /// Appends the core's complete simulation state: architectural state
+    /// (wavefronts, registers, scoreboards, CSRs, barriers), every pipeline
+    /// and memory-side structure in flight, fault-plan positions (inside
+    /// the component states) and the performance counters.
+    ///
+    /// Structural geometry (wavefront count, cache shapes, LSU depth) is
+    /// construction state derived from the configuration and is *not*
+    /// serialized — restore validates occupancies against it instead of
+    /// trusting the payload. Host-side scratch (decode memo, exec pool,
+    /// fetch-request buffer, trace) is behavior-invisible and skipped.
+    /// Decoded ibuffer instructions are stored as their 32-bit encodings
+    /// and re-decoded on restore.
+    pub fn save_state(&self, w: &mut vortex_snapshot::Writer) {
+        use vortex_snapshot::Snap;
+        for wf in &self.wavefronts {
+            wf.save_state(w);
+        }
+        self.scheduler.save_state(w);
+        self.regs.save_state(w);
+        self.scoreboard.save_state(w);
+        self.csrf.save_state(w);
+        self.barriers.save_state(w);
+        self.icache.save_state(w);
+        self.dcache.save_state(w);
+        self.smem.save_state(w);
+        self.tex_unit.save_state(w);
+        self.lsu.save_state(w);
+        for fp in &self.fetch_pending {
+            fp.save(w);
+        }
+        for buf in &self.ibuffer {
+            w.usize(buf.len());
+            for &(ref instr, pc, _need) in buf {
+                w.u32(vortex_isa::encode(instr));
+                w.u32(pc);
+            }
+        }
+        for &b in &self.cf_block {
+            w.bool(b);
+        }
+        self.fast_fetch.save(w);
+        w.usize(self.issue_rr);
+        self.completions.save(w);
+        w.u64(self.div_busy_until);
+        w.u64(self.fdiv_busy_until);
+        w.u64(self.fsqrt_busy_until);
+        self.fence_waiters.save(w);
+        self.global_barrier_out.save(w);
+        // HashMap iteration order is nondeterministic; sort by tag so the
+        // snapshot bytes are a pure function of the simulated state.
+        let mut tex_dest: Vec<(Tag, usize, u8)> = self
+            .tex_dest
+            .iter()
+            .map(|(&tag, &(wid, reg))| (tag, wid, reg.0))
+            .collect();
+        tex_dest.sort_unstable_by_key(|&(tag, _, _)| tag);
+        w.usize(tex_dest.len());
+        for (tag, wid, reg) in tex_dest {
+            w.u64(tag);
+            w.usize(wid);
+            w.u8(reg);
+        }
+        w.u64(self.next_tex_tag);
+        self.tex_mem_pending.save(w);
+        self.store_log.save_state(w);
+        w.u64(self.cycle);
+        w.bool(self.drained);
+        w.bool(self.has_faults);
+        self.stats.save(w);
+    }
+
+    /// Restores the core in place from a payload written by
+    /// [`Core::save_state`] on an identically-configured core.
+    ///
+    /// # Errors
+    /// Structured [`vortex_snapshot::SnapError`]s (never a panic) when the
+    /// payload is malformed or violates a structural invariant — e.g. a
+    /// wavefront index out of range or an undecodable ibuffer word. On
+    /// error the core may be partially restored and must be discarded.
+    pub fn restore_state(
+        &mut self,
+        r: &mut vortex_snapshot::Reader<'_>,
+    ) -> vortex_snapshot::SnapResult<()> {
+        use vortex_snapshot::{Snap, SnapError};
+        let nw = self.config.num_wavefronts;
+        for wf in &mut self.wavefronts {
+            wf.restore_state(r)?;
+        }
+        self.scheduler.restore_state(r)?;
+        self.regs.restore_state(r)?;
+        self.scoreboard.restore_state(r)?;
+        self.csrf.restore_state(r)?;
+        self.barriers.restore_state(r)?;
+        self.icache.restore_state(r)?;
+        self.dcache.restore_state(r)?;
+        self.smem.restore_state(r)?;
+        self.tex_unit.restore_state(r)?;
+        self.lsu.restore_state(r)?;
+        for fp in &mut self.fetch_pending {
+            *fp = Option::<u32>::load(r)?;
+        }
+        for buf in &mut self.ibuffer {
+            let n = r.len(8)?;
+            if n > Self::IBUFFER_DEPTH {
+                return Err(SnapError::BadValue("ibuffer depth"));
+            }
+            buf.clear();
+            for _ in 0..n {
+                let word = r.u32()?;
+                let pc = r.u32()?;
+                let instr = vortex_isa::decode(word)
+                    .map_err(|_| SnapError::BadValue("ibuffer instruction"))?;
+                let need = Self::hazard_mask(&instr);
+                buf.push_back((instr, pc, need));
+            }
+        }
+        for b in &mut self.cf_block {
+            *b = r.bool()?;
+        }
+        self.fast_fetch = Snap::load(r)?;
+        if self.fast_fetch.iter().any(|&(_, wid, _)| wid >= nw) {
+            return Err(SnapError::BadValue("fast-fetch wavefront"));
+        }
+        self.issue_rr = r.usize()?;
+        if self.issue_rr >= nw {
+            return Err(SnapError::BadValue("issue pointer"));
+        }
+        self.completions = Snap::load(r)?;
+        if self.completions.iter().any(|c| c.wid >= nw) {
+            return Err(SnapError::BadValue("completion wavefront"));
+        }
+        self.div_busy_until = r.u64()?;
+        self.fdiv_busy_until = r.u64()?;
+        self.fsqrt_busy_until = r.u64()?;
+        self.fence_waiters = Snap::load(r)?;
+        if self.fence_waiters.iter().any(|&wid| wid >= nw) {
+            return Err(SnapError::BadValue("fence waiter"));
+        }
+        self.global_barrier_out = Snap::load(r)?;
+        if self.global_barrier_out.iter().any(|a| a.wid >= nw) {
+            return Err(SnapError::BadValue("global-barrier wavefront"));
+        }
+        let n = r.len(8 + 8 + 1)?;
+        self.tex_dest.clear();
+        for _ in 0..n {
+            let tag = r.u64()?;
+            let wid = r.usize()?;
+            let reg = r.u8()?;
+            if wid >= nw || reg >= 64 {
+                return Err(SnapError::BadValue("texture destination"));
+            }
+            self.tex_dest.insert(tag, (wid, RegId(reg)));
+        }
+        self.next_tex_tag = r.u64()?;
+        self.tex_mem_pending = Snap::load(r)?;
+        self.store_log.restore_state(r)?;
+        self.cycle = r.u64()?;
+        self.drained = r.bool()?;
+        self.has_faults = r.bool()?;
+        self.stats = Snap::load(r)?;
+        // Host-side scratch: rebuilt lazily, never part of simulated state.
+        self.fetch_req.clear();
+        Ok(())
+    }
+}
+
+impl vortex_snapshot::Snap for Completion {
+    fn save(&self, w: &mut vortex_snapshot::Writer) {
+        w.u64(self.ready);
+        w.usize(self.wid);
+        self.wb.save(w);
+    }
+    fn load(r: &mut vortex_snapshot::Reader<'_>) -> vortex_snapshot::SnapResult<Self> {
+        Ok(Self {
+            ready: r.u64()?,
+            wid: r.usize()?,
+            wb: vortex_snapshot::Snap::load(r)?,
+        })
+    }
+}
+
+impl vortex_snapshot::Snap for GlobalBarrierArrival {
+    fn save(&self, w: &mut vortex_snapshot::Writer) {
+        w.u32(self.id);
+        w.usize(self.wid);
+        w.u32(self.count);
+    }
+    fn load(r: &mut vortex_snapshot::Reader<'_>) -> vortex_snapshot::SnapResult<Self> {
+        Ok(Self {
+            id: r.u32()?,
+            wid: r.usize()?,
+            count: r.u32()?,
+        })
+    }
 }

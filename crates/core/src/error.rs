@@ -65,6 +65,10 @@ pub enum SimError {
         /// The raw instruction word.
         word: u32,
     },
+    /// A snapshot could not be restored: truncated, corrupted, produced by
+    /// an incompatible simulator version, or taken under a different
+    /// configuration. Carries the decode-layer diagnosis.
+    SnapshotCorrupt(String),
 }
 
 impl fmt::Display for SimError {
@@ -99,6 +103,9 @@ impl fmt::Display for SimError {
                 "core {core} wavefront {wid}: illegal instruction \
                  {word:#010x} at {pc:#010x}"
             ),
+            Self::SnapshotCorrupt(reason) => {
+                write!(f, "snapshot cannot be restored: {reason}")
+            }
         }
     }
 }

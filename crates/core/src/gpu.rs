@@ -361,6 +361,33 @@ impl Gpu {
     /// scoped worker pool while commit stays serial — results are
     /// bit-identical to `sim_threads = 1`, only wall-clock changes.
     pub fn run(&mut self, max_cycles: u64) -> Result<GpuStats, SimError> {
+        let drill = self.config.checkpoint_drill;
+        if drill == 0 {
+            return self.run_leg(max_cycles);
+        }
+        // Checkpoint drill (`GpuConfig::checkpoint_drill`): every `drill`
+        // cycles the machine is serialized, torn down, rebuilt from the
+        // configuration, and restored from the bytes — a continuous
+        // crash-and-resume exercise. Because save→restore is the identity
+        // (see `snapshot_determinism.rs`), the drilled run is bit-identical
+        // to an undrilled one. Note the watchdog caveat shared with any
+        // chunked driver: each leg re-arms the progress baseline, so drill
+        // intervals below `watchdog_cycles` blunt hang detection.
+        loop {
+            let target = ((self.cycle / drill + 1) * drill).min(max_cycles);
+            match self.run_leg(target) {
+                Err(SimError::Timeout { cycles }) if cycles < max_cycles => {
+                    let bytes = self.save_snapshot();
+                    let mut fresh = Gpu::new(self.config.clone());
+                    fresh.restore_snapshot(&bytes)?;
+                    *self = fresh;
+                }
+                other => return other,
+            }
+        }
+    }
+
+    fn run_leg(&mut self, max_cycles: u64) -> Result<GpuStats, SimError> {
         let threads = self.config.sim_threads.clamp(1, self.config.num_cores);
         if threads > 1 {
             return self.run_par(max_cycles, threads);
@@ -602,6 +629,96 @@ impl Gpu {
             dram_reads: hierarchy.dram_reads(),
             dram_writes: hierarchy.dram_writes(),
         }
+    }
+
+    // --- Checkpoint / restore -------------------------------------------
+
+    /// Fingerprint of everything about this configuration that shapes
+    /// simulated state. [`GpuConfig::sim_threads`] and
+    /// [`GpuConfig::checkpoint_drill`] are excluded on purpose: both are
+    /// host-execution knobs that never affect simulated behavior (the
+    /// two-phase protocol and the save→restore identity guarantee
+    /// bit-identical results), so a snapshot taken under one setting
+    /// restores at any other.
+    pub fn config_fingerprint(&self) -> u64 {
+        let mut c = self.config.clone();
+        c.sim_threads = 1;
+        c.checkpoint_drill = 0;
+        vortex_snapshot::fnv1a64(format!("{c:?}").as_bytes())
+    }
+
+    /// Serializes the complete simulator state — every core's architectural
+    /// and pipeline state, the shared memory hierarchy with everything in
+    /// flight, the functional RAM image, global barriers, fault-plan stream
+    /// positions, telemetry, and the cycle/watchdog counters — into a
+    /// self-describing, checksummed container (see `vortex-snapshot`).
+    ///
+    /// The contract: `restore_snapshot` on a freshly built GPU of the same
+    /// configuration, followed by `run`, is bit-identical (cycles, stats,
+    /// memory image, fault draws, telemetry) to the original uninterrupted
+    /// run — at any `sim_threads` setting.
+    pub fn save_snapshot(&self) -> Vec<u8> {
+        let mut w = vortex_snapshot::Writer::new();
+        w.u64(self.cycle);
+        w.u64(self.last_progress_token);
+        w.u64(self.last_progress_cycle);
+        for core in &self.cores {
+            core.save_state(&mut w);
+        }
+        self.hierarchy.save_state(&mut w);
+        self.global_barriers.save_state(&mut w);
+        if let Some(tel) = &self.telemetry {
+            tel.save_state(&mut w);
+        }
+        self.ram.save_state(&mut w);
+        vortex_snapshot::seal(self.config_fingerprint(), &w.into_bytes())
+    }
+
+    /// Restores the complete simulator state from a snapshot taken by
+    /// [`Gpu::save_snapshot`] on an identically-configured GPU (any
+    /// `sim_threads` value).
+    ///
+    /// # Errors
+    /// [`SimError::SnapshotCorrupt`] — never a panic — when the container
+    /// is truncated, fails its checksum, has an unsupported version, was
+    /// taken under a different configuration, or violates a structural
+    /// invariant. On error the GPU may be partially overwritten and must
+    /// be discarded (rebuild from the configuration before retrying).
+    pub fn restore_snapshot(&mut self, bytes: &[u8]) -> Result<(), SimError> {
+        self.restore_snapshot_inner(bytes)
+            .map_err(|e| SimError::SnapshotCorrupt(e.to_string()))
+    }
+
+    fn restore_snapshot_inner(
+        &mut self,
+        bytes: &[u8],
+    ) -> vortex_snapshot::SnapResult<()> {
+        let payload = vortex_snapshot::open(bytes, self.config_fingerprint())?;
+        let mut r = vortex_snapshot::Reader::new(payload);
+        self.cycle = r.u64()?;
+        self.last_progress_token = r.u64()?;
+        self.last_progress_cycle = r.u64()?;
+        for core in &mut self.cores {
+            core.restore_state(&mut r)?;
+        }
+        self.hierarchy.restore_state(&mut r)?;
+        self.global_barriers.restore_state(&mut r)?;
+        if let Some(tel) = &mut self.telemetry {
+            tel.restore_state(&mut r)?;
+        }
+        self.ram.restore_state(&mut r)?;
+        r.finish()
+    }
+
+    /// Detaches every fault plan machine-wide (cores and the shared
+    /// hierarchy). Used by recovery policies that re-execute a rolled-back
+    /// window with injection masked, so a fault-induced hang cannot simply
+    /// recur deterministically on every retry.
+    pub fn clear_faults(&mut self) {
+        for core in &mut self.cores {
+            core.clear_faults();
+        }
+        self.hierarchy.clear_faults();
     }
 }
 

@@ -74,6 +74,27 @@ impl Scoreboard {
     }
 }
 
+impl Scoreboard {
+    /// Appends every wavefront's pending mask (the wavefront count is
+    /// construction state, so no length is written).
+    pub fn save_state(&self, w: &mut vortex_snapshot::Writer) {
+        for &mask in &self.pending {
+            w.u64(mask);
+        }
+    }
+
+    /// Restores every pending mask in place.
+    pub fn restore_state(
+        &mut self,
+        r: &mut vortex_snapshot::Reader<'_>,
+    ) -> vortex_snapshot::SnapResult<()> {
+        for mask in &mut self.pending {
+            *mask = r.u64()?;
+        }
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -77,6 +77,55 @@ impl Wavefront {
     }
 }
 
+impl vortex_snapshot::Snap for StallReason {
+    fn save(&self, w: &mut vortex_snapshot::Writer) {
+        w.u8(match self {
+            Self::None => 0,
+            Self::Fetch => 1,
+            Self::Issue => 2,
+            Self::Barrier => 3,
+            Self::Fence => 4,
+        });
+    }
+    fn load(r: &mut vortex_snapshot::Reader<'_>) -> vortex_snapshot::SnapResult<Self> {
+        Ok(match r.u8()? {
+            0 => Self::None,
+            1 => Self::Fetch,
+            2 => Self::Issue,
+            3 => Self::Barrier,
+            4 => Self::Fence,
+            _ => return Err(vortex_snapshot::SnapError::BadValue("stall reason")),
+        })
+    }
+}
+
+impl Wavefront {
+    /// Appends the wavefront's architectural state (`wid` is construction
+    /// state and is not serialized).
+    pub fn save_state(&self, w: &mut vortex_snapshot::Writer) {
+        use vortex_snapshot::Snap;
+        w.u32(self.pc);
+        w.u32(self.tmask);
+        w.bool(self.active);
+        self.ipdom.save_state(w);
+        self.stall.save(w);
+    }
+
+    /// Restores the wavefront in place.
+    pub fn restore_state(
+        &mut self,
+        r: &mut vortex_snapshot::Reader<'_>,
+    ) -> vortex_snapshot::SnapResult<()> {
+        use vortex_snapshot::Snap;
+        self.pc = r.u32()?;
+        self.tmask = r.u32()?;
+        self.active = r.bool()?;
+        self.ipdom.restore_state(r)?;
+        self.stall = StallReason::load(r)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -18,6 +18,7 @@
 #![warn(missing_docs)]
 
 use std::fmt;
+use vortex_snapshot::{Reader, Snap, SnapResult, Writer};
 
 /// Probabilities are expressed in 1/1000 units (per-mille) so light fault
 /// rates like 0.5% are representable.
@@ -179,7 +180,11 @@ pub mod site {
     }
 }
 
-fn splitmix(mut z: u64) -> u64 {
+/// The splitmix64 finalizer behind every decision stream. Public so
+/// harnesses that need an auxiliary deterministic stream (e.g. picking
+/// which snapshot bytes to corrupt in the corruption fuzz tests) can
+/// reuse the exact mixer the fault plans are built on.
+pub fn splitmix(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
@@ -269,6 +274,55 @@ impl FaultPlan {
     }
 }
 
+impl Snap for FaultConfig {
+    fn save(&self, w: &mut Writer) {
+        w.u64(self.seed);
+        w.u16(self.elastic_stall);
+        w.u16(self.dram_stall);
+        w.u16(self.dram_delay);
+        w.u32(self.dram_extra_latency);
+        w.u16(self.dram_drop);
+        w.u16(self.cache_rsp_stall);
+        w.u16(self.corrupt);
+        w.u16(self.tex_stall);
+    }
+
+    fn load(r: &mut Reader<'_>) -> SnapResult<Self> {
+        Ok(Self {
+            seed: r.u64()?,
+            elastic_stall: r.u16()?,
+            dram_stall: r.u16()?,
+            dram_delay: r.u16()?,
+            dram_extra_latency: r.u32()?,
+            dram_drop: r.u16()?,
+            cache_rsp_stall: r.u16()?,
+            corrupt: r.u16()?,
+            tex_stall: r.u16()?,
+        })
+    }
+}
+
+/// Snapshot support: a plan is fully determined by its configuration,
+/// stream state, and draw counter, so checkpoint/restore carries all
+/// three — a resumed run continues the decision stream exactly where
+/// the interrupted run left it (the determinism contract's fault-draw
+/// leg).
+impl Snap for FaultPlan {
+    fn save(&self, w: &mut Writer) {
+        self.cfg.save(w);
+        w.u64(self.state);
+        w.u64(self.draws);
+    }
+
+    fn load(r: &mut Reader<'_>) -> SnapResult<Self> {
+        Ok(Self {
+            cfg: FaultConfig::load(r)?,
+            state: r.u64()?,
+            draws: r.u64()?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -333,6 +387,30 @@ mod tests {
         assert!(FaultConfig::from_spec("bogus=1").is_err());
         assert!(FaultConfig::from_spec("dram_drop=2000").is_err());
         assert!(!FaultConfig::from_spec("dram_drop=5").unwrap().is_benign());
+    }
+
+    #[test]
+    fn plan_snapshot_resumes_mid_stream() {
+        let cfg = FaultConfig { seed: 42, elastic_stall: 500, corrupt: 100, ..FaultConfig::off() };
+        let mut a = cfg.plan(site::dcache(3));
+        for _ in 0..1000 {
+            a.stall_elastic();
+        }
+        let mut w = Writer::new();
+        a.save(&mut w);
+        let bytes = w.into_bytes();
+        let mut r = Reader::new(&bytes);
+        let mut b = FaultPlan::load(&mut r).expect("plan loads");
+        r.finish().unwrap();
+        assert_eq!(a, b);
+        // The restored stream continues in lock-step with the original.
+        for _ in 0..1000 {
+            assert_eq!(a.stall_elastic(), b.stall_elastic());
+            let (mut wa, mut wb) = (7u32, 7u32);
+            assert_eq!(a.corrupt(&mut wa), b.corrupt(&mut wb));
+            assert_eq!(wa, wb);
+        }
+        assert_eq!(a.draws(), b.draws());
     }
 
     #[test]

@@ -29,6 +29,7 @@ use crate::req::{MemReq, MemRsp, Tag};
 use std::collections::VecDeque;
 use std::fmt;
 use vortex_faults::FaultPlan;
+use vortex_snapshot::{Reader, Snap, SnapError, SnapResult, Writer};
 
 /// One coalesced sub-request inside a bank request (a virtual port).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -201,6 +202,63 @@ impl CacheStats {
     }
 }
 
+impl Snap for SubReq {
+    fn save(&self, w: &mut Writer) {
+        w.u64(self.tag);
+    }
+    fn load(r: &mut Reader<'_>) -> SnapResult<Self> {
+        Ok(Self { tag: r.u64()? })
+    }
+}
+
+impl Snap for BankReq {
+    fn save(&self, w: &mut Writer) {
+        w.u32(self.line);
+        w.bool(self.write);
+        self.subs.save(w);
+    }
+    fn load(r: &mut Reader<'_>) -> SnapResult<Self> {
+        Ok(Self {
+            line: r.u32()?,
+            write: r.bool()?,
+            subs: Vec::load(r)?,
+        })
+    }
+}
+
+impl Snap for CacheStats {
+    fn save(&self, w: &mut Writer) {
+        w.u64(self.reads);
+        w.u64(self.writes);
+        w.u64(self.read_hits);
+        w.u64(self.read_misses);
+        w.u64(self.mshr_merges);
+        w.u64(self.offered);
+        w.u64(self.accepted);
+        w.u64(self.bank_conflicts);
+        w.u64(self.fifo_full_rejects);
+        w.u64(self.port_coalesced);
+        w.u64(self.early_full_stalls);
+        w.u64(self.flushes);
+    }
+    fn load(r: &mut Reader<'_>) -> SnapResult<Self> {
+        Ok(Self {
+            reads: r.u64()?,
+            writes: r.u64()?,
+            read_hits: r.u64()?,
+            read_misses: r.u64()?,
+            mshr_merges: r.u64()?,
+            offered: r.u64()?,
+            accepted: r.u64()?,
+            bank_conflicts: r.u64()?,
+            fifo_full_rejects: r.u64()?,
+            port_coalesced: r.u64()?,
+            early_full_stalls: r.u64()?,
+            flushes: r.u64()?,
+        })
+    }
+}
+
 /// What occupies a bank pipeline stage.
 #[derive(Debug, Clone)]
 struct PipeEntry {
@@ -290,6 +348,67 @@ impl Bank {
             || !self.mshr.is_empty()
             || !self.fills.is_empty()
             || !self.replays.is_empty()
+    }
+
+    fn save_state(&self, w: &mut Writer) {
+        self.input.save_state(w);
+        for stage in &self.stage {
+            stage.save(w);
+        }
+        self.mshr.save_state(w);
+        self.fills.save(w);
+        self.replays.save(w);
+        // Tag array and victim pointers are written in place (geometry is
+        // construction state, so no lengths are serialized).
+        for set in &self.tags {
+            for way in set {
+                way.save(w);
+            }
+        }
+        for v in &self.victim {
+            w.usize(*v);
+        }
+        self.claimed.save(w);
+    }
+
+    fn restore_state(&mut self, r: &mut Reader<'_>) -> SnapResult<()> {
+        self.input.restore_state(r)?;
+        for stage in &mut self.stage {
+            *stage = Option::load(r)?;
+        }
+        self.mshr.restore_state(r)?;
+        self.fills = VecDeque::load(r)?;
+        self.replays = VecDeque::load(r)?;
+        let ways = self.tags.first().map_or(0, Vec::len);
+        for set in &mut self.tags {
+            for way in set.iter_mut() {
+                *way = Option::load(r)?;
+            }
+        }
+        for v in &mut self.victim {
+            let p = r.usize()?;
+            if ways > 0 && p >= ways {
+                return Err(SnapError::BadValue("victim pointer"));
+            }
+            *v = p;
+        }
+        self.claimed = Option::load(r)?;
+        Ok(())
+    }
+}
+
+impl Snap for PipeEntry {
+    fn save(&self, w: &mut Writer) {
+        self.req.save(w);
+        w.bool(self.hit);
+        w.bool(self.memq_reservation);
+    }
+    fn load(r: &mut Reader<'_>) -> SnapResult<Self> {
+        Ok(Self {
+            req: BankReq::load(r)?,
+            hit: r.bool()?,
+            memq_reservation: r.bool()?,
+        })
     }
 }
 
@@ -391,6 +510,11 @@ impl Cache {
     /// (`corrupt` — which strands the real line's MSHR entry, a hang).
     pub fn set_fault(&mut self, plan: FaultPlan) {
         self.fault = Some(plan);
+    }
+
+    /// Detaches any fault plan (recovery masking after a rollback).
+    pub fn clear_fault(&mut self) {
+        self.fault = None;
     }
 
     /// Decisions drawn from the attached fault plan so far (0 when no plan
@@ -723,6 +847,41 @@ impl Cache {
             && self.memq.is_empty()
             && self.responses.is_empty()
             && self.banks.iter().all(|b| !b.in_flight())
+    }
+
+    /// Appends every architectural bit of the cache: bank pipelines,
+    /// MSHRs, tag arrays, queues, fault-plan position and counters. The
+    /// geometry itself is construction state (covered by the snapshot's
+    /// config fingerprint) and is not serialized.
+    pub fn save_state(&self, w: &mut Writer) {
+        for bank in &self.banks {
+            bank.save_state(w);
+        }
+        self.memq.save_state(w);
+        w.usize(self.memq_reserved);
+        self.responses.save(w);
+        w.u32(self.flush_busy);
+        self.fault.save(w);
+        self.stats.save(w);
+    }
+
+    /// Restores the cache in place. The sub-request spare pool is scratch
+    /// (buffers are cleared before reuse) and restores empty.
+    pub fn restore_state(&mut self, r: &mut Reader<'_>) -> SnapResult<()> {
+        for bank in &mut self.banks {
+            bank.restore_state(r)?;
+        }
+        self.memq.restore_state(r)?;
+        self.memq_reserved = r.usize()?;
+        if self.memq_reserved > self.config.memq_size {
+            return Err(SnapError::BadValue("memq reservations"));
+        }
+        self.responses = VecDeque::load(r)?;
+        self.flush_busy = r.u32()?;
+        self.fault = Option::load(r)?;
+        self.stats = CacheStats::load(r)?;
+        self.spare_subs.clear();
+        Ok(())
     }
 }
 

@@ -78,6 +78,12 @@ impl Dram {
         self.fault = Some(plan);
     }
 
+    /// Detaches the controller's and its input queue's fault plans.
+    pub fn clear_fault(&mut self) {
+        self.input.clear_fault();
+        self.fault = None;
+    }
+
     /// Decisions drawn from the controller's fault plan plus its input
     /// queue's handshake plan — input to the per-site determinism audit.
     pub fn fault_draws(&self) -> u64 {
@@ -164,6 +170,38 @@ impl Dram {
     /// Queue depths for hang diagnosis: (input, in-flight, responses).
     pub fn occupancy(&self) -> (usize, usize, usize) {
         (self.input.len(), self.in_flight.len(), self.responses.len())
+    }
+
+    /// Appends the controller's full state, including both fault-plan
+    /// copies ([`Dram::set_fault`] clones the plan into the input queue's
+    /// handshake, so the two streams advance independently).
+    pub fn save_state(&self, w: &mut vortex_snapshot::Writer) {
+        use vortex_snapshot::Snap;
+        self.input.save_state(w);
+        self.in_flight.save(w);
+        self.responses.save(w);
+        w.u64(self.cycle);
+        self.fault.save(w);
+        w.u64(self.total_reads);
+        w.u64(self.total_writes);
+        w.u64(self.dropped_rsps);
+    }
+
+    /// Restores the controller in place.
+    pub fn restore_state(
+        &mut self,
+        r: &mut vortex_snapshot::Reader<'_>,
+    ) -> vortex_snapshot::SnapResult<()> {
+        use vortex_snapshot::Snap;
+        self.input.restore_state(r)?;
+        self.in_flight = VecDeque::load(r)?;
+        self.responses = VecDeque::load(r)?;
+        self.cycle = r.u64()?;
+        self.fault = Option::load(r)?;
+        self.total_reads = r.u64()?;
+        self.total_writes = r.u64()?;
+        self.dropped_rsps = r.u64()?;
+        Ok(())
     }
 }
 

@@ -9,6 +9,7 @@
 
 use std::collections::VecDeque;
 use vortex_faults::FaultPlan;
+use vortex_snapshot::{Reader, Snap, SnapError, SnapResult, Writer};
 
 /// A bounded FIFO with elastic-handshake semantics.
 ///
@@ -44,6 +45,12 @@ impl<T> Queue<T> {
     /// `elastic_stall` rate, modelling spurious `ready` de-assertion.
     pub fn set_fault(&mut self, plan: FaultPlan) {
         self.fault = Some(plan);
+    }
+
+    /// Detaches any fault plan (recovery masking: a retry after rollback
+    /// can re-run the same window fault-free).
+    pub fn clear_fault(&mut self) {
+        self.fault = None;
     }
 
     /// Attempts to enqueue; returns `Err(value)` when full (or when an
@@ -118,6 +125,28 @@ impl<T> Queue<T> {
     /// is attached) — input to the per-site determinism audit.
     pub fn fault_draws(&self) -> u64 {
         self.fault.as_ref().map_or(0, FaultPlan::draws)
+    }
+}
+
+impl<T: Snap> Queue<T> {
+    /// Appends the queue's contents and fault-plan position. Capacity is
+    /// construction state and is not serialized.
+    pub fn save_state(&self, w: &mut Writer) {
+        self.items.save(w);
+        self.fault.save(w);
+    }
+
+    /// Restores contents and fault-plan position in place. The queue keeps
+    /// its configured capacity; a payload holding more elements than fit is
+    /// a [`SnapError::BadValue`].
+    pub fn restore_state(&mut self, r: &mut Reader<'_>) -> SnapResult<()> {
+        let items = VecDeque::<T>::load(r)?;
+        if items.len() > self.capacity {
+            return Err(SnapError::BadValue("queue occupancy"));
+        }
+        self.items = items;
+        self.fault = Option::<FaultPlan>::load(r)?;
+        Ok(())
     }
 }
 

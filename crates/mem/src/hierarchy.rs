@@ -16,6 +16,7 @@ use crate::req::{MemReq, MemRsp, Tag};
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 use vortex_faults::{site, FaultConfig};
+use vortex_snapshot::{Reader, Snap, SnapResult, Writer};
 
 /// Hierarchy shape above the L1s.
 #[derive(Debug, Clone)]
@@ -110,6 +111,34 @@ impl TagMap {
     fn len(&self) -> usize {
         self.entries.len()
     }
+
+    /// Serialized with entries sorted by wrapped tag so the byte image is
+    /// deterministic despite the `HashMap`'s arbitrary iteration order.
+    fn save_state(&self, w: &mut Writer) {
+        w.u64(self.next);
+        let mut entries: Vec<(Tag, (usize, Tag))> =
+            self.entries.iter().map(|(k, v)| (*k, *v)).collect();
+        entries.sort_unstable_by_key(|(k, _)| *k);
+        w.usize(entries.len());
+        for (tag, (port, orig)) in entries {
+            w.u64(tag);
+            w.usize(port);
+            w.u64(orig);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut Reader<'_>) -> SnapResult<()> {
+        self.next = r.u64()?;
+        let n = r.len(24)?;
+        self.entries.clear();
+        for _ in 0..n {
+            let tag = r.u64()?;
+            let port = r.usize()?;
+            let orig = r.u64()?;
+            self.entries.insert(tag, (port, orig));
+        }
+        Ok(())
+    }
 }
 
 /// A cache level shared by several upstream ports.
@@ -173,6 +202,25 @@ impl SharedLevel {
         self.pending.is_empty()
             && self.cache.is_idle()
             && self.rsp_out.iter().all(VecDeque::is_empty)
+    }
+
+    fn save_state(&self, w: &mut Writer) {
+        self.cache.save_state(w);
+        self.tags.save_state(w);
+        self.pending.save(w);
+        for q in &self.rsp_out {
+            q.save(w);
+        }
+    }
+
+    fn restore_state(&mut self, r: &mut Reader<'_>) -> SnapResult<()> {
+        self.cache.restore_state(r)?;
+        self.tags.restore_state(r)?;
+        self.pending = Vec::load(r)?;
+        for q in &mut self.rsp_out {
+            *q = VecDeque::load(r)?;
+        }
+        Ok(())
     }
 }
 
@@ -453,6 +501,18 @@ impl MemHierarchy {
         }
     }
 
+    /// Detaches every fault plan above the L1s (recovery masking: a retry
+    /// after rollback re-runs the remaining window fault-free).
+    pub fn clear_faults(&mut self) {
+        self.dram.clear_fault();
+        for l2 in &mut self.l2 {
+            l2.cache.clear_fault();
+        }
+        if let Some(l3) = &mut self.l3 {
+            l3.cache.clear_fault();
+        }
+    }
+
     /// Decisions drawn across every fault plan attached above the L1s
     /// (DRAM + shared cache levels) — input to the per-site determinism
     /// audit: equal totals at equal simulation points mean the shared
@@ -461,6 +521,40 @@ impl MemHierarchy {
         self.dram.fault_draws()
             + self.l2.iter().map(|l| l.cache.fault_draws()).sum::<u64>()
             + self.l3.as_ref().map_or(0, |l| l.cache.fault_draws())
+    }
+
+    /// Appends everything in flight above the L1s: every shared level,
+    /// the DRAM, the routing tag maps and the per-core response queues.
+    pub fn save_state(&self, w: &mut Writer) {
+        for l2 in &self.l2 {
+            l2.save_state(w);
+        }
+        if let Some(l3) = &self.l3 {
+            l3.save_state(w);
+        }
+        self.dram.save_state(w);
+        self.dram_tags.save_state(w);
+        for q in &self.core_rsp {
+            q.save(w);
+        }
+    }
+
+    /// Restores the hierarchy in place. The level structure (cluster
+    /// count, presence of L2/L3) comes from this hierarchy's own
+    /// configuration, never from the payload.
+    pub fn restore_state(&mut self, r: &mut Reader<'_>) -> SnapResult<()> {
+        for l2 in &mut self.l2 {
+            l2.restore_state(r)?;
+        }
+        if let Some(l3) = &mut self.l3 {
+            l3.restore_state(r)?;
+        }
+        self.dram.restore_state(r)?;
+        self.dram_tags.restore_state(r)?;
+        for q in &mut self.core_rsp {
+            *q = VecDeque::load(r)?;
+        }
+        Ok(())
     }
 
     /// Queue depths across the whole hierarchy, for hang diagnosis.

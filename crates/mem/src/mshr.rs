@@ -98,6 +98,31 @@ impl Mshr {
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
     }
+
+    /// Appends the outstanding fills. Capacity is construction state and
+    /// is not serialized; `pending` is recomputed on restore.
+    pub fn save_state(&self, w: &mut vortex_snapshot::Writer) {
+        use vortex_snapshot::Snap;
+        self.entries.save(w);
+    }
+
+    /// Restores the outstanding fills in place, recomputing the pending
+    /// count. A payload exceeding the configured capacity is a
+    /// [`vortex_snapshot::SnapError::BadValue`].
+    pub fn restore_state(
+        &mut self,
+        r: &mut vortex_snapshot::Reader<'_>,
+    ) -> vortex_snapshot::SnapResult<()> {
+        use vortex_snapshot::Snap;
+        let entries = VecDeque::<(u32, Vec<BankReq>)>::load(r)?;
+        let pending: usize = entries.iter().map(|(_, reqs)| reqs.len()).sum();
+        if pending > self.capacity {
+            return Err(vortex_snapshot::SnapError::BadValue("mshr occupancy"));
+        }
+        self.entries = entries;
+        self.pending = pending;
+        Ok(())
+    }
 }
 
 #[cfg(test)]

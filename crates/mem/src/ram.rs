@@ -178,6 +178,42 @@ impl Ram {
     pub fn resident_pages(&self) -> usize {
         self.pages.iter().filter(|p| p.is_some()).count()
     }
+
+    /// Appends the memory image as its resident page set: a count followed
+    /// by `(page index, 4 KiB raw bytes)` pairs in ascending index order.
+    pub fn save_state(&self, w: &mut vortex_snapshot::Writer) {
+        w.usize(self.resident_pages());
+        for (idx, page) in self.pages.iter().enumerate() {
+            if let Some(page) = page {
+                w.u32(idx as u32);
+                w.raw(&page[..]);
+            }
+        }
+    }
+
+    /// Replaces the entire memory image with the snapshot's page set:
+    /// every currently-resident page is dropped first, so pages the
+    /// snapshot does not hold read as zero again.
+    pub fn restore_state(
+        &mut self,
+        r: &mut vortex_snapshot::Reader<'_>,
+    ) -> vortex_snapshot::SnapResult<()> {
+        let n = r.len(4 + PAGE_SIZE)?;
+        for page in self.pages.iter_mut() {
+            *page = None;
+        }
+        for _ in 0..n {
+            let idx = r.u32()? as usize;
+            if idx >= NUM_PAGES {
+                return Err(vortex_snapshot::SnapError::BadValue("page index"));
+            }
+            let bytes = r.raw(PAGE_SIZE)?;
+            let mut page = Box::new([0u8; PAGE_SIZE]);
+            page.copy_from_slice(bytes);
+            self.pages[idx] = Some(page);
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -143,6 +143,39 @@ impl WriteLog {
     pub fn clear(&mut self) {
         self.entries.clear();
     }
+
+    /// Appends the pending stores in program order. Checkpoints are taken
+    /// between cycles (after commit), so this is normally empty, but the
+    /// format carries it for completeness.
+    pub fn save_state(&self, w: &mut vortex_snapshot::Writer) {
+        use vortex_snapshot::Snap;
+        self.entries.save(w);
+    }
+
+    /// Restores the pending stores in place.
+    pub fn restore_state(
+        &mut self,
+        r: &mut vortex_snapshot::Reader<'_>,
+    ) -> vortex_snapshot::SnapResult<()> {
+        use vortex_snapshot::Snap;
+        self.entries = Vec::load(r)?;
+        Ok(())
+    }
+}
+
+impl vortex_snapshot::Snap for PendingStore {
+    fn save(&self, w: &mut vortex_snapshot::Writer) {
+        w.u32(self.addr);
+        w.u32(self.value);
+        w.u8(self.width);
+    }
+    fn load(r: &mut vortex_snapshot::Reader<'_>) -> vortex_snapshot::SnapResult<Self> {
+        let (addr, value, width) = (r.u32()?, r.u32()?, r.u8()?);
+        if !matches!(width, 1 | 2 | 4) {
+            return Err(vortex_snapshot::SnapError::BadValue("store width"));
+        }
+        Ok(Self { addr, value, width })
+    }
 }
 
 /// A [`Ram`] snapshot plus one core's [`WriteLog`], presenting `Ram`'s

@@ -29,8 +29,10 @@
 
 pub mod json;
 pub mod perfetto;
+pub mod recovery;
 pub mod stats;
 
 pub use json::Value;
 pub use perfetto::Timeline;
-pub use stats::{render_stats, render_sweep, STATS_SCHEMA};
+pub use recovery::{RecoveryAttempt, RecoveryReport};
+pub use stats::{render_stats, render_stats_with_recovery, render_sweep, STATS_SCHEMA};

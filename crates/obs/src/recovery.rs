@@ -1,0 +1,151 @@
+//! Structured checkpoint-rollback recovery reporting.
+//!
+//! When `vxsim --resume-retry N` (or any host embedding the same policy)
+//! reacts to a watchdog hang by restoring the last good checkpoint and
+//! re-executing, the decisions it made — which cycle it rolled back to,
+//! what failed, whether fault injection was masked for the retry — are
+//! part of the run's result and belong in its artifacts. This module is
+//! the schema for that: a [`RecoveryReport`] renders into the stats JSON
+//! (via [`crate::stats::render_stats_with_recovery`]) and onto the
+//! Perfetto timeline (via [`crate::Timeline::add_recovery_report`]) so a
+//! recovered run is never mistaken for an untroubled one.
+
+use crate::json::quote;
+use std::fmt;
+use std::fmt::Write as _;
+
+/// One rollback-and-retry round of the recovery policy.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecoveryAttempt {
+    /// 1-based retry number.
+    pub attempt: u32,
+    /// Cycle at which the failure (hang) was declared.
+    pub failure_cycle: u64,
+    /// Checkpoint cycle the machine was rolled back to.
+    pub restored_cycle: u64,
+    /// Short description of what failed (the hang report's first line).
+    pub cause: String,
+    /// `true` when fault injection was disabled for the retry.
+    pub faults_masked: bool,
+}
+
+/// The recovery policy's account of a run: every rollback it performed
+/// and whether the run ultimately completed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Rollback rounds, in order.
+    pub attempts: Vec<RecoveryAttempt>,
+    /// `true` when the run completed after the final retry.
+    pub recovered: bool,
+}
+
+impl RecoveryReport {
+    /// `true` when no rollback was ever needed (the report carries no
+    /// information and can be omitted from artifacts).
+    pub fn is_empty(&self) -> bool {
+        self.attempts.is_empty()
+    }
+
+    /// Renders the report as a JSON object (the value of the `"recovery"`
+    /// key in the stats document).
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        let _ = write!(
+            out,
+            "{{\"recovered\": {}, \"attempts\": [",
+            self.recovered
+        );
+        for (i, a) in self.attempts.iter().enumerate() {
+            let comma = if i + 1 == self.attempts.len() { "" } else { ", " };
+            let _ = write!(
+                out,
+                "{{\"attempt\": {}, \"failure_cycle\": {}, \"restored_cycle\": {}, \
+                 \"cause\": {}, \"faults_masked\": {}}}{comma}",
+                a.attempt,
+                a.failure_cycle,
+                a.restored_cycle,
+                quote(&a.cause),
+                a.faults_masked
+            );
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+impl fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for a in &self.attempts {
+            writeln!(
+                f,
+                "recovery attempt {}: failed at cycle {} ({}), rolled back to \
+                 cycle {}{}",
+                a.attempt,
+                a.failure_cycle,
+                a.cause,
+                a.restored_cycle,
+                if a.faults_masked {
+                    ", fault injection masked"
+                } else {
+                    ""
+                }
+            )?;
+        }
+        write!(
+            f,
+            "recovery {} after {} attempt(s)",
+            if self.recovered { "succeeded" } else { "failed" },
+            self.attempts.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::Value;
+
+    fn sample() -> RecoveryReport {
+        RecoveryReport {
+            attempts: vec![
+                RecoveryAttempt {
+                    attempt: 1,
+                    failure_cycle: 12_000,
+                    restored_cycle: 10_000,
+                    cause: "hang: no forward progress for 1000 cycles".into(),
+                    faults_masked: false,
+                },
+                RecoveryAttempt {
+                    attempt: 2,
+                    failure_cycle: 13_000,
+                    restored_cycle: 10_000,
+                    cause: "hang: no forward progress for 1000 cycles".into(),
+                    faults_masked: true,
+                },
+            ],
+            recovered: true,
+        }
+    }
+
+    #[test]
+    fn report_json_parses_and_keeps_attempt_order() {
+        let v = Value::parse(&sample().to_json()).expect("valid JSON");
+        assert_eq!(v.get("recovered").unwrap(), &Value::Bool(true));
+        let attempts = v.get("attempts").unwrap().as_arr().unwrap();
+        assert_eq!(attempts.len(), 2);
+        assert_eq!(attempts[0].get("attempt").unwrap().as_num(), Some(1.0));
+        assert_eq!(
+            attempts[1].get("restored_cycle").unwrap().as_num(),
+            Some(10_000.0)
+        );
+        assert_eq!(attempts[1].get("faults_masked").unwrap(), &Value::Bool(true));
+    }
+
+    #[test]
+    fn display_names_the_rollback_target() {
+        let text = sample().to_string();
+        assert!(text.contains("rolled back to cycle 10000"));
+        assert!(text.contains("fault injection masked"));
+        assert!(text.contains("recovery succeeded after 2 attempt(s)"));
+    }
+}

@@ -39,6 +39,9 @@ pub enum RuntimeError {
     /// The pipeline raised a trap (divergence-stack underflow/overflow,
     /// illegal instruction, ...).
     Trap(SimError),
+    /// A snapshot could not be restored (truncated, corrupted, wrong
+    /// version, or taken under a different device configuration).
+    SnapshotCorrupt(String),
 }
 
 impl fmt::Display for RuntimeError {
@@ -55,6 +58,9 @@ impl fmt::Display for RuntimeError {
             }
             RuntimeError::Hang(report) => write!(f, "{report}"),
             RuntimeError::Trap(err) => write!(f, "device trap: {err}"),
+            RuntimeError::SnapshotCorrupt(reason) => {
+                write!(f, "snapshot cannot be restored: {reason}")
+            }
         }
     }
 }
@@ -225,6 +231,53 @@ impl Device {
     /// on the same device (telemetry follows GPU cycles, not kernels).
     pub fn time_series(&self) -> Option<&vortex_core::telemetry::TimeSeries> {
         self.gpu.time_series()
+    }
+
+    /// Serializes the complete device state (GPU architectural state,
+    /// memory image, fault-plan positions, telemetry) into a versioned,
+    /// checksummed snapshot container.
+    ///
+    /// Host-side driver bookkeeping (`heap_next`, `afu.host_cycles`,
+    /// `max_cycles`) is included so a restored device continues
+    /// allocating and accounting exactly where the saved one stopped.
+    pub fn save_snapshot(&self) -> Vec<u8> {
+        let mut w = vortex_snapshot::Writer::new();
+        w.u32(self.heap_next);
+        w.u64(self.afu.host_cycles);
+        w.u64(self.max_cycles);
+        w.bytes(&self.gpu.save_snapshot());
+        vortex_snapshot::seal(self.gpu.config_fingerprint(), &w.into_bytes())
+    }
+
+    /// Restores device state from a snapshot produced by
+    /// [`Device::save_snapshot`] on a device with the same configuration.
+    ///
+    /// # Errors
+    /// [`RuntimeError::SnapshotCorrupt`] when the snapshot is truncated,
+    /// fails its checksum, has an unsupported version, or was taken under
+    /// a different configuration. On error the device may be partially
+    /// overwritten and must be discarded.
+    pub fn restore_snapshot(&mut self, bytes: &[u8]) -> Result<(), RuntimeError> {
+        let payload = vortex_snapshot::open(bytes, self.gpu.config_fingerprint())
+            .map_err(|e| RuntimeError::SnapshotCorrupt(e.to_string()))?;
+        let mut r = vortex_snapshot::Reader::new(payload);
+        let inner = (|| {
+            let heap_next = r.u32()?;
+            let host_cycles = r.u64()?;
+            let max_cycles = r.u64()?;
+            let gpu_bytes = r.bytes()?;
+            r.finish()?;
+            Ok::<_, vortex_snapshot::SnapError>((heap_next, host_cycles, max_cycles, gpu_bytes))
+        })()
+        .map_err(|e| RuntimeError::SnapshotCorrupt(e.to_string()))?;
+        let (heap_next, host_cycles, max_cycles, gpu_bytes) = inner;
+        self.gpu
+            .restore_snapshot(gpu_bytes)
+            .map_err(|e| RuntimeError::SnapshotCorrupt(e.to_string()))?;
+        self.heap_next = heap_next;
+        self.afu.host_cycles = host_cycles;
+        self.max_cycles = max_cycles;
+        Ok(())
     }
 
     /// The underlying GPU (tests and experiments that need direct access).

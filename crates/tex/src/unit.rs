@@ -21,6 +21,7 @@ use std::collections::VecDeque;
 use vortex_faults::FaultPlan;
 use vortex_mem::elastic::Queue;
 use vortex_mem::{MemReq, MemRsp, Ram, Tag};
+use vortex_snapshot::{Reader, Snap, SnapResult, Writer};
 
 /// Texture unit configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -132,6 +133,55 @@ struct Batch {
     outstanding: usize,
 }
 
+impl Snap for TexResponse {
+    fn save(&self, w: &mut Writer) {
+        w.u64(self.tag);
+        self.colors.save(w);
+    }
+    fn load(r: &mut Reader<'_>) -> SnapResult<Self> {
+        Ok(Self {
+            tag: r.u64()?,
+            colors: Vec::load(r)?,
+        })
+    }
+}
+
+impl Snap for TexUnitStats {
+    fn save(&self, w: &mut Writer) {
+        w.u64(self.requests);
+        w.u64(self.texels_generated);
+        w.u64(self.texels_fetched);
+        w.u64(self.mem_busy_cycles);
+        w.u64(self.idle_cycles);
+    }
+    fn load(r: &mut Reader<'_>) -> SnapResult<Self> {
+        Ok(Self {
+            requests: r.u64()?,
+            texels_generated: r.u64()?,
+            texels_fetched: r.u64()?,
+            mem_busy_cycles: r.u64()?,
+            idle_cycles: r.u64()?,
+        })
+    }
+}
+
+impl Snap for Batch {
+    fn save(&self, w: &mut Writer) {
+        w.u64(self.tag);
+        self.colors.save(w);
+        self.to_issue.save(w);
+        w.usize(self.outstanding);
+    }
+    fn load(r: &mut Reader<'_>) -> SnapResult<Self> {
+        Ok(Self {
+            tag: r.u64()?,
+            colors: Vec::load(r)?,
+            to_issue: Vec::load(r)?,
+            outstanding: r.usize()?,
+        })
+    }
+}
+
 /// The texture unit.
 #[derive(Debug)]
 pub struct TexUnit {
@@ -176,6 +226,11 @@ impl TexUnit {
     /// sites check fullness before pushing.
     pub fn set_fault(&mut self, plan: FaultPlan) {
         self.fault = Some(plan);
+    }
+
+    /// Detaches any fault plan (recovery masking after a rollback).
+    pub fn clear_fault(&mut self) {
+        self.fault = None;
     }
 
     /// Decisions drawn from the attached fault plan so far (0 when no plan
@@ -358,6 +413,35 @@ impl TexUnit {
             && self.sampler.is_empty()
             && self.output.is_empty()
             && self.mem_out.is_empty()
+    }
+
+    /// Appends the whole pipeline: queued batches, the scheduler's current
+    /// batch, sampler countdowns, outputs, outstanding texel tags, the tag
+    /// counter, the fault-plan position and counters.
+    pub fn save_state(&self, w: &mut Writer) {
+        self.input.save_state(w);
+        self.current.save(w);
+        self.sampler.save(w);
+        self.output.save(w);
+        w.u64(self.next_mem_tag);
+        self.mem_out.save(w);
+        self.outstanding_tags.save(w);
+        self.fault.save(w);
+        self.stats.save(w);
+    }
+
+    /// Restores the pipeline in place.
+    pub fn restore_state(&mut self, r: &mut Reader<'_>) -> SnapResult<()> {
+        self.input.restore_state(r)?;
+        self.current = Option::load(r)?;
+        self.sampler = VecDeque::load(r)?;
+        self.output = VecDeque::load(r)?;
+        self.next_mem_tag = r.u64()?;
+        self.mem_out = VecDeque::load(r)?;
+        self.outstanding_tags = Vec::load(r)?;
+        self.fault = Option::load(r)?;
+        self.stats = TexUnitStats::load(r)?;
+        Ok(())
     }
 }
 
