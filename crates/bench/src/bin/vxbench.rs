@@ -8,18 +8,23 @@
 //! wall-clock second for each, and can emit / check a JSON baseline so the
 //! perf trajectory is tracked PR over PR.
 //!
-//! A second, *multi-core* tier (`sgemm-mc16`, `bfs-mc16`) runs the same
-//! kernels on a 16-core GPU at both `sim_threads = 1` and `= 4`: it gates
+//! A second, *multi-core* tier (`sgemm-mc16`, `bfs-mc16`, `raster-mc16`)
+//! runs on a 16-core GPU at both `sim_threads = 1` and `= 4`: it gates
 //! the parallel tick path with the same cps floor, asserts `GpuStats` are
 //! bit-identical across thread counts on every invocation, and records
 //! the measured threads=4 speedup in the baseline (meaningful only when
-//! the recording host actually has spare CPUs).
+//! the recording host actually has spare CPUs). `raster-mc16` drives the
+//! full 3D pipeline (geometry → binning → SIMT raster kernel with HW
+//! texture sampling), so the graphics path is throughput-gated alongside
+//! the compute kernels.
 //!
 //! ```sh
 //! # Measure and write the baseline:
 //! cargo run --release -p vortex-bench --bin vxbench -- --out BENCH_PR2.json
 //! # CI smoke: fail when any workload regresses >30% vs the baseline:
 //! cargo run --release -p vortex-bench --bin vxbench -- --quick --check BENCH_PR2.json
+//! # One workload only (e.g. the graphics gate):
+//! cargo run --release -p vortex-bench --bin vxbench -- --quick --only raster-mc16
 //! ```
 //!
 //! Simulated cycle counts are fully deterministic (asserted against the
@@ -29,6 +34,7 @@
 use std::time::Instant;
 use vortex_bench::Table;
 use vortex_core::GpuConfig;
+use vortex_gfx::RasterBench;
 use vortex_kernels::{Benchmark, Bfs, FilterKind, Nearn, Sgemm, TexBench};
 
 /// Allowed throughput regression vs the checked-in baseline (CI gate).
@@ -89,11 +95,13 @@ fn mc_workloads(quick: bool) -> Vec<(&'static str, Box<dyn Benchmark>)> {
         vec![
             ("sgemm-mc16", Box::new(Sgemm::new(12)) as Box<dyn Benchmark>),
             ("bfs-mc16", Box::new(Bfs::new(96, 3))),
+            ("raster-mc16", Box::new(RasterBench::quick())),
         ]
     } else {
         vec![
             ("sgemm-mc16", Box::new(Sgemm::default()) as Box<dyn Benchmark>),
             ("bfs-mc16", Box::new(Bfs::default())),
+            ("raster-mc16", Box::new(RasterBench::default())),
         ]
     }
 }
@@ -255,14 +263,16 @@ fn main() {
     let mut quick = false;
     let mut out_file: Option<String> = None;
     let mut check_file: Option<String> = None;
+    let mut only: Option<String> = None;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => quick = true,
             "--out" => out_file = it.next().cloned(),
             "--check" => check_file = it.next().cloned(),
+            "--only" => only = it.next().cloned(),
             _ => {
-                eprintln!("usage: vxbench [--quick] [--out FILE] [--check FILE]");
+                eprintln!("usage: vxbench [--quick] [--only NAME] [--out FILE] [--check FILE]");
                 std::process::exit(2);
             }
         }
@@ -273,15 +283,27 @@ fn main() {
         eprintln!("warning: debug build — throughput numbers are meaningless");
     }
 
-    let suite = workloads(quick);
+    // `--only` narrows the run to one workload (baseline entries absent
+    // from the results are already skipped by the `--check` loop).
+    let selected = |name: &str| only.as_ref().is_none_or(|o| o == name);
     let mut results = Vec::new();
-    for (name, bench) in &suite {
+    for (name, bench) in &workloads(quick) {
+        if !selected(name) {
+            continue;
+        }
         eprintln!("  running {name} ...");
         results.push(measure(name, bench.as_ref()));
     }
     for (name, bench) in &mc_workloads(quick) {
+        if !selected(name) {
+            continue;
+        }
         eprintln!("  running {name} ({MC_CORES} cores, sim_threads 1 and {MC_THREADS}) ...");
         results.push(measure_mc(name, bench.as_ref()));
+    }
+    if results.is_empty() {
+        eprintln!("no workload matches --only {}", only.as_deref().unwrap_or(""));
+        std::process::exit(2);
     }
 
     let mut t = Table::new([

@@ -28,7 +28,7 @@ use std::fmt::Write as _;
 use vortex_core::{GpuConfig, GpuStats};
 use vortex_kernels::{all_rodinia, BenchResult, Benchmark};
 
-pub mod par;
+pub use vortex_par as par;
 
 /// A printable markdown table.
 #[derive(Debug, Clone, Default)]

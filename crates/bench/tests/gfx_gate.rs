@@ -1,0 +1,39 @@
+//! The graphics cycle gate: `RasterBench::quick()` — geometry, binning
+//! and the SIMT raster kernel with hardware texture sampling — on the
+//! vxbench multi-core tier configuration (16 cores), pinned to its exact
+//! simulated cycle count and asserted bit-identical across `sim_threads`
+//! 1 and 4. Any change to the raster kernel, the fill rule, the texture
+//! unit or the parallel tick path that moves simulated timing shows up
+//! here as a one-number diff to review, exactly like the compute gates in
+//! `BENCH_PR6.json`.
+
+use vortex_core::{GpuConfig, GpuStats};
+use vortex_gfx::RasterBench;
+use vortex_kernels::Benchmark;
+
+/// The pinned cycle count for `raster-mc16` in quick mode (also recorded
+/// in `BENCH_PR6.json`). Update deliberately, with the reason in the PR.
+const RASTER_QUICK_CYCLES: u64 = 226_212;
+
+fn run(sim_threads: usize) -> GpuStats {
+    let mut config = GpuConfig::with_cores(16);
+    config.sim_threads = sim_threads;
+    let r = RasterBench::quick().run_on(&config);
+    assert!(r.validated, "raster bench must validate device against host");
+    r.stats
+}
+
+#[test]
+fn raster_mc16_quick_cycles_are_pinned_and_thread_invariant() {
+    let serial = run(1);
+    let parallel = run(4);
+    assert_eq!(
+        serial, parallel,
+        "GpuStats must be bit-identical across sim_threads 1 vs 4"
+    );
+    assert_eq!(
+        serial.cycles, RASTER_QUICK_CYCLES,
+        "raster-mc16 (quick) simulated cycles moved — if intentional, \
+         update the pin and re-record BENCH_PR6.json"
+    );
+}

@@ -24,16 +24,18 @@ pub struct TileBins {
 impl TileBins {
     /// Bins `setups` over a `width × height` framebuffer.
     ///
+    /// Dimensions need not be tile-size multiples: the tile grid rounds
+    /// *up*, and the rasterizer (device kernel and host reference alike)
+    /// guards every pixel against the real framebuffer bounds, so edge
+    /// tiles are simply partially covered. This is what lets true
+    /// full-frame targets like 1920×1080 (1080 = 67.5 tiles) render.
+    ///
     /// # Panics
-    /// Panics unless both dimensions are multiples of [`TILE_SIZE`] (the
-    /// renderer's tiling requirement).
+    /// Panics when either dimension is zero.
     pub fn build(setups: &[TriangleSetup], width: usize, height: usize) -> Self {
-        assert!(
-            width.is_multiple_of(TILE_SIZE) && height.is_multiple_of(TILE_SIZE),
-            "framebuffer dimensions must be multiples of the tile size"
-        );
-        let tiles_x = width / TILE_SIZE;
-        let tiles_y = height / TILE_SIZE;
+        assert!(width > 0 && height > 0, "framebuffer must be non-empty");
+        let tiles_x = width.div_ceil(TILE_SIZE);
+        let tiles_y = height.div_ceil(TILE_SIZE);
         let mut lists = vec![Vec::new(); tiles_x * tiles_y];
         for (i, s) in setups.iter().enumerate() {
             let (min_x, min_y, max_x, max_y) = s.bbox;
@@ -85,6 +87,7 @@ mod tests {
     fn setup_with_bbox(bbox: (i32, i32, i32, i32)) -> TriangleSetup {
         TriangleSetup {
             edges: [[0.0; 3]; 3],
+            edge_flags: 0,
             z_plane: [0.0; 3],
             u_plane: [0.0; 3],
             v_plane: [0.0; 3],
@@ -130,8 +133,11 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "multiples of the tile size")]
-    fn non_tile_multiple_dimensions_panic() {
-        let _ = TileBins::build(&[], 60, 64);
+    fn non_multiple_dimensions_round_tiles_up() {
+        // 60×40: 4×3 tile grid with partial tiles on the right and
+        // bottom edges.
+        let bins = TileBins::build(&[setup_with_bbox((50, 35, 59, 39))], 60, 40);
+        assert_eq!((bins.tiles_x, bins.tiles_y), (4, 3));
+        assert_eq!(bins.lists[2 * 4 + 3], vec![0], "bins into the corner tile");
     }
 }

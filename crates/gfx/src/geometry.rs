@@ -46,8 +46,15 @@ impl Vertex {
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TriangleSetup {
     /// Edge equations `e(x,y) = a·x + b·y + c`; a pixel is covered when
-    /// all three are ≥ 0.
+    /// every edge has `e > 0`, or `e == 0` on an edge classified as
+    /// *top-left* in [`TriangleSetup::edge_flags`] (the top-left fill
+    /// rule — shared edges shade each pixel exactly once).
     pub edges: [[f32; 3]; 3],
+    /// Bit `k` set = edge `k` is a top or left edge (owns its exactly-on
+    /// pixels). Classified once here so the host reference and the device
+    /// kernel apply the identical rule; serialized into the record's
+    /// final word.
+    pub edge_flags: u32,
     /// Affine depth plane `z(x,y)`.
     pub z_plane: [f32; 3],
     /// Affine u plane.
@@ -188,6 +195,21 @@ pub fn process_geometry(
             let c = -(a * p[i].0 + b * p[i].1);
             [a, b, c]
         };
+        let edges = [edge(0, 1), edge(1, 2), edge(2, 0)];
+        // Top-left fill rule (classified once, applied identically by the
+        // host reference and the device kernel): the interior lies in the
+        // gradient direction (a, b) of the normalized edge function, so in
+        // y-down window coordinates a *top* edge is horizontal with the
+        // interior below it (a == 0, b > 0) and a *left* edge has the
+        // interior to its right (a > 0). Only those edges own the pixels
+        // whose centers land exactly on them; adjacent triangles sharing
+        // an edge therefore shade each such pixel exactly once.
+        let mut edge_flags = 0u32;
+        for (k, e) in edges.iter().enumerate() {
+            if e[0] > 0.0 || (e[0] == 0.0 && e[1] > 0.0) {
+                edge_flags |= 1 << k;
+            }
+        }
         let zs = [screen[0].2, screen[1].2, screen[2].2];
         let us = [verts[0].u, verts[1].u, verts[2].u];
         let vs = [verts[0].v, verts[1].v, verts[2].v];
@@ -205,7 +227,8 @@ pub fn process_geometry(
             continue; // fully off-screen
         }
         out.push(TriangleSetup {
-            edges: [edge(0, 1), edge(1, 2), edge(2, 0)],
+            edges,
+            edge_flags,
             z_plane: plane_coeffs(p, zs, denom),
             u_plane: plane_coeffs(p, us, denom),
             v_plane: plane_coeffs(p, vs, denom),
@@ -270,6 +293,30 @@ mod tests {
         let vv = eval(s.v_plane, 64.0, 64.0);
         assert!((u - 1.0).abs() < 1e-4, "u at vertex 2: {u}");
         assert!(vv.abs() < 1e-4, "v at vertex 2: {vv}");
+    }
+
+    #[test]
+    fn top_left_edges_are_classified() {
+        // Axis-aligned right triangle, screen coords (y-down):
+        // v0 = (0, 0), v1 = (64, 0), v2 = (0, 64).
+        let v = vec![
+            Vertex::new(-1.0, 1.0, 0.0, 0.0, 0.0),
+            Vertex::new(1.0, 1.0, 0.0, 0.0, 0.0),
+            Vertex::new(-1.0, -1.0, 0.0, 0.0, 0.0),
+        ];
+        let setups = process_geometry(&v, &[0, 1, 2], &Mat4::IDENTITY, 64, 64);
+        assert_eq!(setups.len(), 1);
+        // Edge 0 (v0→v1) is the horizontal top edge (interior below it),
+        // edge 2 (v2→v0) is the vertical left edge (interior to its
+        // right); the diagonal edge 1 owns nothing.
+        assert_eq!(setups[0].edge_flags, 0b101);
+        // Winding must not change ownership: the same triangle with
+        // reversed winding classifies identically.
+        let flipped = process_geometry(&v, &[0, 2, 1], &Mat4::IDENTITY, 64, 64);
+        let f = flipped[0].edge_flags;
+        // Edges are enumerated in index order, so the bit positions
+        // permute, but exactly two edges stay top-left.
+        assert_eq!(f.count_ones(), 2, "flags {f:#b}");
     }
 
     #[test]

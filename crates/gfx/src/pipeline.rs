@@ -85,15 +85,14 @@ pub struct Renderer {
 
 impl Renderer {
     /// Creates a renderer with a `width × height` target on a GPU of the
-    /// given shape.
+    /// given shape. Dimensions need not be tile-size multiples — the tile
+    /// grid rounds up and out-of-frame pixels are guarded, so full-frame
+    /// targets like 1920×1080 work.
     ///
     /// # Panics
-    /// Panics unless the dimensions are tile-size multiples.
+    /// Panics when either dimension is zero.
     pub fn new(config: GpuConfig, width: usize, height: usize) -> Self {
-        assert!(
-            width.is_multiple_of(crate::binning::TILE_SIZE) && height.is_multiple_of(crate::binning::TILE_SIZE),
-            "framebuffer dimensions must be multiples of the tile size"
-        );
+        assert!(width > 0 && height > 0, "framebuffer must be non-empty");
         Self {
             device: Device::new(config),
             width,
@@ -101,6 +100,12 @@ impl Renderer {
             clear_color: Rgba8::BLACK,
             stencil_seed: vec![0; width * height],
         }
+    }
+
+    /// The device's sampled telemetry from the last draw, when the
+    /// renderer's `GpuConfig` enabled sampling.
+    pub fn time_series(&self) -> Option<&vortex_core::telemetry::TimeSeries> {
+        self.device.time_series()
     }
 
     /// Resets the persistent stencil plane to zero (a stencil clear).
@@ -188,7 +193,8 @@ impl Renderer {
             .word(tex_addr)
             .word(tex_log)
             .word(total_pixels as u32)
-            .word(stencil_buf.addr);
+            .word(stencil_buf.addr)
+            .word(self.height as u32);
         dev.write_args(&args);
         let prog = raster::program(state);
         dev.load_program(&prog);
@@ -219,6 +225,20 @@ impl Renderer {
         state: &RenderState,
         texture: Option<&Texture>,
     ) -> Framebuffer {
+        self.draw_host_profiled(vertices, indices, mvp, state, texture).0
+    }
+
+    /// [`Renderer::draw_host`] that also returns the frame's per-tile
+    /// [`RasterProfile`] (tris binned, fragments covered/shaded, texture
+    /// samples) for observability exports.
+    pub fn draw_host_profiled(
+        &self,
+        vertices: &[Vertex],
+        indices: &[u32],
+        mvp: &Mat4,
+        state: &RenderState,
+        texture: Option<&Texture>,
+    ) -> (Framebuffer, raster::RasterProfile) {
         let setups = process_geometry(vertices, indices, mvp, self.width, self.height);
         let bins = TileBins::build(&setups, self.width, self.height);
         let mut fb = Framebuffer::new(self.width, self.height, self.clear_color);
@@ -233,8 +253,8 @@ impl Renderer {
             None => None,
         };
         fb.stencil = self.stencil_seed.clone();
-        raster::rasterize_host(&mut fb, &setups, &bins, state, tex_ref);
-        fb
+        let profile = raster::rasterize_host(&mut fb, &setups, &bins, state, tex_ref);
+        (fb, profile)
     }
 
     /// Host-side rendering that also persists stencil changes on the

@@ -7,9 +7,16 @@
 //! `max_tris` with a `split`-guarded in-range predicate — and for each
 //! triangle evaluates the three edge equations, the depth plane and, when
 //! covered and passing the depth test, shades the fragment (flat color,
-//! hardware `tex`, or software point sampling). Coverage, depth pass and
-//! shading are nested `split`/`join` regions: this kernel is the deepest
-//! consumer of the IPDOM stack in the repository.
+//! hardware `tex`, or software point sampling). Coverage obeys the
+//! top-left fill rule (edge ownership classified once at triangle setup,
+//! see `geometry`), so pixel centers exactly on a shared edge shade
+//! exactly once. Bounds guard, coverage, depth pass and shading are
+//! nested `split`/`join` regions: this kernel is the deepest consumer of
+//! the IPDOM stack in the repository.
+//!
+//! The host reference runs tile-parallel ([`rasterize_host`]): tiles own
+//! disjoint pixels and blending within a tile follows device order, so
+//! the image is byte-identical to a serial walk at any worker count.
 
 use crate::binning::{TileBins, TILE_PIXELS, TILE_SHIFT, TILE_SIZE};
 use crate::fb::Framebuffer;
@@ -41,7 +48,9 @@ pub fn records_to_bytes(setups: &[TriangleSetup]) -> Vec<u8> {
             }
         }
         out.extend_from_slice(&s.color.to_le_bytes());
-        out.extend_from_slice(&0u32.to_le_bytes()); // pad to 80 bytes
+        // Final word: the top-left fill-rule edge flags (bit k = edge k
+        // owns its exactly-on pixels).
+        out.extend_from_slice(&s.edge_flags.to_le_bytes());
     }
     out
 }
@@ -50,7 +59,11 @@ pub fn records_to_bytes(setups: &[TriangleSetup]) -> Vec<u8> {
 ///
 /// Argument block:
 /// `color_buf, depth_buf, records, tile_idx, tile_counts, tiles_x,
-/// max_tris, width, tex_addr, tex_log_size, total_pixels`.
+/// max_tris, width, tex_addr, tex_log_size, total_pixels, stencil_buf,
+/// height`. `total_pixels` spans the full (rounded-up) tile grid; pixels
+/// whose window coordinates fall outside `width × height` are skipped by
+/// an in-kernel guard, so partial edge tiles (e.g. 1080 = 67.5 tiles)
+/// are safe.
 #[allow(clippy::too_many_lines)]
 pub fn program(state: &RenderState) -> Program {
     let mut a = Assembler::new();
@@ -91,6 +104,16 @@ pub fn program(state: &RenderState) -> Program {
     a.add(Reg::X20, Reg::X20, Reg::X5); // x
     a.slli(Reg::X6, Reg::X6, TILE_SHIFT as i32);
     a.add(Reg::X21, Reg::X21, Reg::X6); // y
+    // Partial-tile guard: the tile grid rounds up, so pixels of edge
+    // tiles can fall outside the framebuffer — skip them before any
+    // per-pixel work or memory traffic.
+    a.lw(Reg::X5, Reg::X10, 28); // width
+    a.sltu(Reg::X6, Reg::X20, Reg::X5);
+    a.lw(Reg::X5, Reg::X10, 48); // height
+    a.sltu(Reg::X7, Reg::X21, Reg::X5);
+    a.and(Reg::X6, Reg::X6, Reg::X7);
+    a.split(Reg::X6);
+    a.beqz(Reg::X6, "px_oob");
     // Pixel center (f10, f11) = (x + 0.5, y + 0.5).
     a.li(Reg::X5, 0.5f32.to_bits() as i32);
     a.fmv_w_x(FReg::X8, Reg::X5);
@@ -130,11 +153,30 @@ pub fn program(state: &RenderState) -> Program {
     emit_plane(&mut a, 0, FReg::X3); // e0
     emit_plane(&mut a, 12, FReg::X4); // e1
     emit_plane(&mut a, 24, FReg::X5); // e2
-    a.fle(Reg::X6, FReg::X9, FReg::X3);
-    a.fle(Reg::X7, FReg::X9, FReg::X4);
-    a.and(Reg::X6, Reg::X6, Reg::X7);
-    a.fle(Reg::X7, FReg::X9, FReg::X5);
-    a.and(Reg::X6, Reg::X6, Reg::X7);
+    // Top-left fill rule: a pixel exactly on an edge (e == 0) is covered
+    // only when that edge owns it (record edge-flag bit k set), so a
+    // pixel center on an edge shared by two triangles shades exactly
+    // once. covered_k = e_k > 0 | (e_k == 0 & flag_k).
+    a.lw(Reg::X26, Reg::X24, 76); // edge flags
+    a.flt(Reg::X6, FReg::X9, FReg::X3);
+    a.feq(Reg::X7, FReg::X9, FReg::X3);
+    a.andi(Reg::X28, Reg::X26, 1);
+    a.and(Reg::X7, Reg::X7, Reg::X28);
+    a.or(Reg::X30, Reg::X6, Reg::X7);
+    a.flt(Reg::X6, FReg::X9, FReg::X4);
+    a.feq(Reg::X7, FReg::X9, FReg::X4);
+    a.srli(Reg::X28, Reg::X26, 1);
+    a.andi(Reg::X28, Reg::X28, 1);
+    a.and(Reg::X7, Reg::X7, Reg::X28);
+    a.or(Reg::X6, Reg::X6, Reg::X7);
+    a.and(Reg::X30, Reg::X30, Reg::X6);
+    a.flt(Reg::X6, FReg::X9, FReg::X5);
+    a.feq(Reg::X7, FReg::X9, FReg::X5);
+    a.srli(Reg::X28, Reg::X26, 2);
+    a.andi(Reg::X28, Reg::X28, 1);
+    a.and(Reg::X7, Reg::X7, Reg::X28);
+    a.or(Reg::X6, Reg::X6, Reg::X7);
+    a.and(Reg::X6, Reg::X30, Reg::X6);
     a.split(Reg::X6);
     a.beqz(Reg::X6, "frag_skip");
     // Depth plane.
@@ -254,9 +296,13 @@ pub fn program(state: &RenderState) -> Program {
         a.split(Reg::X29);
         a.beqz(Reg::X29, "alpha_skip");
     }
-    // Depth write + color write (+ stencil write).
-    a.add(Reg::X5, Reg::X7, Reg::X12);
-    a.fsw(FReg::X3, Reg::X5, 0);
+    // Depth write (only when depth testing is enabled: `Less` after a
+    // pass, `Always` unconditionally — but `depth_test = false` leaves
+    // the depth buffer untouched) + color write (+ stencil write).
+    if state.depth_test {
+        a.add(Reg::X5, Reg::X7, Reg::X12);
+        a.fsw(FReg::X3, Reg::X5, 0);
+    }
     a.add(Reg::X5, Reg::X7, Reg::X11);
     a.sw(Reg::X31, Reg::X5, 0);
     if let Some(write) = state.stencil.and_then(|s| s.write) {
@@ -285,43 +331,115 @@ pub fn program(state: &RenderState) -> Program {
     a.addi(Reg::X23, Reg::X23, 1);
     a.j("tri_loop");
     a.label("tri_done").expect("fresh label");
+    a.label("px_oob").expect("fresh label");
+    a.join();
     util::emit_loop_tail(&mut a, Reg::X19, "px").expect("fresh tag");
     a.ret();
     a.assemble(abi::CODE_BASE).expect("rasterizer assembles")
 }
 
-/// Host reference rasterizer with the device kernel's exact arithmetic
-/// (fused multiply-adds in the same order, same sampling paths), used for
-/// validation and as the pure-software fallback renderer.
-pub fn rasterize_host(
-    fb: &mut Framebuffer,
+/// Per-tile rasterization counters, collected by the host reference
+/// rasterizer and exported to Perfetto by `vortex-obs`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TileRasterStats {
+    /// Triangles binned to this tile.
+    pub tris: u32,
+    /// Fragments that passed the fill-rule coverage test.
+    pub covered: u32,
+    /// Fragments that survived every test and wrote color.
+    pub shaded: u32,
+    /// Texture samples taken while shading this tile.
+    pub tex_samples: u32,
+}
+
+/// One frame's raster work, tile by tile.
+#[derive(Debug, Clone)]
+pub struct RasterProfile {
+    /// Tiles per row.
+    pub tiles_x: usize,
+    /// Tile rows.
+    pub tiles_y: usize,
+    /// Row-major per-tile counters (`tiles_x × tiles_y` entries).
+    pub tiles: Vec<TileRasterStats>,
+}
+
+impl RasterProfile {
+    /// Sums a counter over all tiles.
+    pub fn total(&self, get: impl Fn(&TileRasterStats) -> u32) -> u64 {
+        self.tiles.iter().map(|t| u64::from(get(t))).sum()
+    }
+}
+
+/// The pixels one tile job writes back, plus its counters.
+struct TileOut {
+    color: Vec<u32>,
+    depth: Vec<f32>,
+    stencil: Vec<u8>,
+    stats: TileRasterStats,
+}
+
+/// Rasterizes one tile into local buffers seeded from `fb`.
+///
+/// Pixels outside the framebuffer (partial edge tiles) are excluded from
+/// the local `w × h` window entirely. Within a pixel, triangles blend in
+/// list order — the same order the device kernel walks — so committing
+/// tiles back in any order reproduces the serial image exactly.
+#[allow(clippy::too_many_lines)]
+fn raster_tile(
+    fb: &Framebuffer,
     setups: &[TriangleSetup],
-    bins: &TileBins,
+    list: &[u32],
+    tx: usize,
+    ty: usize,
     state: &RenderState,
     texture: Option<(&Ram, &TexState)>,
-) {
+) -> TileOut {
+    let x0 = tx * TILE_SIZE;
+    let y0 = ty * TILE_SIZE;
+    let w = (fb.width - x0).min(TILE_SIZE);
+    let h = (fb.height - y0).min(TILE_SIZE);
+    let mut color = vec![0u32; w * h];
+    let mut depth = vec![0f32; w * h];
+    let mut stencil = vec![0u8; w * h];
+    for ly in 0..h {
+        let src = (y0 + ly) * fb.width + x0;
+        color[ly * w..(ly + 1) * w].copy_from_slice(&fb.color[src..src + w]);
+        depth[ly * w..(ly + 1) * w].copy_from_slice(&fb.depth[src..src + w]);
+        stencil[ly * w..(ly + 1) * w].copy_from_slice(&fb.stencil[src..src + w]);
+    }
+    let mut stats = TileRasterStats {
+        tris: list.len() as u32,
+        ..TileRasterStats::default()
+    };
     let eval = |p: &[f32; 3], fx: f32, fy: f32| p[0].mul_add(fx, p[1].mul_add(fy, p[2]));
-    let max = bins.max_tris().max(1);
-    let (idx, counts) = bins.to_device_arrays();
-    for tile in 0..bins.num_tiles() {
-        let tx = tile % bins.tiles_x;
-        let ty = tile / bins.tiles_x;
-        for pix in 0..TILE_PIXELS {
-            let x = tx * TILE_SIZE + (pix & (TILE_SIZE - 1));
-            let y = ty * TILE_SIZE + (pix >> TILE_SHIFT);
-            let (fx, fy) = (x as f32 + 0.5, y as f32 + 0.5);
-            for t in 0..counts[tile] as usize {
-                let s = &setups[idx[tile * max + t] as usize];
-                if s.edges.iter().any(|e| eval(e, fx, fy) < 0.0) {
+    for ly in 0..h {
+        for lx in 0..w {
+            let (fx, fy) = (
+                (x0 + lx) as f32 + 0.5,
+                (y0 + ly) as f32 + 0.5,
+            );
+            let ofs = ly * w + lx;
+            for &tri in list {
+                let s = &setups[tri as usize];
+                // Top-left fill rule, mirroring the kernel bit for bit:
+                // a pixel exactly on an edge counts only when the edge's
+                // flag says it owns such pixels, so shared edges shade
+                // exactly once. NaN fails both comparisons, as it fails
+                // the device's `flt`/`feq`.
+                let covered = s.edges.iter().enumerate().all(|(k, e)| {
+                    let v = eval(e, fx, fy);
+                    v > 0.0 || (v == 0.0 && s.edge_flags & (1 << k) != 0)
+                });
+                if !covered {
                     continue;
                 }
+                stats.covered += 1;
                 let z = eval(&s.z_plane, fx, fy);
-                let ofs = y * fb.width + x;
                 // Stencil test (GL order: stencil before depth).
                 if let Some(st) = state.stencil {
                     let pass = match st.func {
-                        StencilFunc::Equal => fb.stencil[ofs] == st.reference,
-                        StencilFunc::NotEqual => fb.stencil[ofs] != st.reference,
+                        StencilFunc::Equal => stencil[ofs] == st.reference,
+                        StencilFunc::NotEqual => stencil[ofs] != st.reference,
                     };
                     if !pass {
                         continue;
@@ -330,7 +448,7 @@ pub fn rasterize_host(
                 #[allow(clippy::neg_cmp_op_on_partial_ord)] // NaN must fail the test
                 let depth_fail = state.depth_test
                     && state.depth_func == DepthFunc::Less
-                    && !(z < fb.depth[ofs]);
+                    && !(z < depth[ofs]);
                 if depth_fail {
                     continue;
                 }
@@ -338,6 +456,7 @@ pub fn rasterize_host(
                     let u = eval(&s.u_plane, fx, fy);
                     let v = eval(&s.v_plane, fx, fy);
                     let (ram, tex) = texture.expect("texturing needs a bound texture");
+                    stats.tex_samples += 1;
                     if state.hw_texture {
                         sample_bilinear(ram, tex, u, v, 0).to_u32()
                     } else {
@@ -361,8 +480,8 @@ pub fn rasterize_host(
                 let fogged = match state.fog {
                     Some(fog) => {
                         let inv_range = 1.0 / (fog.end - fog.start);
-                        let factor = (((fog.end - z) * (inv_range * 256.0)) as i32)
-                            .clamp(0, 255) as u8;
+                        let factor =
+                            (((fog.end - z) * (inv_range * 256.0)) as i32).clamp(0, 255) as u8;
                         fog.color.lerp(Rgba8::from_u32(shaded), factor).to_u32()
                     }
                     None => shaded,
@@ -374,12 +493,85 @@ pub fn rasterize_host(
                         continue;
                     }
                 }
-                fb.depth[ofs] = z;
-                fb.color[ofs] = fogged;
+                if state.depth_test {
+                    depth[ofs] = z;
+                }
+                color[ofs] = fogged;
+                stats.shaded += 1;
                 if let Some(write) = state.stencil.and_then(|s| s.write) {
-                    fb.stencil[ofs] = write;
+                    stencil[ofs] = write;
                 }
             }
         }
     }
+    TileOut {
+        color,
+        depth,
+        stencil,
+        stats,
+    }
+}
+
+/// Host reference rasterizer with the device kernel's exact arithmetic
+/// (fused multiply-adds in the same order, same sampling paths, same
+/// top-left fill rule), used for validation and as the pure-software
+/// fallback renderer.
+///
+/// Tiles are rasterized in parallel on [`vortex_par::jobs`] worker
+/// threads — they touch disjoint pixels, and blending within a tile
+/// stays in device order, so the image is byte-identical at any worker
+/// count. Returns the frame's per-tile [`RasterProfile`].
+pub fn rasterize_host(
+    fb: &mut Framebuffer,
+    setups: &[TriangleSetup],
+    bins: &TileBins,
+    state: &RenderState,
+    texture: Option<(&Ram, &TexState)>,
+) -> RasterProfile {
+    rasterize_host_with_jobs(fb, setups, bins, state, texture, vortex_par::jobs())
+}
+
+/// [`rasterize_host`] with an explicit worker count (`jobs = 1` runs the
+/// tiles serially in place — the oracle the parallel path is tested
+/// against).
+pub fn rasterize_host_with_jobs(
+    fb: &mut Framebuffer,
+    setups: &[TriangleSetup],
+    bins: &TileBins,
+    state: &RenderState,
+    texture: Option<(&Ram, &TexState)>,
+    jobs: usize,
+) -> RasterProfile {
+    let tiles: Vec<usize> = (0..bins.num_tiles()).collect();
+    let outs = {
+        let fb_ref: &Framebuffer = fb;
+        vortex_par::par_map_with_jobs(jobs, &tiles, |_, &tile| {
+            let tx = tile % bins.tiles_x;
+            let ty = tile / bins.tiles_x;
+            raster_tile(fb_ref, setups, &bins.lists[tile], tx, ty, state, texture)
+        })
+    };
+    let mut profile = RasterProfile {
+        tiles_x: bins.tiles_x,
+        tiles_y: bins.tiles_y,
+        tiles: Vec::with_capacity(outs.len()),
+    };
+    // Commit in input order. Tiles are pixel-disjoint, so this is purely
+    // for determinism of the profile, not of the image.
+    for (&tile, out) in tiles.iter().zip(outs) {
+        let tx = tile % bins.tiles_x;
+        let ty = tile / bins.tiles_x;
+        let x0 = tx * TILE_SIZE;
+        let y0 = ty * TILE_SIZE;
+        let w = (fb.width - x0).min(TILE_SIZE);
+        let h = (fb.height - y0).min(TILE_SIZE);
+        for ly in 0..h {
+            let dst = (y0 + ly) * fb.width + x0;
+            fb.color[dst..dst + w].copy_from_slice(&out.color[ly * w..(ly + 1) * w]);
+            fb.depth[dst..dst + w].copy_from_slice(&out.depth[ly * w..(ly + 1) * w]);
+            fb.stencil[dst..dst + w].copy_from_slice(&out.stencil[ly * w..(ly + 1) * w]);
+        }
+        profile.tiles.push(out.stats);
+    }
+    profile
 }

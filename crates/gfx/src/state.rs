@@ -2,12 +2,18 @@
 
 /// Depth comparison function (subset of the GL set; `Less` is the
 /// standard 3D default).
+///
+/// Only consulted while [`RenderState::depth_test`] is on. The depth
+/// *write* is tied to `depth_test`, not to the comparison: `Always`
+/// skips the comparison but still writes every fragment's depth (GL's
+/// `glDepthFunc(GL_ALWAYS)`), while `depth_test = false` leaves the
+/// depth buffer untouched entirely.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum DepthFunc {
     /// Pass when the incoming depth is smaller.
     #[default]
     Less,
-    /// Always pass (depth test effectively off but depth still written).
+    /// Always pass (no comparison, but depth is still written).
     Always,
 }
 

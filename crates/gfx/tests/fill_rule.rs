@@ -1,0 +1,174 @@
+//! The shared-edge regression suite: the top-left fill rule must shade a
+//! pixel whose center lies exactly on an edge shared by two triangles
+//! *exactly once* — on the host reference and on the device, bit for bit.
+//!
+//! The scene is constructed so the shared diagonal (and the quad's outer
+//! edges) pass exactly through pixel centers: screen coordinates of the
+//! form `k + 0.5` are dyadic rationals, so the viewport transform and the
+//! edge setup are exact in f32 and `e == 0.0` genuinely occurs.
+
+use vortex_core::GpuConfig;
+use vortex_gfx::pipeline::Renderer;
+use vortex_gfx::state::{DepthFunc, RenderState};
+use vortex_gfx::{Mat4, Vertex};
+use vortex_tex::Rgba8;
+
+const W: usize = 32;
+const H: usize = 32;
+
+/// A vertex whose *screen* position (y-down, 32×32 viewport) is `(sx, sy)`.
+fn at(sx: f32, sy: f32, z: f32) -> Vertex {
+    let ndc_x = sx / (W as f32 / 2.0) - 1.0;
+    let ndc_y = 1.0 - sy / (H as f32 / 2.0);
+    Vertex::new(ndc_x, ndc_y, z, 0.0, 0.0)
+}
+
+/// The quad `(4.5, 4.5) … (20.5, 20.5)` split along the diagonal from
+/// `(4.5, 4.5)` to `(20.5, 20.5)` — every boundary runs through pixel
+/// centers.
+fn shared_edge_quad() -> (Vec<Vertex>, Vec<u32>) {
+    let a = at(4.5, 4.5, 0.0);
+    let b = at(20.5, 4.5, 0.0);
+    let c = at(20.5, 20.5, 0.0);
+    let d = at(4.5, 20.5, 0.0);
+    let verts = vec![
+        // Upper-right triangle, red.
+        a.with_color(Rgba8::new(255, 0, 0, 255)),
+        b.with_color(Rgba8::new(255, 0, 0, 255)),
+        c.with_color(Rgba8::new(255, 0, 0, 255)),
+        // Lower-left triangle, blue.
+        a.with_color(Rgba8::new(0, 0, 255, 255)),
+        c.with_color(Rgba8::new(0, 0, 255, 255)),
+        d.with_color(Rgba8::new(0, 0, 255, 255)),
+    ];
+    (verts, vec![0, 1, 2, 3, 4, 5])
+}
+
+fn coverage_mask(fb: &vortex_gfx::Framebuffer) -> Vec<bool> {
+    fb.color.iter().map(|&c| c != Rgba8::BLACK.to_u32()).collect()
+}
+
+#[test]
+fn shared_edge_pixels_shade_exactly_once_on_host() {
+    let (verts, idx) = shared_edge_quad();
+    let r = Renderer::new(GpuConfig::with_cores(1), W, H);
+    let state = RenderState::default();
+
+    // Each triangle alone.
+    let red = r.draw_host(&verts, &[0, 1, 2], &Mat4::IDENTITY, &state, None);
+    let blue = r.draw_host(&verts, &[3, 4, 5], &Mat4::IDENTITY, &state, None);
+    let both = r.draw_host(&verts, &idx, &Mat4::IDENTITY, &state, None);
+    let (m_red, m_blue, m_both) = (coverage_mask(&red), coverage_mask(&blue), coverage_mask(&both));
+
+    // Disjoint: no pixel belongs to both triangles.
+    let overlap = m_red.iter().zip(&m_blue).filter(|(a, b)| **a && **b).count();
+    assert_eq!(overlap, 0, "shared-edge pixels must shade exactly once");
+    // Gap-free: together the two triangles cover exactly the quad.
+    for i in 0..W * H {
+        assert_eq!(m_both[i], m_red[i] || m_blue[i], "pixel {i} union mismatch");
+    }
+    // The quad's covered interior under the top-left rule: columns and
+    // rows 4..=19 (the bottom/right boundary pixels lie exactly on
+    // non-owning edges).
+    let covered = m_both.iter().filter(|&&c| c).count();
+    assert_eq!(covered, 16 * 16);
+    // Every diagonal pixel center (k + 0.5, k + 0.5) lies exactly on the
+    // shared edge; each shades exactly once, owned by one triangle.
+    for k in 4..20 {
+        let c = both.color[k * W + k];
+        assert!(
+            c == Rgba8::new(255, 0, 0, 255).to_u32() || c == Rgba8::new(0, 0, 255, 255).to_u32(),
+            "diagonal pixel ({k}, {k}) must be shaded by exactly one triangle"
+        );
+    }
+}
+
+#[test]
+fn shared_edge_coverage_counts_each_pixel_once() {
+    let (verts, idx) = shared_edge_quad();
+    let r = Renderer::new(GpuConfig::with_cores(1), W, H);
+    let (_, profile) = r.draw_host_profiled(&verts, &idx, &Mat4::IDENTITY, &RenderState::default(), None);
+    // 16×16 quad pixels, each passing coverage exactly once across both
+    // triangles (the pre-fix rasterizer counted the 16 diagonal pixels
+    // twice and included the exactly-on bottom/right boundary).
+    assert_eq!(profile.total(|t| t.covered), 256);
+    assert_eq!(profile.total(|t| t.shaded), 256);
+}
+
+#[test]
+fn shared_edge_device_matches_host_bit_for_bit() {
+    let (verts, idx) = shared_edge_quad();
+    let mut r = Renderer::new(GpuConfig::with_cores(1), W, H);
+    let state = RenderState::default();
+    let report = r.draw(&verts, &idx, &Mat4::IDENTITY, &state, None);
+    let host = r.draw_host(&verts, &idx, &Mat4::IDENTITY, &state, None);
+    assert_eq!(report.framebuffer.color, host.color, "color planes diverge");
+    let depth_bits = |d: &[f32]| d.iter().map(|z| z.to_bits()).collect::<Vec<_>>();
+    assert_eq!(
+        depth_bits(&report.framebuffer.depth),
+        depth_bits(&host.depth),
+        "depth planes diverge"
+    );
+}
+
+#[test]
+fn depth_always_writes_depth_and_never_rejects() {
+    // Two overlapping quads: with `Always`, the later (farther) draw must
+    // overwrite both color and depth — and device == host.
+    let near: Vec<Vertex> = shared_edge_quad()
+        .0
+        .iter()
+        .map(|v| {
+            let mut m = v.with_color(Rgba8::new(255, 0, 0, 255));
+            m.pos.z = -0.5;
+            m
+        })
+        .collect();
+    let far: Vec<Vertex> = shared_edge_quad()
+        .0
+        .iter()
+        .map(|v| {
+            let mut m = v.with_color(Rgba8::new(0, 255, 0, 255));
+            m.pos.z = 0.5;
+            m
+        })
+        .collect();
+    let mut verts = near;
+    let base = verts.len() as u32;
+    verts.extend(far);
+    let idx: Vec<u32> = (0..6).chain(base..base + 6).collect();
+
+    let state = RenderState {
+        depth_func: DepthFunc::Always,
+        ..RenderState::default()
+    };
+    let mut r = Renderer::new(GpuConfig::with_cores(1), W, H);
+    let report = r.draw(&verts, &idx, &Mat4::IDENTITY, &state, None);
+    let host = r.draw_host(&verts, &idx, &Mat4::IDENTITY, &state, None);
+    assert_eq!(report.framebuffer.color, host.color);
+    let depth_bits = |d: &[f32]| d.iter().map(|z| z.to_bits()).collect::<Vec<_>>();
+    assert_eq!(depth_bits(&report.framebuffer.depth), depth_bits(&host.depth));
+    // The farther-but-later quad wins, and its depth lands in the buffer.
+    assert_eq!(report.framebuffer.pixel(10, 10), Rgba8::new(0, 255, 0, 255));
+    assert_eq!(report.framebuffer.depth[10 * W + 10], 0.75, "z = 0.5 → window 0.75");
+}
+
+#[test]
+fn depth_test_off_leaves_depth_buffer_untouched() {
+    let (verts, idx) = shared_edge_quad();
+    let state = RenderState {
+        depth_test: false,
+        ..RenderState::default()
+    };
+    let mut r = Renderer::new(GpuConfig::with_cores(1), W, H);
+    let report = r.draw(&verts, &idx, &Mat4::IDENTITY, &state, None);
+    let host = r.draw_host(&verts, &idx, &Mat4::IDENTITY, &state, None);
+    assert_eq!(report.framebuffer.color, host.color);
+    assert!(
+        report.framebuffer.depth.iter().all(|&z| z == 1.0),
+        "no depth writes with the depth test off"
+    );
+    assert!(host.depth.iter().all(|&z| z == 1.0));
+    // Color still lands.
+    assert_ne!(report.framebuffer.pixel(10, 10), Rgba8::BLACK);
+}

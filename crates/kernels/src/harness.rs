@@ -12,6 +12,9 @@ pub enum BenchClass {
     MemoryBound,
     /// The synthetic texture-filtering benchmarks (§6.4).
     Texture,
+    /// The 3D-graphics rasterization benchmark (§5.5/§6.4): full
+    /// render-pipeline frames rather than a single kernel loop.
+    Graphics,
 }
 
 /// One benchmark execution's outcome.

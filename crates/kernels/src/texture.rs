@@ -50,8 +50,14 @@ pub struct TexBench {
     pub filter: FilterKind,
     /// `true` = hardware texture unit, `false` = all-software sampling.
     pub hw: bool,
-    /// log2 of the square texture/render-target size.
+    /// log2 of the square source texture size.
     pub log_size: u32,
+    /// Render-target dimensions. `None` = same as the source texture (the
+    /// classic square benchmark); `Some((w, h))` = an arbitrary target —
+    /// e.g. the paper's true 1920×1080 frame — sampled with per-axis
+    /// scaling. The kernel is specialized at build time, so the default
+    /// path's instruction stream is untouched by this option.
+    pub target: Option<(u32, u32)>,
 }
 
 impl TexBench {
@@ -61,11 +67,47 @@ impl TexBench {
             filter,
             hw,
             log_size,
+            target: None,
         }
+    }
+
+    /// Renders into a `w × h` target instead of a square one (the paper's
+    /// 1080p setup: a 1920×1080 frame sampling a square texture).
+    ///
+    /// # Panics
+    /// Panics when either dimension is zero.
+    #[must_use]
+    pub fn with_target(mut self, w: u32, h: u32) -> Self {
+        assert!(w > 0 && h > 0, "render target must be non-empty");
+        self.target = Some((w, h));
+        self
     }
 
     fn size(&self) -> usize {
         1 << self.log_size
+    }
+
+    fn target_dims(&self) -> (u32, u32) {
+        self.target
+            .unwrap_or((1 << self.log_size, 1 << self.log_size))
+    }
+}
+
+/// The per-axis 8.8 fixed-point scale the SW bilinear path applies to
+/// `(pixel + 0.5)`: texel coordinates per target pixel, times 256. Shared
+/// by the kernel emitter and the host oracle so the constants (and thus
+/// the rounding) are identical. In the square case this reduces to the
+/// classic `256 / 2^level`, bit for bit.
+fn sw_scale(log_size: u32, level: u32, target: Option<(u32, u32)>) -> (f32, f32) {
+    match target {
+        None => {
+            let s = 256.0f32 / (1u32 << level) as f32;
+            (s, s)
+        }
+        Some((w, h)) => {
+            let dim = (1u32 << (log_size - level)) as f32 * 256.0;
+            (dim / w as f32, dim / h as f32)
+        }
     }
 }
 
@@ -157,24 +199,34 @@ fn emit_clamp(asm: &mut Assembler, v: Reg, limit: Reg, s1: Reg, s2: Reg) {
     asm.add(v, v, s2);
 }
 
-/// Emits one full software bilinear sample at mip `level`.
+/// Emits one full software bilinear sample at mip `level`, mapping target
+/// pixels to texel space with the per-axis `scale` from [`sw_scale`].
 ///
 /// Inputs: pixel coords `x20`/`x21`, mip base pointer in `base`, `x12` =
 /// log2(size). Result color in `out`. Clobbers x5-x7, x17 (unless it is
 /// `base`), x22-x31, f0, f13.
-fn emit_sw_bilinear(asm: &mut Assembler, tag: &str, base: Reg, level: u32, out: Reg) {
+fn emit_sw_bilinear(
+    asm: &mut Assembler,
+    tag: &str,
+    base: Reg,
+    level: u32,
+    out: Reg,
+    scale: (f32, f32),
+) {
     // Level dims: w_l = 1 << (logw - level).
     asm.li(Reg::X5, 1);
     asm.addi(Reg::X22, Reg::X12, -(level as i32));
     asm.sll(Reg::X22, Reg::X5, Reg::X22); // w_l (square texture: h_l == w_l)
-    // x_fp = trunc((x + 0.5) * 256 * 2^-level) - 128  (8.8 fixed point).
-    let scale = 256.0f32 / (1u32 << level) as f32;
-    for (pix, fp) in [(Reg::X20, Reg::X24), (Reg::X21, Reg::X25)] {
+    // x_fp = trunc((x + 0.5) * scale) - 128  (8.8 fixed point).
+    for (pix, fp, s) in [
+        (Reg::X20, Reg::X24, scale.0),
+        (Reg::X21, Reg::X25, scale.1),
+    ] {
         asm.fcvt_s_wu(FReg::X0, pix);
         asm.li(Reg::X5, 0.5f32.to_bits() as i32);
         asm.fmv_w_x(FReg::X13, Reg::X5);
         asm.fadd(FReg::X0, FReg::X0, FReg::X13);
-        asm.li(Reg::X5, scale.to_bits() as i32);
+        asm.li(Reg::X5, s.to_bits() as i32);
         asm.fmv_w_x(FReg::X13, Reg::X5);
         asm.fmul(FReg::X0, FReg::X0, FReg::X13);
         asm.fcvt_w_s(fp, FReg::X0);
@@ -213,19 +265,30 @@ fn emit_sw_bilinear(asm: &mut Assembler, tag: &str, base: Reg, level: u32, out: 
 
 /// Builds the benchmark program.
 ///
-/// Argument block (both variants): `src, dst, log_size, filter(0/1/2),
-/// lod_bits (f32), frac8, src_mip1`.
+/// Argument block (both variants): `src, log_size, dst, filter(0/1/2),
+/// lod_bits (f32), frac8, src_mip1`; target mode appends `target_w,
+/// target_h` at offsets 28/32. The target dimensions also specialize the
+/// emitted code, so the square default's instruction stream is exactly
+/// the historical one (the `vxbench` texture gate pins its cycle count).
 pub fn program(bench: &TexBench) -> vortex_asm::Program {
+    let target = bench.target;
     let mut asm = Assembler::new();
     emit_spawn_tasks(&mut asm, "body").expect("stub emits once");
     asm.label("body").expect("fresh label");
     util::emit_load_args(&mut asm, 7);
     // x11=src x12=log_size x13=dst x14=filter x15=lod_bits x16=frac8 x17=mip1
     // (arg order rearranged so x12 = log_size for the SW emitters).
-    // Total pixels = 1 << (2*log_size).
-    asm.slli(Reg::X19, Reg::X12, 1);
-    asm.li(Reg::X5, 1);
-    asm.sll(Reg::X19, Reg::X5, Reg::X19);
+    if target.is_some() {
+        // Total pixels = target_w * target_h.
+        asm.lw(Reg::X19, Reg::X10, 28);
+        asm.lw(Reg::X5, Reg::X10, 32);
+        asm.mul(Reg::X19, Reg::X19, Reg::X5);
+    } else {
+        // Total pixels = 1 << (2*log_size).
+        asm.slli(Reg::X19, Reg::X12, 1);
+        asm.li(Reg::X5, 1);
+        asm.sll(Reg::X19, Reg::X5, Reg::X19);
+    }
     util::emit_gtid_stride(&mut asm);
 
     if bench.hw {
@@ -242,6 +305,21 @@ pub fn program(bench: &TexBench) -> vortex_asm::Program {
         let hw_filter = if bench.filter == FilterKind::Point { 0 } else { 1 };
         asm.li(Reg::X5, hw_filter);
         asm.csrw(csr::tex_csr(0, csr::TexReg::Filter), Reg::X5);
+    }
+    if target.is_some() {
+        // Per-axis inverse target dims (f8 = 1/w, f15 = 1/h) and 0.5 —
+        // shared by the HW u/v setup and the SW point path.
+        asm.li(Reg::X5, 1.0f32.to_bits() as i32);
+        asm.fmv_w_x(FReg::X6, Reg::X5);
+        asm.lw(Reg::X5, Reg::X10, 28);
+        asm.fcvt_s_wu(FReg::X8, Reg::X5);
+        asm.fdiv(FReg::X8, FReg::X6, FReg::X8); // f8 = 1 / target_w
+        asm.lw(Reg::X5, Reg::X10, 32);
+        asm.fcvt_s_wu(FReg::X15, Reg::X5);
+        asm.fdiv(FReg::X15, FReg::X6, FReg::X15); // f15 = 1 / target_h
+        asm.li(Reg::X5, 0.5f32.to_bits() as i32);
+        asm.fmv_w_x(FReg::X7, Reg::X5); // f7 = 0.5
+    } else if bench.hw {
         // inv_size = 1.0 / 2^log_size; constants 0.5 and 1.0.
         asm.li(Reg::X5, 1);
         asm.sll(Reg::X5, Reg::X5, Reg::X12);
@@ -254,22 +332,32 @@ pub fn program(bench: &TexBench) -> vortex_asm::Program {
     }
 
     util::emit_loop_head(&mut asm, Reg::X19, "tx").expect("fresh tag");
-    // x = i & (size-1); y = i >> log_size.
-    asm.li(Reg::X5, 1);
-    asm.sll(Reg::X5, Reg::X5, Reg::X12);
-    asm.addi(Reg::X5, Reg::X5, -1);
-    asm.and(Reg::X20, R_IDX, Reg::X5);
-    asm.srl(Reg::X21, R_IDX, Reg::X12);
+    if target.is_some() {
+        // x = i % target_w; y = i / target_w (no power-of-two shortcut).
+        asm.lw(Reg::X5, Reg::X10, 28);
+        asm.remu(Reg::X20, R_IDX, Reg::X5);
+        asm.divu(Reg::X21, R_IDX, Reg::X5);
+    } else {
+        // x = i & (size-1); y = i >> log_size.
+        asm.li(Reg::X5, 1);
+        asm.sll(Reg::X5, Reg::X5, Reg::X12);
+        asm.addi(Reg::X5, Reg::X5, -1);
+        asm.and(Reg::X20, R_IDX, Reg::X5);
+        asm.srl(Reg::X21, R_IDX, Reg::X12);
+    }
 
+    // The v axis divides by the height — same register as u for a square
+    // target, f15 in target mode.
+    let inv_v = if target.is_some() { FReg::X15 } else { FReg::X8 };
     if bench.hw {
-        // u/v = (coord + 0.5) * inv_size, as f32 bit patterns.
+        // u/v = (coord + 0.5) * inv_dim, as f32 bit patterns.
         asm.fcvt_s_wu(FReg::X0, Reg::X20);
         asm.fadd(FReg::X0, FReg::X0, FReg::X7);
         asm.fmul(FReg::X0, FReg::X0, FReg::X8);
         asm.fmv_x_w(Reg::X24, FReg::X0);
         asm.fcvt_s_wu(FReg::X1, Reg::X21);
         asm.fadd(FReg::X1, FReg::X1, FReg::X7);
-        asm.fmul(FReg::X1, FReg::X1, FReg::X8);
+        asm.fmul(FReg::X1, FReg::X1, inv_v);
         asm.fmv_x_w(Reg::X25, FReg::X1);
         match bench.filter {
             FilterKind::Point | FilterKind::Bilinear => {
@@ -299,6 +387,27 @@ pub fn program(bench: &TexBench) -> vortex_asm::Program {
         }
     } else {
         match bench.filter {
+            FilterKind::Point if target.is_some() => {
+                // Real SW point sampling: the target pixel maps through
+                // normalized coordinates into the texture.
+                // xi = trunc((x + 0.5) * inv_w * size), clamped.
+                asm.li(Reg::X5, 1);
+                asm.sll(Reg::X22, Reg::X5, Reg::X12); // size
+                asm.fcvt_s_wu(FReg::X13, Reg::X22);
+                for (pix, inv, xi) in [(Reg::X20, FReg::X8, Reg::X24), (Reg::X21, FReg::X15, Reg::X25)] {
+                    asm.fcvt_s_wu(FReg::X0, pix);
+                    asm.fadd(FReg::X0, FReg::X0, FReg::X7);
+                    asm.fmul(FReg::X0, FReg::X0, inv);
+                    asm.fmul(FReg::X0, FReg::X0, FReg::X13);
+                    asm.fcvt_w_s(xi, FReg::X0);
+                    emit_clamp(&mut asm, xi, Reg::X22, Reg::X5, Reg::X6);
+                }
+                asm.sll(Reg::X5, Reg::X25, Reg::X12);
+                asm.add(Reg::X5, Reg::X5, Reg::X24);
+                asm.slli(Reg::X5, Reg::X5, 2);
+                asm.add(Reg::X5, Reg::X5, Reg::X11);
+                asm.lw(Reg::X26, Reg::X5, 0);
+            }
             FilterKind::Point => {
                 // SW point sampling of an equal-size RGBA8 texture reduces
                 // to address arithmetic + copy (§6.4: "the point-sampling
@@ -310,14 +419,17 @@ pub fn program(bench: &TexBench) -> vortex_asm::Program {
                 asm.lw(Reg::X26, Reg::X5, 0);
             }
             FilterKind::Bilinear => {
-                emit_sw_bilinear(&mut asm, "b0", Reg::X11, 0, Reg::X26);
+                let s = sw_scale(bench.log_size, 0, target);
+                emit_sw_bilinear(&mut asm, "b0", Reg::X11, 0, Reg::X26, s);
             }
             FilterKind::Trilinear => {
-                emit_sw_bilinear(&mut asm, "t0", Reg::X11, 0, Reg::X26);
+                let s0 = sw_scale(bench.log_size, 0, target);
+                emit_sw_bilinear(&mut asm, "t0", Reg::X11, 0, Reg::X26, s0);
                 // The level-1 sample must not clobber the level-0 result:
                 // park it in f1 (the FP file doubles as spare storage).
                 asm.fmv_w_x(FReg::X1, Reg::X26);
-                emit_sw_bilinear(&mut asm, "t1", Reg::X17, 1, Reg::X26);
+                let s1 = sw_scale(bench.log_size, 1, target);
+                emit_sw_bilinear(&mut asm, "t1", Reg::X17, 1, Reg::X26, s1);
                 asm.fmv_x_w(Reg::X27, FReg::X1);
                 emit_color_lerp(
                     &mut asm,
@@ -344,12 +456,20 @@ pub fn program(bench: &TexBench) -> vortex_asm::Program {
 }
 
 /// Host replica of the SW fixed-point bilinear path (bit-exact with the
-/// kernel's arithmetic).
-fn host_sw_bilinear(tex: &[u8], mip_off: usize, log_size: u32, level: u32, x: u32, y: u32) -> u32 {
+/// kernel's arithmetic; `scale` comes from the same [`sw_scale`] the
+/// emitter embeds).
+fn host_sw_bilinear(
+    tex: &[u8],
+    mip_off: usize,
+    log_size: u32,
+    level: u32,
+    x: u32,
+    y: u32,
+    scale: (f32, f32),
+) -> u32 {
     let w = 1i32 << (log_size - level);
-    let scale = 256.0f32 / (1u32 << level) as f32;
-    let fp = |p: u32| ((p as f32 + 0.5) * scale) as i32 - 128;
-    let (x_fp, y_fp) = (fp(x), fp(y));
+    let fp = |p: u32, s: f32| ((p as f32 + 0.5) * s) as i32 - 128;
+    let (x_fp, y_fp) = (fp(x, scale.0), fp(y, scale.1));
     let (x0, fu) = (x_fp >> 8, (x_fp & 255) as u32);
     let (y0, fv) = (y_fp >> 8, (y_fp & 255) as u32);
     let clamp = |v: i32| v.clamp(0, w - 1) as usize;
@@ -392,7 +512,8 @@ impl Benchmark for TexBench {
 
     fn run_on(&self, config: &GpuConfig) -> BenchResult {
         let size = self.size();
-        let pixels = size * size;
+        let (tw, th) = self.target_dims();
+        let pixels = tw as usize * th as usize;
         let tex_bytes = build_texture_with_mips(self.log_size);
         let mut dev = Device::new(config.clone());
         let buf_tex = dev.alloc(tex_bytes.len() as u32).expect("alloc tex");
@@ -404,7 +525,7 @@ impl Benchmark for TexBench {
             FilterKind::Trilinear => (0.0f32, 128u32),
             _ => (0.0, 0),
         };
-        let mip1_off = pixels as u32 * 4;
+        let mip1_off = (size * size) as u32 * 4;
 
         let mut args = ArgWriter::new();
         args.word(buf_tex.addr)
@@ -418,6 +539,9 @@ impl Benchmark for TexBench {
             .float(lod)
             .word(frac8)
             .word(buf_tex.addr + mip1_off);
+        if self.target.is_some() {
+            args.word(tw).word(th);
+        }
         dev.write_args(&args);
 
         let prog = program(self);
@@ -436,12 +560,13 @@ impl Benchmark for TexBench {
         };
         let mut host_ram = vortex_mem::Ram::new();
         host_ram.write_bytes(0, &tex_bytes);
-        let inv = 1.0 / size as f32;
+        let inv_w = 1.0 / tw as f32;
+        let inv_h = 1.0 / th as f32;
         let mut ok = true;
         for (i, &got_px) in got.iter().enumerate() {
-            let (x, y) = ((i % size) as u32, (i / size) as u32);
-            let u = (x as f32 + 0.5) * inv;
-            let v = (y as f32 + 0.5) * inv;
+            let (x, y) = ((i % tw as usize) as u32, (i / tw as usize) as u32);
+            let u = (x as f32 + 0.5) * inv_w;
+            let v = (y as f32 + 0.5) * inv_h;
             let expect = if self.hw {
                 match self.filter {
                     FilterKind::Point => {
@@ -459,7 +584,20 @@ impl Benchmark for TexBench {
             } else {
                 match self.filter {
                     FilterKind::Point => {
-                        let idx = (y as usize * size + x as usize) * 4;
+                        // Target mode maps through normalized coords with
+                        // the kernel's exact f32 order; the square default
+                        // is the historical equal-size copy.
+                        let (xi, yi) = if self.target.is_some() {
+                            let xi = (((x as f32 + 0.5) * inv_w) * size as f32) as i32;
+                            let yi = (((y as f32 + 0.5) * inv_h) * size as f32) as i32;
+                            (
+                                xi.clamp(0, size as i32 - 1) as usize,
+                                yi.clamp(0, size as i32 - 1) as usize,
+                            )
+                        } else {
+                            (x as usize, y as usize)
+                        };
+                        let idx = (yi * size + xi) * 4;
                         u32::from_le_bytes([
                             tex_bytes[idx],
                             tex_bytes[idx + 1],
@@ -468,10 +606,13 @@ impl Benchmark for TexBench {
                         ])
                     }
                     FilterKind::Bilinear => {
-                        host_sw_bilinear(&tex_bytes, 0, self.log_size, 0, x, y)
+                        let s = sw_scale(self.log_size, 0, self.target);
+                        host_sw_bilinear(&tex_bytes, 0, self.log_size, 0, x, y, s)
                     }
                     FilterKind::Trilinear => {
-                        let a = host_sw_bilinear(&tex_bytes, 0, self.log_size, 0, x, y);
+                        let s0 = sw_scale(self.log_size, 0, self.target);
+                        let s1 = sw_scale(self.log_size, 1, self.target);
+                        let a = host_sw_bilinear(&tex_bytes, 0, self.log_size, 0, x, y, s0);
                         let b = host_sw_bilinear(
                             &tex_bytes,
                             mip1_off as usize,
@@ -479,6 +620,7 @@ impl Benchmark for TexBench {
                             1,
                             x,
                             y,
+                            s1,
                         );
                         let mut out = 0u32;
                         for shift in [0, 8, 16, 24] {
@@ -547,6 +689,31 @@ mod tests {
     #[test]
     fn trilinear_sw_matches_oracle() {
         check(FilterKind::Trilinear, false);
+    }
+
+    #[test]
+    fn non_square_target_validates_all_filters() {
+        // A 24×10 target (neither square nor power-of-two) sampling a
+        // 16×16 texture — the shape of the true-1080p Figure 20 runs.
+        for filter in [FilterKind::Point, FilterKind::Bilinear, FilterKind::Trilinear] {
+            for hw in [true, false] {
+                let b = TexBench::new(filter, hw, 4).with_target(24, 10);
+                let r = b.run_on(&GpuConfig::with_cores(1));
+                assert!(r.validated, "{} 24x10 failed validation", r.name);
+                assert_eq!(r.work, 240);
+            }
+        }
+    }
+
+    #[test]
+    fn square_target_option_matches_default_codegen() {
+        // The pinned vxbench texture gate depends on the default path's
+        // instruction stream staying exactly as it was: `target: None`
+        // must emit byte-identical code whatever the option could do.
+        let base = TexBench::new(FilterKind::Bilinear, true, 5);
+        let prog = program(&base);
+        let again = program(&TexBench { target: None, ..base });
+        assert_eq!(prog.image, again.image);
     }
 
     #[test]

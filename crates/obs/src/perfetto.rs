@@ -14,6 +14,13 @@ use std::fmt::Write as _;
 use vortex_core::error::HangReport;
 use vortex_core::telemetry::TimeSeries;
 use vortex_core::trace::TraceEvent;
+use vortex_gfx::RasterProfile;
+use vortex_tex::TexUnitStats;
+
+/// Track (trace "process") id the raster tile counters render under —
+/// far above any realistic core count, so it never collides with the
+/// per-core tracks or the whole-GPU "memory" track.
+const RASTER_PID: usize = 9000;
 
 /// Incrementally builds a timeline document. Events are serialized as
 /// they are added, so a million-event trace never holds two copies.
@@ -128,6 +135,46 @@ impl Timeline {
         }
     }
 
+    /// Adds the host rasterizer's per-tile profile as a counter track on a
+    /// dedicated "raster" process: one `ph: "C"` sample per tile in
+    /// row-major order with `ts` = tile index, so the track reads as a
+    /// spatial sweep across the frame (left→right, top→bottom) rather than
+    /// a time axis. Each sample carries the tile's binned-triangle count
+    /// and its covered / shaded / texture-sample totals — hot tiles stand
+    /// out as peaks. A frame-level instant summarizes the totals, folding
+    /// in the device texture-unit counters for the same frame when given.
+    pub fn add_raster_profile(&mut self, profile: &RasterProfile, tex: Option<&TexUnitStats>) {
+        self.events.push(format!(
+            "{{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": {RASTER_PID}, \
+             \"args\": {{\"name\": \"raster\"}}}}"
+        ));
+        for (i, t) in profile.tiles.iter().enumerate() {
+            self.events.push(format!(
+                "{{\"name\": \"tile\", \"ph\": \"C\", \"ts\": {i}, \"pid\": {RASTER_PID}, \
+                 \"args\": {{\"tris\": {}, \"covered\": {}, \"shaded\": {}, \
+                 \"tex_samples\": {}}}}}",
+                t.tris, t.covered, t.shaded, t.tex_samples
+            ));
+        }
+        let tex_args = tex.map_or_else(String::new, |t| {
+            format!(
+                ", \"tex_requests\": {}, \"texels_generated\": {}, \"texels_fetched\": {}",
+                t.requests, t.texels_generated, t.texels_fetched
+            )
+        });
+        self.events.push(format!(
+            "{{\"name\": {}, \"ph\": \"i\", \"ts\": 0, \"pid\": {RASTER_PID}, \"tid\": 0, \
+             \"s\": \"p\", \"args\": {{\"tiles_x\": {}, \"tiles_y\": {}, \"covered\": {}, \
+             \"shaded\": {}, \"tex_samples\": {}{tex_args}}}}}",
+            quote("frame"),
+            profile.tiles_x,
+            profile.tiles_y,
+            profile.total(|t| t.covered),
+            profile.total(|t| t.shaded),
+            profile.total(|t| t.tex_samples),
+        ));
+    }
+
     /// Adds the watchdog's hang diagnosis: one global instant marking the
     /// abort cycle plus one instant per stuck warp on its own track,
     /// carrying the warp's stall reason and queue occupancies.
@@ -230,6 +277,48 @@ mod tests {
         let x = events.iter().find(|e| e.get("ph").unwrap().as_str() == Some("X")).unwrap();
         assert_eq!(x.get("dur").unwrap().as_num(), Some(1.0));
         assert!(x.get("args").unwrap().get("pc").unwrap().as_str().unwrap().starts_with("0x"));
+    }
+
+    #[test]
+    fn raster_profile_becomes_a_spatial_counter_track() {
+        use vortex_gfx::TileRasterStats;
+
+        let mut t = Timeline::new();
+        let profile = RasterProfile {
+            tiles_x: 2,
+            tiles_y: 1,
+            tiles: vec![
+                TileRasterStats { tris: 3, covered: 10, shaded: 8, tex_samples: 8 },
+                TileRasterStats { tris: 1, covered: 4, shaded: 4, tex_samples: 0 },
+            ],
+        };
+        let tex = TexUnitStats {
+            requests: 8,
+            texels_generated: 32,
+            texels_fetched: 20,
+            ..TexUnitStats::default()
+        };
+        t.add_raster_profile(&profile, Some(&tex));
+        let v = Value::parse(&t.render()).expect("valid JSON");
+        let events = v.get("traceEvents").unwrap().as_arr().unwrap();
+        // process_name + 2 tile counters + frame instant.
+        assert_eq!(events.len(), 4);
+        let tiles: Vec<_> = events
+            .iter()
+            .filter(|e| e.get("ph").unwrap().as_str() == Some("C"))
+            .collect();
+        assert_eq!(tiles.len(), 2);
+        // ts is the tile index (a spatial axis), args carry the stats.
+        assert_eq!(tiles[1].get("ts").unwrap().as_num(), Some(1.0));
+        assert_eq!(tiles[0].get("args").unwrap().get("shaded").unwrap().as_num(), Some(8.0));
+        let frame = events
+            .iter()
+            .find(|e| e.get("ph").unwrap().as_str() == Some("i"))
+            .expect("frame instant");
+        let args = frame.get("args").unwrap();
+        assert_eq!(args.get("covered").unwrap().as_num(), Some(14.0));
+        assert_eq!(args.get("tex_samples").unwrap().as_num(), Some(8.0));
+        assert_eq!(args.get("texels_fetched").unwrap().as_num(), Some(20.0));
     }
 
     #[test]

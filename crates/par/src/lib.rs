@@ -1,18 +1,31 @@
-//! Scoped-thread parallel sweep runner.
+//! # vortex-par
 //!
-//! Every experiment binary is a sweep: the same simulator run repeated
-//! across a grid of configurations (core shapes, port counts, DRAM
-//! latencies, fault seeds). The runs are fully independent — each builds
-//! its own [`vortex_core::Gpu`] — so they parallelize trivially. This
-//! module provides the one primitive they all share: an order-preserving
-//! parallel map over a work list, built on `std::thread::scope` with an
-//! atomic work index (no external dependencies, no unsafe).
+//! Order-preserving scoped-thread parallel map — the one concurrency
+//! primitive the repository's embarrassingly-parallel host work shares.
 //!
-//! Determinism: each simulation is single-threaded and seed-deterministic,
-//! and [`par_map`] returns results in *input order* no matter how many
-//! workers ran or how the OS scheduled them. A sweep therefore prints
-//! byte-identical output at any `--jobs`/`VORTEX_JOBS` setting — asserted
-//! by the integration tests.
+//! Two layers use it:
+//!
+//! * **Experiment sweeps** (`vortex-bench`, which re-exports this crate
+//!   as `vortex_bench::par`): the same simulator run repeated across a
+//!   grid of configurations. The runs are fully independent — each
+//!   builds its own `vortex_core::Gpu` — so they parallelize trivially.
+//! * **The host-reference rasterizer** (`vortex-gfx`): screen tiles are
+//!   independent by construction (every pixel belongs to exactly one
+//!   tile, and draw-order blending semantics are per-pixel), so a frame
+//!   fans out one work item per tile.
+//!
+//! Built on `std::thread::scope` with an atomic work index — no external
+//! dependencies, no unsafe.
+//!
+//! Determinism: [`par_map`] returns results in *input order* no matter
+//! how many workers ran or how the OS scheduled them. When `f` itself is
+//! deterministic, a caller therefore produces byte-identical output at
+//! any `--jobs`/`VORTEX_JOBS` setting — asserted by the integration
+//! tests (sweep stdout) and the rasterizer's serial-vs-parallel
+//! framebuffer identity tests.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;

@@ -1,6 +1,7 @@
 //! Graphics: render two textured, depth-tested triangles through the full
 //! pipeline — host geometry + binning, device rasterization with the
-//! hardware `tex` instruction — and write the frame to `target/frame.ppm`.
+//! hardware `tex` instruction — and write the frame to `target/frame.ppm`
+//! plus a per-tile Perfetto timeline to `target/frame_trace.json`.
 //!
 //! ```sh
 //! cargo run --release --example graphics
@@ -9,6 +10,7 @@
 use vortex::gfx::pipeline::Texture;
 use vortex::gfx::{Mat4, RenderState, Renderer, Vertex};
 use vortex::gpu::GpuConfig;
+use vortex::obs::perfetto::Timeline;
 use vortex::tex::Rgba8;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -46,13 +48,22 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
 
     // Host-side render of the full scene (both passes) for the image file;
-    // the flat state for the triangle pass.
+    // the flat state for the triangle pass. The profiled variant also
+    // yields per-tile raster counters for the timeline.
     let flat = RenderState::default();
-    let fb_quad = renderer.draw_host(&vertices, &indices[..6], &mvp, &state, Some(&texture));
+    let (fb_quad, mut profile) =
+        renderer.draw_host_profiled(&vertices, &indices[..6], &mvp, &state, Some(&texture));
     let mut fb = fb_quad;
     // Overlay the near triangle respecting depth (host path reuses the
     // same raster arithmetic).
-    let fb_tri = renderer.draw_host(&vertices, &indices[6..], &mvp, &flat, None);
+    let (fb_tri, tri_profile) =
+        renderer.draw_host_profiled(&vertices, &indices[6..], &mvp, &flat, None);
+    for (t, o) in profile.tiles.iter_mut().zip(&tri_profile.tiles) {
+        t.tris += o.tris;
+        t.covered += o.covered;
+        t.shaded += o.shaded;
+        t.tex_samples += o.tex_samples;
+    }
     for i in 0..fb.color.len() {
         if fb_tri.depth[i] < fb.depth[i] {
             fb.color[i] = fb_tri.color[i];
@@ -69,6 +80,17 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         fb.height,
         fb.coverage(Rgba8::new(16, 16, 32, 255)) * 100.0,
         fb.color_checksum()
+    );
+    // Per-tile raster counters (both passes merged) plus the device
+    // texture-unit totals from pass 1, on a Perfetto "raster" track.
+    let mut timeline = Timeline::new();
+    timeline.add_raster_profile(&profile, Some(&report.stats.merged_tex()));
+    std::fs::write("target/frame_trace.json", timeline.render())?;
+    println!(
+        "wrote target/frame_trace.json ({} tile samples on a {}x{} grid)",
+        profile.tiles.len(),
+        profile.tiles_x,
+        profile.tiles_y
     );
     Ok(())
 }

@@ -15,5 +15,6 @@ pub use vortex_isa as isa;
 pub use vortex_kernels as kernels;
 pub use vortex_mem as mem;
 pub use vortex_model as model;
+pub use vortex_obs as obs;
 pub use vortex_runtime as runtime;
 pub use vortex_tex as tex;
