@@ -163,6 +163,21 @@ fn measure(name: &'static str, bench: &dyn Benchmark) -> Measurement {
         sampled.stats, reference_stats,
         "{name}: GpuStats must be bit-identical with telemetry on/off"
     );
+    // Profiler gate: same discipline for the PC-level profiler. It hooks
+    // the issue, stall, and LSU paths, so any timing perturbation would
+    // show up as a cycle/stat divergence here.
+    let mut profiled_config = GpuConfig::with_cores(1);
+    profiled_config.profile = true;
+    let profiled = bench.run_on(&profiled_config);
+    assert!(profiled.validated, "{name} failed validation (profiled)");
+    assert_eq!(
+        profiled.stats, reference_stats,
+        "{name}: GpuStats must be bit-identical with profiling on/off"
+    );
+    assert!(
+        profiled.profile.is_some(),
+        "{name}: profiled run must surface a GpuProfile"
+    );
     best
 }
 
@@ -264,20 +279,46 @@ fn main() {
     let mut out_file: Option<String> = None;
     let mut check_file: Option<String> = None;
     let mut only: Option<String> = None;
+    let mut list = false;
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--quick" => quick = true,
+            "--list" => list = true,
             "--out" => out_file = it.next().cloned(),
             "--check" => check_file = it.next().cloned(),
             "--only" => only = it.next().cloned(),
             _ => {
-                eprintln!("usage: vxbench [--quick] [--only NAME] [--out FILE] [--check FILE]");
+                eprintln!(
+                    "usage: vxbench [--quick] [--list] [--only NAME] [--out FILE] [--check FILE]"
+                );
                 std::process::exit(2);
             }
         }
     }
     let mode = if quick { "quick" } else { "full" };
+    // Every workload name the selected suite knows, for `--list` and for
+    // rejecting an unknown `--only` before any simulation runs.
+    let known: Vec<&'static str> = workloads(quick)
+        .iter()
+        .chain(mc_workloads(quick).iter())
+        .map(|(name, _)| *name)
+        .collect();
+    if list {
+        for name in &known {
+            println!("{name}");
+        }
+        return;
+    }
+    if let Some(o) = &only {
+        if !known.iter().any(|name| name == o) {
+            eprintln!(
+                "vxbench: unknown workload {o:?}; available: {}",
+                known.join(", ")
+            );
+            std::process::exit(2);
+        }
+    }
     eprintln!("vxbench ({mode} suite, best of {RUNS} runs per workload)");
     if cfg!(debug_assertions) {
         eprintln!("warning: debug build — throughput numbers are meaningless");

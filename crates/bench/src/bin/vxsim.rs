@@ -26,7 +26,17 @@
 //!   counter tracks from `--sample`, watchdog instants on a hang, and
 //!   recovery-rollback instants;
 //! * `--trace-out FILE` redirects the instruction-trace dump, which
-//!   otherwise goes to stderr so it never interleaves with the report.
+//!   otherwise goes to stderr so it never interleaves with the report;
+//! * `--profile` enables the PC-level profiler (observation-only: cycle
+//!   counts and stats are bit-identical on or off) and prints the top-10
+//!   disassembly-annotated hotspot table after the PASS report, with
+//!   labels symbolized from the kernel's symbol table;
+//! * `--profile-out FILE` writes the `vortex-profile-v1` JSON export
+//!   (implies `--profile`; written on every outcome — on HANG/TRAP/
+//!   TIMEOUT the partial profile is the diagnosis);
+//! * `--annotate` prints the full program-order annotated listing
+//!   (implies `--profile`). With `--timeline`, profiling adds a top-N
+//!   hotspot counter track.
 //!
 //! Checkpoint/restore (crash safety):
 //! * `--checkpoint-every N` pauses the simulation every N cycles and
@@ -94,7 +104,7 @@ fn usage() -> ! {
          [--sample N] [--stats-json FILE] [--timeline FILE] \
          [--trace-out FILE] [--inject k=v,...] [--sim-threads N] \
          [--checkpoint-every N] [--checkpoint-dir DIR] [--resume FILE] \
-         [--resume-retry N]\n\
+         [--resume-retry N] [--profile] [--profile-out FILE] [--annotate]\n\
          exit codes: 0 pass, 1 io, 2 usage, 10 hang, 11 trap, \
          12 bad-access (reserved), 13 snapshot-corrupt, 14 timeout"
     );
@@ -109,10 +119,38 @@ fn write_file(path: &str, what: &str, contents: &str) {
 }
 
 fn take_path<'a>(it: &mut impl Iterator<Item = &'a String>, what: &str) -> String {
-    it.next().cloned().unwrap_or_else(|| {
-        eprintln!("{what} needs a file path");
+    match it.next() {
+        // A following flag almost certainly means the path was forgotten;
+        // swallowing it as a filename would silently drop that flag too.
+        Some(v) if !v.starts_with("--") => v.clone(),
+        Some(v) => {
+            eprintln!("vxsim: {what} expects a file path, got flag-like {v:?}");
+            usage()
+        }
+        None => {
+            eprintln!("vxsim: {what} expects a file path");
+            usage()
+        }
+    }
+}
+
+/// Parses the next argument as a strictly positive integer. Missing
+/// values, garbage, and zero are structured usage errors — every numeric
+/// flag here enables or sizes something, so `0` (e.g. `--sample 0`) would
+/// silently disable the feature the user just asked for, and the old
+/// lenient parser accepted it without a word.
+fn positive<'a>(it: &mut impl Iterator<Item = &'a String>, what: &str) -> u64 {
+    let Some(v) = it.next() else {
+        eprintln!("vxsim: {what} expects a positive integer");
         usage()
-    })
+    };
+    match v.parse::<u64>() {
+        Ok(n) if n >= 1 => n,
+        _ => {
+            eprintln!("vxsim: {what} expects a positive integer (>= 1), got {v:?}");
+            usage()
+        }
+    }
 }
 
 fn main() {
@@ -131,33 +169,31 @@ fn main() {
     let mut checkpoint_dir = ".".to_string();
     let mut resume: Option<String> = None;
     let mut resume_retry = 0u32;
+    let mut profile = false;
+    let mut profile_out: Option<String> = None;
+    let mut annotate = false;
     let mut faults = FaultConfig::off();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
-        let mut num = |what: &str| -> usize {
-            it.next()
-                .and_then(|v| v.parse().ok())
-                .unwrap_or_else(|| {
-                    eprintln!("{what} needs a number");
-                    usage()
-                })
-        };
         match arg.as_str() {
-            "--cores" => cores = num("--cores"),
-            "--warps" => warps = num("--warps"),
-            "--threads" => threads = num("--threads"),
-            "--ports" => ports = num("--ports"),
-            "--trace" => trace = num("--trace"),
-            "--max-cycles" => max_cycles = num("--max-cycles") as u64,
-            "--sample" => sample = num("--sample") as u64,
-            "--sim-threads" => sim_threads = Some(num("--sim-threads")),
-            "--checkpoint-every" => checkpoint_every = num("--checkpoint-every") as u64,
-            "--resume-retry" => resume_retry = num("--resume-retry") as u32,
+            "--cores" => cores = positive(&mut it, "--cores") as usize,
+            "--warps" => warps = positive(&mut it, "--warps") as usize,
+            "--threads" => threads = positive(&mut it, "--threads") as usize,
+            "--ports" => ports = positive(&mut it, "--ports") as usize,
+            "--trace" => trace = positive(&mut it, "--trace") as usize,
+            "--max-cycles" => max_cycles = positive(&mut it, "--max-cycles"),
+            "--sample" => sample = positive(&mut it, "--sample"),
+            "--sim-threads" => sim_threads = Some(positive(&mut it, "--sim-threads") as usize),
+            "--checkpoint-every" => checkpoint_every = positive(&mut it, "--checkpoint-every"),
+            "--resume-retry" => resume_retry = positive(&mut it, "--resume-retry") as u32,
             "--checkpoint-dir" => checkpoint_dir = take_path(&mut it, "--checkpoint-dir"),
             "--resume" => resume = Some(take_path(&mut it, "--resume")),
             "--stats-json" => stats_json = Some(take_path(&mut it, "--stats-json")),
             "--timeline" => timeline_out = Some(take_path(&mut it, "--timeline")),
             "--trace-out" => trace_out = Some(take_path(&mut it, "--trace-out")),
+            "--profile" => profile = true,
+            "--profile-out" => profile_out = Some(take_path(&mut it, "--profile-out")),
+            "--annotate" => annotate = true,
             "--inject" => {
                 let spec = it.next().unwrap_or_else(|| {
                     eprintln!("--inject needs a spec (e.g. seed=1,dram_drop=5)");
@@ -192,6 +228,10 @@ fn main() {
     config.core = CoreConfig::with_dims(warps, threads);
     config.core.dcache.ports = ports;
     config.sample_interval = sample;
+    // --profile-out and --annotate imply collection; all three are
+    // observation-only (cycles and stats are bit-identical on or off).
+    let profiling = profile || profile_out.is_some() || annotate;
+    config.profile = profiling;
     // Host pool threads for the per-cycle compute phase. `--threads` is
     // taken (SIMT threads per wavefront), hence the longer name; without
     // the flag the `VORTEX_SIM_THREADS` default from `with_cores` stands.
@@ -353,6 +393,18 @@ fn main() {
         );
         write_file(path, "stats JSON", &doc);
     }
+    // The PC-level profile, like the stats, is valid on every outcome —
+    // on HANG/TRAP/TIMEOUT the hotspots up to the stop are the diagnosis.
+    let gpu_profile = if profiling { gpu.profile() } else { None };
+    let symbols =
+        vortex_obs::Symbols::new(program.symbols.iter().map(|(name, &addr)| (name.clone(), addr)));
+    if let (Some(p), Some(path)) = (&gpu_profile, &profile_out) {
+        write_file(
+            path,
+            "profile JSON",
+            &vortex_obs::render_profile_json(&file, p),
+        );
+    }
     if let Some(path) = &timeline_out {
         let mut tl = Timeline::new();
         for c in 0..cores {
@@ -360,6 +412,9 @@ fn main() {
         }
         if let Some(ts) = gpu.time_series() {
             tl.add_time_series(ts);
+        }
+        if let Some(p) = &gpu_profile {
+            tl.add_profile_summary(p, 10);
         }
         if let Err(SimError::Hang(report)) = &outcome {
             tl.add_hang_report(report);
@@ -401,6 +456,14 @@ fn main() {
                     "  core {i}: {} instrs, D$ hit rate {hit_rate}, {} divergences, {} barriers",
                     c.instrs, c.divergences, c.barriers
                 );
+            }
+            if let Some(p) = &gpu_profile {
+                if annotate {
+                    println!("\nannotated listing:");
+                    print!("{}", vortex_obs::render_annotated(p, Some(&symbols)));
+                }
+                println!("\nhotspots (top 10 by thread-instructions):");
+                print!("{}", vortex_obs::render_report(p, 10, Some(&symbols)));
             }
         }
         Err(e) => {

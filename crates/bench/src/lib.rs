@@ -143,6 +143,38 @@ pub fn run_rodinia_suite(config: &GpuConfig) -> Vec<BenchResult> {
     })
 }
 
+/// The named workloads `vxprof` can profile: the four snapshot-gate
+/// kernels plus the full graphics pipeline. `fast` selects the CI smoke
+/// sizes (matching `vxbench --quick`); otherwise the gate-pinned full
+/// sizes run.
+pub fn registered_benches(fast: bool) -> Vec<(&'static str, Box<dyn Benchmark>)> {
+    use vortex_gfx::RasterBench;
+    use vortex_kernels::{Bfs, FilterKind, Nearn, Sgemm, TexBench};
+    if fast {
+        vec![
+            ("sgemm", Box::new(Sgemm::new(12)) as Box<dyn Benchmark>),
+            ("bfs", Box::new(Bfs::new(96, 3))),
+            ("nearn", Box::new(Nearn::new(256))),
+            (
+                "texture",
+                Box::new(TexBench::new(FilterKind::Bilinear, true, 5)),
+            ),
+            ("raster", Box::new(RasterBench::quick())),
+        ]
+    } else {
+        vec![
+            ("sgemm", Box::new(Sgemm::default()) as Box<dyn Benchmark>),
+            ("bfs", Box::new(Bfs::default())),
+            ("nearn", Box::new(Nearn::default())),
+            (
+                "texture",
+                Box::new(TexBench::new(FilterKind::Bilinear, true, 6)),
+            ),
+            ("raster", Box::new(RasterBench::default())),
+        ]
+    }
+}
+
 /// The five design-space configurations of Table 3 / Figure 14, as
 /// `(wavefronts, threads)`.
 pub const DESIGN_SPACE: [(usize, usize); 5] = [(4, 4), (2, 8), (8, 2), (4, 8), (8, 4)];

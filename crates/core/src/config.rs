@@ -175,6 +175,16 @@ pub struct GpuConfig {
     /// enters the snapshot fingerprint. `0` (the default) disables the
     /// drill at the cost of one branch per `run` call.
     pub checkpoint_drill: u64,
+    /// Enable the PC-level profiler ([`crate::profile`]): per-PC issue
+    /// counts, stall attribution, lane-utilization histograms and LSU/
+    /// D-cache attribution, merged deterministically in core-id order.
+    /// Observation-only — simulated cycles and [`crate::GpuStats`] are
+    /// bit-identical on or off (asserted by the bench profile gate); the
+    /// disabled cost is one `Option` test per issue-stage event. Unlike
+    /// `sim_threads`, profiling *does* enter the snapshot fingerprint:
+    /// profiled snapshots carry extra per-core payload and must not be
+    /// restored into an unprofiled machine (or vice versa).
+    pub profile: bool,
 }
 
 impl GpuConfig {
@@ -199,6 +209,7 @@ impl GpuConfig {
             sample_interval: 0,
             sim_threads: sim_threads_from_env(),
             checkpoint_drill: 0,
+            profile: false,
         }
     }
 

@@ -29,6 +29,7 @@ use crate::decode_cache::DecodeCache;
 use crate::error::{CoreHangState, SimError, WarpHangState};
 use crate::exec::{self, CsrFile, ExecEnv, ExecPool, FuKind, Trap, Writeback};
 use crate::lsu::{tags, Lsu};
+use crate::profile::CoreProfile;
 use crate::regfile::RegFile;
 use crate::scheduler::WavefrontScheduler;
 use crate::scoreboard::{RegId, Scoreboard};
@@ -146,6 +147,11 @@ pub struct Core {
     /// counters are folded in on demand by [`Core::stats_snapshot`] so the
     /// hot loop does not copy them every cycle.
     stats: CoreStats,
+    /// PC-level profile accumulator ([`None`] unless
+    /// [`Core::enable_profile`] ran). Boxed so the disabled case costs one
+    /// pointer-sized field; observation-only, never consulted by the
+    /// pipeline.
+    profile: Option<Box<CoreProfile>>,
     /// Instruction trace (disabled by default).
     pub trace: Trace,
 }
@@ -215,9 +221,23 @@ impl Core {
             drained: false,
             has_faults: false,
             stats: CoreStats::default(),
+            profile: None,
             trace: Trace::disabled(),
             config,
         }
+    }
+
+    /// Attaches an empty PC-level profile accumulator (see
+    /// [`crate::profile`]). Call before the first tick; profiled and
+    /// unprofiled cores produce bit-identical simulations, but their
+    /// snapshot payloads differ in shape.
+    pub fn enable_profile(&mut self) {
+        self.profile = Some(Box::new(CoreProfile::new(self.config.num_threads)));
+    }
+
+    /// This core's PC-level profile, when profiling is enabled.
+    pub fn profile(&self) -> Option<&CoreProfile> {
+        self.profile.as_deref()
     }
 
     /// Resets and starts wavefront 0 at `pc` with one active thread — the
@@ -433,6 +453,11 @@ impl Core {
         let mut picked = None;
         let mut blocked_scoreboard = false;
         let mut blocked_fu = false;
+        // First blocked candidate per reason, in round-robin order — the
+        // profiler's deterministic stall-attribution site (unused tuple
+        // copies when profiling is off).
+        let mut first_scoreboard_wid = usize::MAX;
+        let mut first_fu_wid = usize::MAX;
         for i in 0..nw {
             let wid = (self.issue_rr + i) % nw;
             let Some(&(ref instr, _pc, need)) = self.ibuffer[wid].front() else {
@@ -440,6 +465,9 @@ impl Core {
             };
             // Hazard check: one AND against the precomputed need mask.
             if self.scoreboard.pending_mask(wid) & need != 0 {
+                if !blocked_scoreboard {
+                    first_scoreboard_wid = wid;
+                }
                 blocked_scoreboard = true;
                 continue;
             }
@@ -470,6 +498,9 @@ impl Core {
             };
             let _ = lat;
             if !fu_free {
+                if !blocked_fu {
+                    first_fu_wid = wid;
+                }
                 blocked_fu = true;
                 continue;
             }
@@ -484,6 +515,24 @@ impl Core {
                 self.stats.stalls.fu_busy += 1;
             } else {
                 self.stats.stalls.ibuffer_empty += 1;
+            }
+            if let Some(p) = self.profile.as_deref_mut() {
+                // Mirror the bucket priority above: the cycle is charged
+                // to the first scoreboard-blocked candidate, else the
+                // first FU-blocked one. `ibuffer_empty` has no waiting
+                // instruction and stays whole-core only.
+                let stall_wid = if blocked_scoreboard {
+                    first_scoreboard_wid
+                } else if blocked_fu {
+                    first_fu_wid
+                } else {
+                    usize::MAX
+                };
+                if stall_wid != usize::MAX {
+                    if let Some(&(ref instr, pc, _need)) = self.ibuffer[stall_wid].front() {
+                        p.record_stall(pc, || vortex_isa::encode(instr), blocked_scoreboard);
+                    }
+                }
             }
             return Ok(());
         };
@@ -540,6 +589,14 @@ impl Core {
         if result.diverged {
             self.stats.divergences += 1;
         }
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.record_issue(
+                instr_pc,
+                || vortex_isa::encode(&instr),
+                tmask_at_issue.count_ones(),
+                result.diverged,
+            );
+        }
         if self.trace.is_enabled() {
             self.trace.record(TraceEvent {
                 cycle: self.cycle,
@@ -562,6 +619,7 @@ impl Core {
             }
             FuKind::Lsu => {
                 let accesses = result.mem.expect("LSU instruction carries accesses");
+                let is_load = result.wb.is_some();
                 match result.wb {
                     Some(wb) => {
                         self.stats.loads += 1;
@@ -572,6 +630,15 @@ impl Core {
                         self.stats.stores += 1;
                         self.lsu.issue_store(&accesses);
                     }
+                }
+                if let Some(p) = self.profile.as_deref_mut() {
+                    // Issue-time attribution: a non-mutating tag probe per
+                    // lane (the bank-stage hit/miss no longer knows the
+                    // PC). See `crate::profile` for the exact semantics.
+                    let dcache = &self.dcache;
+                    p.record_mem(instr_pc, is_load, accesses.iter().flatten(), |addr| {
+                        dcache.probe(addr)
+                    });
                 }
                 self.exec_pool.recycle_accesses(accesses);
             }
@@ -1130,6 +1197,12 @@ impl Core {
         w.bool(self.drained);
         w.bool(self.has_faults);
         self.stats.save(w);
+        // Enablement is configuration, not payload: a profiled core's
+        // snapshot only restores into a profiled core (the config
+        // fingerprint refuses the cross-enablement cases).
+        if let Some(p) = &self.profile {
+            p.save_state(w);
+        }
     }
 
     /// Restores the core in place from a payload written by
@@ -1221,6 +1294,9 @@ impl Core {
         self.drained = r.bool()?;
         self.has_faults = r.bool()?;
         self.stats = Snap::load(r)?;
+        if let Some(p) = self.profile.as_deref_mut() {
+            p.restore_state(r)?;
+        }
         // Host-side scratch: rebuilt lazily, never part of simulated state.
         self.fetch_req.clear();
         Ok(())

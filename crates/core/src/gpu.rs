@@ -92,9 +92,14 @@ impl CoreArray for [MutexGuard<'_, Core>] {
 impl Gpu {
     /// Builds a GPU from `config` with zeroed memory.
     pub fn new(config: GpuConfig) -> Self {
-        let cores = (0..config.num_cores)
+        let mut cores: Vec<Core> = (0..config.num_cores)
             .map(|id| Core::new(id, config.num_cores, config.core.clone()))
             .collect();
+        if config.profile {
+            for core in &mut cores {
+                core.enable_profile();
+            }
+        }
         let hierarchy = MemHierarchy::new(HierarchyConfig {
             num_cores: config.num_cores,
             cores_per_cluster: config.cores_per_cluster,
@@ -611,6 +616,23 @@ impl Gpu {
     /// first full window elapses).
     pub fn time_series(&self) -> Option<&TimeSeries> {
         self.telemetry.as_ref().map(Telemetry::series)
+    }
+
+    /// The merged PC-level profile, when [`GpuConfig::profile`] enabled
+    /// one. Per-core accumulators are folded in ascending core-id order so
+    /// the result is bit-identical across `sim_threads` settings and
+    /// checkpoint/resume boundaries (the accumulators ride inside the
+    /// per-core snapshot payload).
+    pub fn profile(&self) -> Option<crate::profile::GpuProfile> {
+        let mut merged: Option<crate::profile::GpuProfile> = None;
+        for core in &self.cores {
+            if let Some(cp) = core.profile() {
+                merged
+                    .get_or_insert_with(|| crate::profile::GpuProfile::new(cp.num_threads()))
+                    .merge_core(cp);
+            }
+        }
+        merged
     }
 
     /// Snapshot of all counters.

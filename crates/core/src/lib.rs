@@ -32,6 +32,7 @@ pub mod exec;
 pub mod gpu;
 pub mod ipdom;
 pub mod lsu;
+pub mod profile;
 mod pool;
 pub mod regfile;
 pub mod scheduler;
@@ -45,5 +46,6 @@ pub use crate::core::Core;
 pub use config::{sim_threads_from_env, CoreConfig, GpuConfig, SMEM_BASE};
 pub use error::{CoreHangState, HangReport, SimError, WarpHangState};
 pub use gpu::Gpu;
+pub use profile::{CoreProfile, GpuProfile, PcStats};
 pub use stats::{CoreStats, GpuStats, StallStats};
 pub use telemetry::{CoreWindow, TelemetrySample, TimeSeries};

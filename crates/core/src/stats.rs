@@ -125,6 +125,12 @@ impl GpuStats {
         self.cores.iter().map(|c| c.thread_instrs).sum()
     }
 
+    /// Total IPDOM `split` instructions that actually diverged (both sides
+    /// of the branch non-empty), across cores.
+    pub fn total_divergences(&self) -> u64 {
+        self.cores.iter().map(|c| c.divergences).sum()
+    }
+
     /// Instruction-cache counters merged across cores.
     pub fn merged_icache(&self) -> CacheStats {
         let mut merged = CacheStats::default();

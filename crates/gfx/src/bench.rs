@@ -103,6 +103,7 @@ impl Benchmark for RasterBench {
             validated,
             work: self.width * self.height,
             series: renderer.time_series().cloned(),
+            profile: renderer.profile(),
         }
     }
 }

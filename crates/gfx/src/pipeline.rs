@@ -108,6 +108,12 @@ impl Renderer {
         self.device.time_series()
     }
 
+    /// The device's merged PC-level profile, when the renderer's
+    /// `GpuConfig` enabled the profiler. Accumulates across draws.
+    pub fn profile(&self) -> Option<vortex_core::profile::GpuProfile> {
+        self.device.profile()
+    }
+
     /// Resets the persistent stencil plane to zero (a stencil clear).
     pub fn clear_stencil(&mut self) {
         self.stencil_seed.fill(0);

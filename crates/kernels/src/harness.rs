@@ -1,5 +1,6 @@
 //! The benchmark abstraction the experiment harness drives.
 
+use vortex_core::profile::GpuProfile;
 use vortex_core::telemetry::TimeSeries;
 use vortex_core::{GpuConfig, GpuStats};
 
@@ -31,6 +32,11 @@ pub struct BenchResult {
     /// The sampled telemetry time series, when the config enabled one
     /// (`GpuConfig::sample_interval > 0`); `None` otherwise.
     pub series: Option<TimeSeries>,
+    /// The merged PC-level profile, when the config enabled the profiler
+    /// (`GpuConfig::profile`); `None` otherwise. Observation-only: `stats`
+    /// is bit-identical whether or not this is collected (`vxbench`
+    /// asserts it per workload).
+    pub profile: Option<GpuProfile>,
 }
 
 impl BenchResult {

@@ -164,6 +164,7 @@ impl Benchmark for Reduce {
         let expect: u32 = data.iter().fold(0u32, |acc, &v| acc.wrapping_add(v));
         BenchResult {
             series: dev.time_series().cloned(),
+            profile: dev.profile(),
             name: self.name().into(),
             stats: report.stats,
             validated: total == expect,

@@ -192,6 +192,7 @@ impl Benchmark for Bfs {
         let expect = reference_bfs(&srcs, &dsts, nodes);
         BenchResult {
             series: dev.time_series().cloned(),
+            profile: dev.profile(),
             name: self.name().into(),
             stats: last_stats.expect("at least one launch"),
             validated: got == expect,

@@ -194,6 +194,7 @@ impl Benchmark for Gaussian {
         let stats = last_stats.expect("at least one launch");
         BenchResult {
             series: dev.time_series().cloned(),
+            profile: dev.profile(),
             name: self.name().into(),
             stats,
             validated,

@@ -113,6 +113,7 @@ impl Benchmark for Nearn {
             .collect();
         BenchResult {
             series: dev.time_series().cloned(),
+            profile: dev.profile(),
             name: self.name().into(),
             stats: report.stats,
             validated: util::approx_eq_slices(&got, &expect, 1e-6),

@@ -132,6 +132,7 @@ impl Benchmark for Sfilter {
         let expect = reference(&src, n);
         BenchResult {
             series: dev.time_series().cloned(),
+            profile: dev.profile(),
             name: self.name().into(),
             stats: report.stats,
             validated: util::approx_eq_slices(&got, &expect, 1e-5),

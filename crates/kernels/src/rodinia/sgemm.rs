@@ -136,6 +136,7 @@ impl Benchmark for Sgemm {
         let expect = reference(&a, &b, n);
         BenchResult {
             series: dev.time_series().cloned(),
+            profile: dev.profile(),
             name: self.name().into(),
             stats: report.stats,
             validated: util::approx_eq_slices(&c, &expect, 1e-5),

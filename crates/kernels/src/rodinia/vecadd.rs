@@ -84,6 +84,7 @@ impl Benchmark for Vecadd {
         let expect: Vec<f32> = a.iter().zip(&b).map(|(x, y)| x + y).collect();
         BenchResult {
             series: dev.time_series().cloned(),
+            profile: dev.profile(),
             name: self.name().into(),
             stats: report.stats,
             validated: util::approx_eq_slices(&c, &expect, 1e-6),

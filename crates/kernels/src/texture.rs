@@ -644,6 +644,7 @@ impl Benchmark for TexBench {
         BenchResult {
 
             series: dev.time_series().cloned(),
+            profile: dev.profile(),
             name: self.name().into(),
             stats: report.stats,
             validated: ok,

@@ -551,6 +551,17 @@ impl Cache {
         (line as usize) % self.config.num_banks
     }
 
+    /// Non-mutating presence probe: `true` when the line holding `addr` is
+    /// resident right now. Touches no stats, queues, or replacement state,
+    /// so observers (the PC-level profiler) can ask freely without
+    /// perturbing the simulation. A probe is *not* a hit/miss prediction —
+    /// an absent line may still coalesce onto an in-flight MSHR entry —
+    /// it answers only "was the data already here".
+    pub fn probe(&self, addr: u32) -> bool {
+        let line = addr / self.config.line_bytes;
+        self.banks[self.bank_of(line)].lookup(line, self.config.num_banks)
+    }
+
     /// Starts a new cycle: clears the per-cycle bank-claim state used by the
     /// selector. Call once per cycle before [`Cache::offer`] / [`Cache::tick`].
     pub fn begin_cycle(&mut self) {

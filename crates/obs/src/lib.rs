@@ -18,6 +18,10 @@
 //! * [`perfetto::Timeline`] — Chrome/Perfetto `trace_event` JSON with one
 //!   track per core/warp, stall/occupancy counter tracks, and hang-report
 //!   instants (`vxsim --timeline`);
+//! * [`profile::render_report`] / [`profile::render_profile_json`] /
+//!   [`profile::render_folded`] — the PC-level profiler's disassembly-
+//!   annotated hotspot table, `vortex-profile-v1` export, and folded
+//!   flamegraph stacks (`vxsim --profile`, `vxprof`);
 //! * [`json`] — the dependency-free writer/reader both are built on (the
 //!   schema smoke tests parse exports back with [`json::Value`]).
 //!
@@ -29,10 +33,15 @@
 
 pub mod json;
 pub mod perfetto;
+pub mod profile;
 pub mod recovery;
 pub mod stats;
 
 pub use json::Value;
 pub use perfetto::Timeline;
+pub use profile::{
+    parse_profile, render_annotated, render_folded, render_profile_json, render_report, Symbols,
+    PROFILE_SCHEMA,
+};
 pub use recovery::{RecoveryAttempt, RecoveryReport};
 pub use stats::{render_stats, render_stats_with_recovery, render_sweep, STATS_SCHEMA};

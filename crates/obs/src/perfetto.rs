@@ -40,6 +40,12 @@ impl Timeline {
         self.events.len()
     }
 
+    /// Appends one pre-serialized event (crate-internal: other modules'
+    /// `Timeline` extensions emit through this).
+    pub(crate) fn push_raw(&mut self, event: String) {
+        self.events.push(event);
+    }
+
     /// `true` when no events were added.
     pub fn is_empty(&self) -> bool {
         self.events.is_empty()

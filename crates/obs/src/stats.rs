@@ -2,7 +2,8 @@
 //! `vxsim`'s stdout report.
 //!
 //! Schema (`"schema": "vortex-stats-v1"`): whole-GPU totals with derived
-//! metrics (`ipc`, `thread_ipc`, merged cache counters with hit rates),
+//! metrics (`ipc`, `thread_ipc`, `divergences`, merged cache counters
+//! with hit rates),
 //! one object per core under `"cores"`, and — when sampling was enabled —
 //! the windowed time series under `"timeseries"` (per-window counter
 //! deltas and occupancies; `null` when sampling was off). Hit rates use
@@ -148,6 +149,7 @@ pub fn render_stats_with_recovery(
     );
     let _ = writeln!(out, "  \"ipc\": {},", num(stats.ipc()));
     let _ = writeln!(out, "  \"thread_ipc\": {},", num(stats.thread_ipc()));
+    let _ = writeln!(out, "  \"divergences\": {},", stats.total_divergences());
     let _ = writeln!(out, "  \"dram_reads\": {},", stats.dram_reads);
     let _ = writeln!(out, "  \"dram_writes\": {},", stats.dram_writes);
     let _ = writeln!(out, "  \"stalls\": {},", stalls_json(&stats.merged_stalls()));
@@ -187,6 +189,7 @@ pub fn render_sweep(title: &str, rows: &[(String, GpuStats)]) -> String {
             out,
             "    {{\"label\": {}, \"cycles\": {}, \"instrs\": {}, \
              \"thread_instrs\": {}, \"ipc\": {}, \"thread_ipc\": {}, \
+             \"divergences\": {}, \
              \"dram_reads\": {}, \"dram_writes\": {}, \"dcache_hit_rate\": {}, \
              \"stalls\": {}}}{comma}",
             quote(label),
@@ -195,6 +198,7 @@ pub fn render_sweep(title: &str, rows: &[(String, GpuStats)]) -> String {
             stats.total_thread_instrs(),
             num(stats.ipc()),
             num(stats.thread_ipc()),
+            stats.total_divergences(),
             stats.dram_reads,
             stats.dram_writes,
             opt_num(stats.merged_dcache().measured_hit_rate()),
@@ -218,6 +222,7 @@ mod tests {
             thread_instrs: 1600,
             loads: 50,
             stores: 25,
+            divergences: 9,
             ..CoreStats::default()
         };
         core.stalls.scoreboard = 300;
@@ -241,6 +246,7 @@ mod tests {
         assert_eq!(v.get("cycles").unwrap().as_num(), Some(1000.0));
         assert_eq!(v.get("total_instrs").unwrap().as_num(), Some(800.0));
         assert_eq!(v.get("total_thread_instrs").unwrap().as_num(), Some(3200.0));
+        assert_eq!(v.get("divergences").unwrap().as_num(), Some(18.0));
         assert!((v.get("ipc").unwrap().as_num().unwrap() - 0.8).abs() < 1e-12);
         assert_eq!(v.get("cores").unwrap().as_arr().unwrap().len(), 2);
         assert_eq!(
@@ -300,5 +306,6 @@ mod tests {
         assert_eq!(points.len(), 2);
         assert_eq!(points[1].get("label").unwrap().as_str(), Some("8W-2T"));
         assert_eq!(points[0].get("cycles").unwrap().as_num(), Some(1000.0));
+        assert_eq!(points[0].get("divergences").unwrap().as_num(), Some(18.0));
     }
 }

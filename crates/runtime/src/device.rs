@@ -233,6 +233,13 @@ impl Device {
         self.gpu.time_series()
     }
 
+    /// The merged PC-level profile, when `GpuConfig::profile` enabled the
+    /// profiler. Like telemetry, it accumulates across launches on the
+    /// same device.
+    pub fn profile(&self) -> Option<vortex_core::profile::GpuProfile> {
+        self.gpu.profile()
+    }
+
     /// Serializes the complete device state (GPU architectural state,
     /// memory image, fault-plan positions, telemetry) into a versioned,
     /// checksummed snapshot container.
