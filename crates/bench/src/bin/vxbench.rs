@@ -54,6 +54,11 @@ struct Measurement {
     name: &'static str,
     cycles: u64,
     instrs: u64,
+    /// Simulated cycles the fast-forward engine covered with jumps rather
+    /// than live ticks (subset of `cycles`; 0 with `VORTEX_FF=0`).
+    cycles_skipped: u64,
+    /// Fast-forward jumps taken.
+    skip_events: u64,
     wall_ms: f64,
     cps: f64,
     /// Multi-core tier only: wall-clock of the `sim_threads = 4` leg and
@@ -126,6 +131,8 @@ fn measure_on(
             name,
             cycles: r.stats.cycles,
             instrs: r.stats.total_instrs(),
+            cycles_skipped: r.stats.cycles_skipped,
+            skip_events: r.stats.skip_events,
             wall_ms: wall_s * 1e3,
             cps: r.stats.cycles as f64 / wall_s,
             wall_ms_t4: None,
@@ -234,8 +241,10 @@ fn to_json(mode: &str, results: &[Measurement]) -> String {
             _ => String::new(),
         };
         out.push_str(&format!(
-            "    {{\"name\": \"{}\", \"cycles\": {}, \"instrs\": {}, \"wall_ms\": {:.3}, \"cps\": {:.0}{mc}}}{comma}\n",
-            m.name, m.cycles, m.instrs, m.wall_ms, m.cps
+            "    {{\"name\": \"{}\", \"cycles\": {}, \"instrs\": {}, \
+             \"cycles_skipped\": {}, \"skip_events\": {}, \
+             \"wall_ms\": {:.3}, \"cps\": {:.0}{mc}}}{comma}\n",
+            m.name, m.cycles, m.instrs, m.cycles_skipped, m.skip_events, m.wall_ms, m.cps
         ));
     }
     out.push_str("  ]\n}\n");
@@ -351,6 +360,7 @@ fn main() {
         "workload",
         "sim cycles",
         "instrs",
+        "skipped",
         "wall ms",
         "Mcycles/s",
         "t4 speedup",
@@ -360,6 +370,12 @@ fn main() {
             m.name.to_string(),
             m.cycles.to_string(),
             m.instrs.to_string(),
+            // Share of simulated cycles the fast-forward engine jumped
+            // over rather than ticked live (0% with VORTEX_FF=0).
+            format!(
+                "{:.0}%",
+                100.0 * m.cycles_skipped as f64 / (m.cycles.max(1)) as f64
+            ),
             format!("{:.1}", m.wall_ms),
             format!("{:.2}", m.cps / 1e6),
             m.speedup_t4

@@ -7,7 +7,7 @@
 //!     [--sample N] [--stats-json FILE] [--timeline FILE] [--trace-out FILE] \
 //!     [--inject seed=S,dram_drop=R,...] [--sim-threads N] \
 //!     [--checkpoint-every N] [--checkpoint-dir DIR] [--resume FILE] \
-//!     [--resume-retry N]
+//!     [--resume-retry N] [--no-fast-forward]
 //! ```
 //!
 //! `--inject` enables deterministic fault injection; the spec is a
@@ -49,6 +49,13 @@
 //!   image. The command line must rebuild the same configuration (same
 //!   `--cores/--warps/...` and `--inject`) — a mismatch is refused with a
 //!   structured error, never undefined behavior.
+//! * `--no-fast-forward` disables the idle-cycle fast-forward engine and
+//!   ticks every cycle live (equivalent to `VORTEX_FF=0`, but the flag
+//!   wins over the environment). Skipping is a pure host optimization —
+//!   cycle counts, stats, telemetry, profiles, checkpoint boundaries, and
+//!   snapshot bytes are bit-identical either way — so the flag exists for
+//!   A/B timing audits and for bisecting the engine itself, not for
+//!   correctness.
 //! * `--resume-retry N` arms watchdog-triggered auto-recovery: on a hang,
 //!   roll back to the last good checkpoint, mask fault injection, and
 //!   re-execute, up to N times. Every rollback is recorded in a recovery
@@ -104,7 +111,8 @@ fn usage() -> ! {
          [--sample N] [--stats-json FILE] [--timeline FILE] \
          [--trace-out FILE] [--inject k=v,...] [--sim-threads N] \
          [--checkpoint-every N] [--checkpoint-dir DIR] [--resume FILE] \
-         [--resume-retry N] [--profile] [--profile-out FILE] [--annotate]\n\
+         [--resume-retry N] [--profile] [--profile-out FILE] [--annotate] \
+         [--no-fast-forward]\n\
          exit codes: 0 pass, 1 io, 2 usage, 10 hang, 11 trap, \
          12 bad-access (reserved), 13 snapshot-corrupt, 14 timeout"
     );
@@ -172,6 +180,7 @@ fn main() {
     let mut profile = false;
     let mut profile_out: Option<String> = None;
     let mut annotate = false;
+    let mut no_fast_forward = false;
     let mut faults = FaultConfig::off();
     let mut it = args.iter();
     while let Some(arg) = it.next() {
@@ -194,6 +203,7 @@ fn main() {
             "--profile" => profile = true,
             "--profile-out" => profile_out = Some(take_path(&mut it, "--profile-out")),
             "--annotate" => annotate = true,
+            "--no-fast-forward" => no_fast_forward = true,
             "--inject" => {
                 let spec = it.next().unwrap_or_else(|| {
                     eprintln!("--inject needs a spec (e.g. seed=1,dram_drop=5)");
@@ -238,6 +248,13 @@ fn main() {
     // Results are bit-identical at any setting — this is wall-clock only.
     if let Some(n) = sim_threads {
         config.sim_threads = n;
+    }
+    // Like `--sim-threads`, a host-only knob: every simulated observable
+    // (cycle counts, stats, checkpoints) is bit-identical with skipping on
+    // or off. `with_cores` already honored `VORTEX_FF`; the explicit flag
+    // takes precedence over the environment.
+    if no_fast_forward {
+        config.fast_forward = false;
     }
     // Hang detection runs inside each checkpoint chunk; a chunk shorter
     // than the watchdog window would never accumulate a full window, so

@@ -175,6 +175,19 @@ pub struct GpuConfig {
     /// enters the snapshot fingerprint. `0` (the default) disables the
     /// drill at the cost of one branch per `run` call.
     pub checkpoint_drill: u64,
+    /// Event-driven idle-cycle fast-forward: when every component
+    /// reports its next event strictly beyond `cycle + 1`, `Gpu::run`
+    /// jumps straight to the earliest horizon, bulk-advancing stall
+    /// counters, profile attribution, telemetry windows and watchdog/
+    /// drill deadlines as if each cycle had ticked. Pure host-throughput
+    /// optimization: simulated cycles, [`crate::GpuStats`], telemetry,
+    /// profiles and snapshots are bit-identical on or off (proven by
+    /// `tests/ff_determinism.rs`); skipping is horizon-clamped at fault
+    /// sites so injected decision streams advance cycle by cycle.
+    /// Defaults to on; [`GpuConfig::with_cores`] seeds it from
+    /// `VORTEX_FF` (`0`/`off`/`false` disable), and `vxsim` exposes
+    /// `--no-fast-forward`. Never enters the snapshot fingerprint.
+    pub fast_forward: bool,
     /// Enable the PC-level profiler ([`crate::profile`]): per-PC issue
     /// counts, stall attribution, lane-utilization histograms and LSU/
     /// D-cache attribution, merged deterministically in core-id order.
@@ -209,6 +222,7 @@ impl GpuConfig {
             sample_interval: 0,
             sim_threads: sim_threads_from_env(),
             checkpoint_drill: 0,
+            fast_forward: fast_forward_from_env(),
             profile: false,
         }
     }
@@ -238,6 +252,19 @@ pub fn sim_threads_from_env() -> usize {
         .ok()
         .and_then(|v| v.trim().parse::<usize>().ok())
         .map_or(1, |n| n.max(1))
+}
+
+/// Idle-cycle fast-forward requested via `VORTEX_FF` (default on).
+/// `0`, `off`, or `false` (case-insensitive) disable it; anything else —
+/// including an unset variable — leaves it enabled. Like
+/// `VORTEX_SIM_THREADS` this knob never changes simulated behavior, only
+/// host wall-clock; reading it here (inside [`GpuConfig::with_cores`])
+/// lets CI run the entire suite with skipping disabled.
+pub fn fast_forward_from_env() -> bool {
+    match std::env::var("VORTEX_FF") {
+        Ok(v) => !matches!(v.trim().to_ascii_lowercase().as_str(), "0" | "off" | "false"),
+        Err(_) => true,
+    }
 }
 
 #[cfg(test)]

@@ -50,6 +50,31 @@ struct Completion {
     wb: Writeback,
 }
 
+/// Outcome of the pure issue-candidate scan. One scan is shared by the
+/// issue stage, the fast-forward horizon probe, and the bulk advance so
+/// all three classify a no-pick cycle identically (same bucket, same
+/// profiler attribution site) by construction.
+#[derive(Debug, Clone, Copy)]
+struct IssueScan {
+    /// Wavefront the issue stage would pick this cycle, if any.
+    picked: Option<usize>,
+    /// At least one candidate lost the scoreboard hazard check.
+    blocked_scoreboard: bool,
+    /// At least one candidate found its functional unit busy.
+    blocked_fu: bool,
+    /// First scoreboard-blocked candidate in round-robin order
+    /// (`usize::MAX` when none) — the profiler's attribution site.
+    first_scoreboard_wid: usize,
+    /// First FU-blocked candidate in round-robin order (`usize::MAX`
+    /// when none).
+    first_fu_wid: usize,
+    /// Earliest `busy_until` among candidates blocked on a *timed*
+    /// (div/fdiv/fsqrt) unit; `u64::MAX` when every block is
+    /// state-based (LSU/texture acceptance), which only clears via
+    /// events accounted elsewhere.
+    next_fu_ready: u64,
+}
+
 /// A global-barrier arrival the GPU level must process.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GlobalBarrierArrival {
@@ -442,22 +467,23 @@ impl Core {
         }
     }
 
-    /// Issue + execute stage.
-    ///
-    /// # Errors
-    /// Propagates execution traps (divergence misuse, divergent branches)
-    /// as [`SimError`]s carrying the trap site.
-    fn issue_stage(&mut self, ram: &Ram) -> Result<(), SimError> {
+    /// The issue stage's candidate scan, as a pure function of core state:
+    /// which wavefront would issue this cycle, or — when none can — how the
+    /// stalled cycle would be classified. Shared verbatim by
+    /// [`Core::issue_stage`] (which acts on it), the fast-forward horizon
+    /// probe (which requires `picked == None` to skip), and
+    /// [`Core::bulk_advance`] (which replays the classification for every
+    /// skipped cycle), so all three agree bit for bit.
+    fn issue_scan(&self) -> IssueScan {
         let nw = self.config.num_wavefronts;
-        // Find a wavefront with a decoded instruction, round-robin.
-        let mut picked = None;
-        let mut blocked_scoreboard = false;
-        let mut blocked_fu = false;
-        // First blocked candidate per reason, in round-robin order — the
-        // profiler's deterministic stall-attribution site (unused tuple
-        // copies when profiling is off).
-        let mut first_scoreboard_wid = usize::MAX;
-        let mut first_fu_wid = usize::MAX;
+        let mut scan = IssueScan {
+            picked: None,
+            blocked_scoreboard: false,
+            blocked_fu: false,
+            first_scoreboard_wid: usize::MAX,
+            first_fu_wid: usize::MAX,
+            next_fu_ready: u64::MAX,
+        };
         for i in 0..nw {
             let wid = (self.issue_rr + i) % nw;
             let Some(&(ref instr, _pc, need)) = self.ibuffer[wid].front() else {
@@ -465,13 +491,16 @@ impl Core {
             };
             // Hazard check: one AND against the precomputed need mask.
             if self.scoreboard.pending_mask(wid) & need != 0 {
-                if !blocked_scoreboard {
-                    first_scoreboard_wid = wid;
+                if !scan.blocked_scoreboard {
+                    scan.first_scoreboard_wid = wid;
                 }
-                blocked_scoreboard = true;
+                scan.blocked_scoreboard = true;
                 continue;
             }
-            let lat = self.config.latencies;
+            // `timer` is the busy-until deadline when the block is a timed
+            // unit: the earliest cycle the scan outcome can change without
+            // any other event.
+            let mut timer = u64::MAX;
             let fu_free = match instr {
                 Instr::Load { .. } | Instr::Flw { .. } => self.lsu.can_accept_load(),
                 Instr::Store { .. } | Instr::Fsw { .. } => self.lsu.can_accept_store(),
@@ -483,30 +512,55 @@ impl Core {
                             | vortex_isa::OpKind::Rem
                             | vortex_isa::OpKind::Remu
                     ) {
+                        timer = self.div_busy_until;
                         self.div_busy_until <= self.cycle
                     } else {
                         true
                     }
                 }
                 Instr::FpOp { op, .. } => match op {
-                    vortex_isa::FpOpKind::Div => self.fdiv_busy_until <= self.cycle,
-                    vortex_isa::FpOpKind::Sqrt => self.fsqrt_busy_until <= self.cycle,
+                    vortex_isa::FpOpKind::Div => {
+                        timer = self.fdiv_busy_until;
+                        self.fdiv_busy_until <= self.cycle
+                    }
+                    vortex_isa::FpOpKind::Sqrt => {
+                        timer = self.fsqrt_busy_until;
+                        self.fsqrt_busy_until <= self.cycle
+                    }
                     _ => true,
                 },
                 Instr::Tex { .. } => self.tex_unit.can_accept(),
                 _ => true,
             };
-            let _ = lat;
             if !fu_free {
-                if !blocked_fu {
-                    first_fu_wid = wid;
+                if !scan.blocked_fu {
+                    scan.first_fu_wid = wid;
                 }
-                blocked_fu = true;
+                scan.blocked_fu = true;
+                scan.next_fu_ready = scan.next_fu_ready.min(timer);
                 continue;
             }
-            picked = Some(wid);
+            scan.picked = Some(wid);
             break;
         }
+        scan
+    }
+
+    /// Issue + execute stage.
+    ///
+    /// # Errors
+    /// Propagates execution traps (divergence misuse, divergent branches)
+    /// as [`SimError`]s carrying the trap site.
+    fn issue_stage(&mut self, ram: &Ram) -> Result<(), SimError> {
+        let nw = self.config.num_wavefronts;
+        let IssueScan {
+            picked,
+            blocked_scoreboard,
+            blocked_fu,
+            first_scoreboard_wid,
+            first_fu_wid,
+            ..
+        } = self.issue_scan();
 
         let Some(wid) = picked else {
             if blocked_scoreboard {
@@ -750,9 +804,12 @@ impl Core {
         }
     }
 
-    /// Fetch stage: scheduler pick, fast-path hit probe, or I-cache miss
-    /// request.
-    fn fetch_stage(&mut self) {
+    /// The fetch stage's ready mask as a pure function of core state:
+    /// wavefronts the scheduler would be offered this cycle. Shared by
+    /// [`Core::fetch_stage`] and the fast-forward horizon probe — a
+    /// non-zero mask means fetch would engage the (stateful) scheduler,
+    /// so the cycle is not skippable.
+    fn fetch_ready_mask(&self) -> u64 {
         let mut ready_mask = 0u64;
         for (wid, wf) in self.wavefronts.iter().enumerate() {
             if wf.schedulable()
@@ -763,6 +820,13 @@ impl Core {
                 ready_mask |= 1 << wid;
             }
         }
+        ready_mask
+    }
+
+    /// Fetch stage: scheduler pick, fast-path hit probe, or I-cache miss
+    /// request.
+    fn fetch_stage(&mut self) {
+        let ready_mask = self.fetch_ready_mask();
         if ready_mask == 0 {
             return;
         }
@@ -944,7 +1008,18 @@ impl Core {
         // fails on the first active wavefront, so live cores pay almost
         // nothing for the probe; a winding-down core runs the full check
         // for the few cycles between its last retirement and idle caches.
-        if !self.has_faults
+        if self.quiescent() {
+            self.drained = true;
+        }
+        Ok(())
+    }
+
+    /// Whether the core has fully wound down (the condition under which
+    /// [`Core::tick`] latches `drained`). Also consulted by the
+    /// fast-forward horizon probe: a core about to latch must take one
+    /// live tick so the transition lands on the same cycle either way.
+    fn quiescent(&self) -> bool {
+        !self.has_faults
             && self.wavefronts.iter().all(|w| !w.active)
             && self.completions.is_empty()
             && self.fast_fetch.is_empty()
@@ -954,10 +1029,140 @@ impl Core {
             && self.fetch_pending.iter().all(Option::is_none)
             && self.ibuffer.iter().all(std::collections::VecDeque::is_empty)
             && self.is_done_slow()
-        {
-            self.drained = true;
+    }
+
+    /// First cycle at which ticking this core is *not* a pure, replicable
+    /// idle bump — the core's contribution to the GPU fast-forward
+    /// horizon. Returns `self.cycle` ("now") when the next tick does real
+    /// work (or consumes a fault draw), `u64::MAX` when nothing core-local
+    /// will ever happen again (drained, or stalled purely on external
+    /// events), and an exact future cycle when the only pending work is a
+    /// timer expiry (arithmetic completion, fast-fetch arrival, FU
+    /// busy-until, shared-memory latency, texture sampler).
+    ///
+    /// Every cycle in `[now, horizon)` must charge the same stall bucket
+    /// and profiler site as a live tick would — guaranteed because any
+    /// state change that could alter the [`Core::issue_scan`] outcome is
+    /// itself an event that returns `now` here (or arrives through
+    /// [`Core::push_l1_mem_rsp`], which the GPU-level hierarchy horizon
+    /// bounds).
+    pub fn next_event_cycle(&self) -> u64 {
+        let now = self.cycle;
+        if self.drained {
+            // The drained tick is exactly `ibuffer_empty += 1; cycle += 1`.
+            return u64::MAX;
         }
-        Ok(())
+        // Any fault plan attached to this core draws at fixed per-tick
+        // sites (cache offers, texture tick) — skipping would desync the
+        // audited decision streams, so faulted cores never fast-forward.
+        if self.has_faults
+            || !self.store_log.is_empty()
+            || !self.global_barrier_out.is_empty()
+            || !self.tex_mem_pending.is_empty()
+            || self.lsu.has_ready()
+            || !self.lsu.dcache_groups.is_empty()
+            || !self.lsu.smem_groups.is_empty()
+            || !self.icache.ff_idle()
+            || !self.dcache.ff_idle()
+        {
+            return now;
+        }
+        // Fence release would fire this tick.
+        if !self.fence_waiters.is_empty()
+            && self.lsu.is_idle()
+            && self.dcache.is_idle()
+            && self.smem.is_idle()
+        {
+            return now;
+        }
+        // Quiescence transition pending: take one live tick so `drained`
+        // latches on the same cycle with skipping on or off.
+        if self.quiescent() {
+            return now;
+        }
+        // Fetch would engage the (stateful) scheduler.
+        if self.fetch_ready_mask() != 0 {
+            return now;
+        }
+        let scan = self.issue_scan();
+        if scan.picked.is_some() {
+            return now;
+        }
+        // Timed events only from here down. Each bound is the exact cycle
+        // whose live tick first observes the event, matching the stage's
+        // own clocking (writeback compares `ready <= cycle` pre-increment;
+        // the shared-memory clock advances before its response drain, so
+        // an entry with latency `r` pops during the tick at `r - 1`).
+        let mut horizon = scan.next_fu_ready;
+        if let Some(ready) = self.completions.iter().map(|c| c.ready).min() {
+            if ready <= now {
+                return now;
+            }
+            horizon = horizon.min(ready);
+        }
+        if let Some(&(ready, _, _)) = self.fast_fetch.front() {
+            if ready <= now {
+                return now;
+            }
+            horizon = horizon.min(ready);
+        }
+        if let Some(ready) = self.smem.front_ready() {
+            let h = ready.saturating_sub(1);
+            if h <= now {
+                return now;
+            }
+            horizon = horizon.min(h);
+        }
+        let tex = self.tex_unit.next_event_cycle(now);
+        if tex <= now {
+            return now;
+        }
+        horizon.min(tex)
+    }
+
+    /// Advances the core by `delta` cycles in one step, reproducing bit for
+    /// bit what `delta` consecutive live ticks would have done. Only legal
+    /// when [`Core::next_event_cycle`] returned a horizon `>= cycle +
+    /// delta`: under that guarantee every skipped tick classifies the
+    /// stall identically, so the whole span collapses to one bucket bump.
+    pub fn bulk_advance(&mut self, delta: u64) {
+        if self.drained {
+            self.stats.stalls.ibuffer_empty += delta;
+            self.cycle += delta;
+            return;
+        }
+        // Live idle ticks open each cycle by clearing the caches'
+        // serialized arbitration claims; replay that so snapshots taken
+        // after a skipped span match the unskipped bytes.
+        self.icache.begin_cycle();
+        self.dcache.begin_cycle();
+        let scan = self.issue_scan();
+        debug_assert!(scan.picked.is_none(), "bulk_advance over an issuable span");
+        if scan.blocked_scoreboard {
+            self.stats.stalls.scoreboard += delta;
+        } else if scan.blocked_fu {
+            self.stats.stalls.fu_busy += delta;
+        } else {
+            self.stats.stalls.ibuffer_empty += delta;
+        }
+        if let Some(p) = self.profile.as_deref_mut() {
+            // Same attribution site as the issue stage's no-pick path.
+            let stall_wid = if scan.blocked_scoreboard {
+                scan.first_scoreboard_wid
+            } else if scan.blocked_fu {
+                scan.first_fu_wid
+            } else {
+                usize::MAX
+            };
+            if stall_wid != usize::MAX {
+                if let Some(&(ref instr, pc, _need)) = self.ibuffer[stall_wid].front() {
+                    p.record_stall_n(pc, || vortex_isa::encode(instr), scan.blocked_scoreboard, delta);
+                }
+            }
+        }
+        self.smem.advance(delta);
+        self.tex_unit.bulk_advance(delta);
+        self.cycle += delta;
     }
 
     /// Commit phase: applies this cycle's buffered stores to the functional
@@ -978,6 +1183,14 @@ impl Core {
     /// host thread counts prove the streams stayed per-site deterministic.
     pub fn fault_draws(&self) -> u64 {
         self.icache.fault_draws() + self.dcache.fault_draws() + self.tex_unit.fault_draws()
+    }
+
+    /// Wavefront-instructions issued so far — the incrementally maintained
+    /// counter, readable without the full [`Core::stats_snapshot`] fold.
+    /// The GPU's fast-forward probe gate compares this across cycles as a
+    /// cheap "was anything issued" test.
+    pub fn instrs_issued(&self) -> u64 {
+        self.stats.instrs
     }
 
     /// The core's performance counters, with the cycle count and the

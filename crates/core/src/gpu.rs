@@ -60,7 +60,35 @@ pub struct Gpu {
     /// Reused scratch for global-barrier release ids, so the commit phase
     /// never allocates in the steady state.
     release_scratch: Vec<usize>,
+    /// Simulated cycles covered by fast-forward jumps instead of live
+    /// ticks. Host accounting only: never serialized into snapshots (a
+    /// snapshot describes simulated state, which skipping provably does
+    /// not change), carried across checkpoint-drill rebuilds by hand.
+    cycles_skipped: u64,
+    /// Number of fast-forward jumps taken (same host-only status).
+    skip_events: u64,
+    /// Fast-forward probe backoff: cycles left before the next horizon
+    /// probe. A failed probe costs a full component scan, so stretches of
+    /// consecutive failures (cache pipelines walking, barrier waits)
+    /// re-arm this and probe 1-in-[`FF_PROBE_BACKOFF`] cycles instead of
+    /// every cycle, at the price of entering an idle span a few cycles
+    /// late. Any issued instruction resets it (see [`Gpu::ff_instr_mark`])
+    /// so a fresh stall span is probed on its very first cycle. Host-only
+    /// state like the skip counters: both run modes attempt probes at the
+    /// same logical points, so the schedule — and therefore the skip
+    /// accounting — stays identical across `sim_threads`.
+    ff_backoff: u64,
+    /// Total wavefront-instructions across cores at the last fast-forward
+    /// probe decision. While this is moving the machine is issuing — the
+    /// horizon would be `now` — so the probe degenerates to this one
+    /// counter compare; the full component scan only runs on cycles in
+    /// which no core issued.
+    ff_instr_mark: u64,
 }
+
+/// Live cycles to wait after a failed fast-forward probe before probing
+/// again (see [`Gpu::ff_backoff`]).
+const FF_PROBE_BACKOFF: u64 = 3;
 
 /// Uniform indexed access to the core array during the serial commit
 /// phase. Sequential mode passes the plain `[Core]` slice; parallel mode
@@ -119,6 +147,10 @@ impl Gpu {
             last_progress_cycle: 0,
             telemetry,
             release_scratch: Vec::new(),
+            cycles_skipped: 0,
+            skip_events: 0,
+            ff_backoff: 0,
+            ff_instr_mark: 0,
             config,
         }
     }
@@ -385,6 +417,12 @@ impl Gpu {
                     let bytes = self.save_snapshot();
                     let mut fresh = Gpu::new(self.config.clone());
                     fresh.restore_snapshot(&bytes)?;
+                    // Skip accounting is host-side and deliberately outside
+                    // the snapshot; carry it across the rebuild by hand.
+                    fresh.cycles_skipped = self.cycles_skipped;
+                    fresh.skip_events = self.skip_events;
+                    fresh.ff_backoff = self.ff_backoff;
+                    fresh.ff_instr_mark = self.ff_instr_mark;
                     *self = fresh;
                 }
                 other => return other,
@@ -403,23 +441,141 @@ impl Gpu {
             if self.cycle >= max_cycles {
                 return Err(SimError::Timeout { cycles: self.cycle });
             }
+            // Fast-forward: when every component agrees nothing observable
+            // happens before cycle H, jump there in one step and run the
+            // same post-cycle checks a live tick would. A jump clamped by
+            // a telemetry window or watchdog deadline retries on the next
+            // iteration, so one span may take several jumps.
+            if self.try_fast_forward(max_cycles) {
+                self.after_cycle_checks()?;
+                continue;
+            }
             self.step()?;
-            if let Some(tel) = &self.telemetry {
-                if tel.due(self.cycle) {
-                    self.take_sample();
-                }
-            }
-            let window = self.config.watchdog_cycles;
-            if window != 0 && self.cycle - self.last_progress_cycle >= window {
-                let token = self.progress_token();
-                if token == self.last_progress_token {
-                    return Err(SimError::Hang(Box::new(self.hang_report())));
-                }
-                self.last_progress_token = token;
-                self.last_progress_cycle = self.cycle;
-            }
+            self.after_cycle_checks()?;
         }
         Ok(self.stats())
+    }
+
+    /// The per-cycle telemetry and watchdog work of the sequential run
+    /// loop, shared verbatim by the live-step and fast-forward paths (a
+    /// skipped span must sample and check progress at exactly the cycles a
+    /// live span would).
+    ///
+    /// # Errors
+    /// [`SimError::Hang`] from the watchdog.
+    fn after_cycle_checks(&mut self) -> Result<(), SimError> {
+        if let Some(tel) = &self.telemetry {
+            if tel.due(self.cycle) {
+                self.take_sample();
+            }
+        }
+        let window = self.config.watchdog_cycles;
+        if window != 0 && self.cycle - self.last_progress_cycle >= window {
+            let token = self.progress_token();
+            if token == self.last_progress_token {
+                return Err(SimError::Hang(Box::new(self.hang_report())));
+            }
+            self.last_progress_token = token;
+            self.last_progress_cycle = self.cycle;
+        }
+        Ok(())
+    }
+
+    /// The fast-forward horizon: the first cycle the machine must tick
+    /// live, as the minimum of every component's next-event report clamped
+    /// by the host-visible deadlines (cycle budget, next watchdog
+    /// evaluation, next telemetry window close). Any cycle strictly before
+    /// the returned horizon is a provably idle tick whose counter effects
+    /// [`Core::bulk_advance`] replays exactly.
+    fn ff_horizon<'a>(
+        now: u64,
+        max_cycles: u64,
+        watchdog_deadline: Option<u64>,
+        telemetry_due: Option<u64>,
+        hierarchy: &MemHierarchy,
+        cores: impl Iterator<Item = &'a Core>,
+    ) -> u64 {
+        let mut horizon = hierarchy.next_event_cycle(now);
+        for core in cores {
+            if horizon <= now + 1 {
+                return horizon; // nothing to skip; stop probing
+            }
+            horizon = horizon.min(core.next_event_cycle());
+        }
+        horizon = horizon.min(max_cycles);
+        if let Some(deadline) = watchdog_deadline {
+            horizon = horizon.min(deadline);
+        }
+        if let Some(due) = telemetry_due {
+            horizon = horizon.min(due);
+        }
+        horizon
+    }
+
+    /// The watchdog's next evaluation cycle, when the watchdog is armed.
+    /// The live loop evaluates the progress token at exactly
+    /// `last_progress_cycle + window`; a skip must not jump past it.
+    fn watchdog_deadline(&self) -> Option<u64> {
+        (self.config.watchdog_cycles != 0)
+            .then(|| self.last_progress_cycle.saturating_add(self.config.watchdog_cycles))
+    }
+
+    /// The cheap front half of a fast-forward probe: `true` when the full
+    /// horizon scan is worth running this cycle, given `issued` (the
+    /// current total of wavefront-instructions across cores). Any issue
+    /// since the last decision means the machine is busy — the scan would
+    /// return `now` — so the probe costs one counter compare and re-arms
+    /// for the first cycle of the next stall span. Only runs of
+    /// consecutive *failed* scans back off. Deterministic: `issued` is
+    /// simulated state and both run modes call this at the same logical
+    /// points, so the jump schedule is identical across `sim_threads`.
+    fn ff_probe_due(&mut self, issued: u64) -> bool {
+        if issued != self.ff_instr_mark {
+            self.ff_instr_mark = issued;
+            self.ff_backoff = 0;
+            return false;
+        }
+        if self.ff_backoff > 0 {
+            self.ff_backoff -= 1;
+            return false;
+        }
+        true
+    }
+
+    /// Attempts one fast-forward jump (sequential mode). Returns `true`
+    /// and advances the machine to the horizon when a skip of at least two
+    /// cycles is possible; otherwise leaves the machine untouched.
+    fn try_fast_forward(&mut self, max_cycles: u64) -> bool {
+        if !self.config.fast_forward {
+            return false;
+        }
+        let issued = self.cores.iter().map(Core::instrs_issued).sum();
+        if !self.ff_probe_due(issued) {
+            return false;
+        }
+        let now = self.cycle;
+        let horizon = Self::ff_horizon(
+            now,
+            max_cycles,
+            self.watchdog_deadline(),
+            self.telemetry.as_ref().map(Telemetry::next_due),
+            &self.hierarchy,
+            self.cores.iter(),
+        );
+        if horizon <= now.saturating_add(1) {
+            self.ff_backoff = FF_PROBE_BACKOFF;
+            return false;
+        }
+        let delta = horizon - now;
+        for core in &mut self.cores {
+            core.bulk_advance(delta);
+        }
+        // (A skipped span issues nothing, so `ff_instr_mark` stays valid.)
+        self.hierarchy.bulk_advance(delta);
+        self.cycle = horizon;
+        self.cycles_skipped += delta;
+        self.skip_events += 1;
+        true
     }
 
     /// Multi-threaded [`Gpu::run`]: cores move into per-core mutex slots
@@ -483,16 +639,18 @@ impl Gpu {
         // Watchdog baseline + already-done check (run() may be re-entered
         // on a finished machine).
         {
-            let guards = lock_all(slots);
+            let mut guards = lock_all(slots);
             self.last_progress_token =
                 Self::progress_token_with(&self.hierarchy, guards.iter().map(|g| &**g));
             self.last_progress_cycle = self.cycle;
             if guards.iter().all(|c| c.is_done()) && self.hierarchy.is_idle() {
-                return Ok(Self::stats_with(
-                    self.cycle,
-                    &self.hierarchy,
-                    guards.iter().map(|g| &**g),
-                ));
+                return Ok(self.stats_with_cores(guards.iter().map(|g| &**g)));
+            }
+            // Same fast-forward opportunity the sequential loop sees on
+            // its first iteration — identical jump schedules keep the
+            // skip accounting equal across `sim_threads` settings.
+            while self.cycle < max_cycles && self.try_fast_forward_par(max_cycles, &mut guards) {
+                self.after_cycle_checks_with(&guards)?;
             }
         }
 
@@ -545,41 +703,94 @@ impl Gpu {
             );
             self.cycle += 1;
 
-            if let Some(tel) = self.telemetry.as_mut() {
-                if tel.due(self.cycle) {
-                    Self::take_sample_with(
-                        tel,
-                        self.cycle,
-                        &self.hierarchy,
-                        guards.iter().map(|g| &**g),
-                    );
-                }
-            }
-
-            let window = self.config.watchdog_cycles;
-            if window != 0 && self.cycle - self.last_progress_cycle >= window {
-                let token =
-                    Self::progress_token_with(&self.hierarchy, guards.iter().map(|g| &**g));
-                if token == self.last_progress_token {
-                    return Err(SimError::Hang(Box::new(Self::hang_report_with(
-                        self.cycle,
-                        window,
-                        &self.hierarchy,
-                        guards.iter().map(|g| &**g),
-                    ))));
-                }
-                self.last_progress_token = token;
-                self.last_progress_cycle = self.cycle;
-            }
+            self.after_cycle_checks_with(&guards)?;
 
             if guards.iter().all(|c| c.is_done()) && self.hierarchy.is_idle() {
-                return Ok(Self::stats_with(
+                return Ok(self.stats_with_cores(guards.iter().map(|g| &**g)));
+            }
+
+            // Fast-forward while the commit-phase lock round is still
+            // held: mirrors the sequential loop's attempt at the top of
+            // its next iteration (the jump schedule must match so the
+            // skip accounting is identical across `sim_threads`).
+            while self.cycle < max_cycles && self.try_fast_forward_par(max_cycles, &mut guards) {
+                self.after_cycle_checks_with(&guards)?;
+            }
+        }
+    }
+
+    /// Parallel-mode twin of [`Gpu::after_cycle_checks`], operating on the
+    /// per-cycle lock round instead of the owned core vector.
+    ///
+    /// # Errors
+    /// [`SimError::Hang`] from the watchdog.
+    fn after_cycle_checks_with(
+        &mut self,
+        guards: &[MutexGuard<'_, Core>],
+    ) -> Result<(), SimError> {
+        if let Some(tel) = self.telemetry.as_mut() {
+            if tel.due(self.cycle) {
+                Self::take_sample_with(
+                    tel,
                     self.cycle,
                     &self.hierarchy,
                     guards.iter().map(|g| &**g),
-                ));
+                );
             }
         }
+        let window = self.config.watchdog_cycles;
+        if window != 0 && self.cycle - self.last_progress_cycle >= window {
+            let token = Self::progress_token_with(&self.hierarchy, guards.iter().map(|g| &**g));
+            if token == self.last_progress_token {
+                return Err(SimError::Hang(Box::new(Self::hang_report_with(
+                    self.cycle,
+                    window,
+                    &self.hierarchy,
+                    guards.iter().map(|g| &**g),
+                ))));
+            }
+            self.last_progress_token = token;
+            self.last_progress_cycle = self.cycle;
+        }
+        Ok(())
+    }
+
+    /// Parallel-mode twin of [`Gpu::try_fast_forward`], operating on the
+    /// held lock round.
+    fn try_fast_forward_par(
+        &mut self,
+        max_cycles: u64,
+        guards: &mut [MutexGuard<'_, Core>],
+    ) -> bool {
+        if !self.config.fast_forward {
+            return false;
+        }
+        let issued = guards.iter().map(|g| g.instrs_issued()).sum();
+        if !self.ff_probe_due(issued) {
+            return false;
+        }
+        let now = self.cycle;
+        let horizon = Self::ff_horizon(
+            now,
+            max_cycles,
+            self.watchdog_deadline(),
+            self.telemetry.as_ref().map(Telemetry::next_due),
+            &self.hierarchy,
+            guards.iter().map(|g| &**g),
+        );
+        if horizon <= now.saturating_add(1) {
+            self.ff_backoff = FF_PROBE_BACKOFF;
+            return false;
+        }
+        let delta = horizon - now;
+        for core in guards.iter_mut() {
+            core.bulk_advance(delta);
+        }
+        self.hierarchy.bulk_advance(delta);
+        self.cycle = horizon;
+        self.cycles_skipped += delta;
+        self.skip_events += 1;
+        true
     }
 
     /// Records one telemetry window: cumulative counter snapshots plus
@@ -637,35 +848,37 @@ impl Gpu {
 
     /// Snapshot of all counters.
     pub fn stats(&self) -> GpuStats {
-        Self::stats_with(self.cycle, &self.hierarchy, self.cores.iter())
+        self.stats_with_cores(self.cores.iter())
     }
 
-    fn stats_with<'a>(
-        cycle: u64,
-        hierarchy: &MemHierarchy,
-        cores: impl Iterator<Item = &'a Core>,
-    ) -> GpuStats {
+    /// [`Gpu::stats`] over an explicit core iterator, so the parallel run
+    /// loop (cores moved into mutex slots) can share it.
+    fn stats_with_cores<'a>(&self, cores: impl Iterator<Item = &'a Core>) -> GpuStats {
         GpuStats {
-            cycles: cycle,
+            cycles: self.cycle,
             cores: cores.map(Core::stats_snapshot).collect(),
-            dram_reads: hierarchy.dram_reads(),
-            dram_writes: hierarchy.dram_writes(),
+            dram_reads: self.hierarchy.dram_reads(),
+            dram_writes: self.hierarchy.dram_writes(),
+            cycles_skipped: self.cycles_skipped,
+            skip_events: self.skip_events,
         }
     }
 
     // --- Checkpoint / restore -------------------------------------------
 
     /// Fingerprint of everything about this configuration that shapes
-    /// simulated state. [`GpuConfig::sim_threads`] and
-    /// [`GpuConfig::checkpoint_drill`] are excluded on purpose: both are
-    /// host-execution knobs that never affect simulated behavior (the
-    /// two-phase protocol and the save→restore identity guarantee
+    /// simulated state. [`GpuConfig::sim_threads`],
+    /// [`GpuConfig::checkpoint_drill`] and [`GpuConfig::fast_forward`] are
+    /// excluded on purpose: all three are host-execution knobs that never
+    /// affect simulated behavior (the two-phase protocol, the
+    /// save→restore identity, and the skip-equivalence proof guarantee
     /// bit-identical results), so a snapshot taken under one setting
     /// restores at any other.
     pub fn config_fingerprint(&self) -> u64 {
         let mut c = self.config.clone();
         c.sim_threads = 1;
         c.checkpoint_drill = 0;
+        c.fast_forward = true;
         vortex_snapshot::fnv1a64(format!("{c:?}").as_bytes())
     }
 

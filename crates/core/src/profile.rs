@@ -217,11 +217,18 @@ impl CoreProfile {
 
     /// Charges one stall cycle to the instruction waiting at `pc`.
     pub fn record_stall(&mut self, pc: u32, word: impl FnOnce() -> u32, scoreboard: bool) {
+        self.record_stall_n(pc, word, scoreboard, 1);
+    }
+
+    /// Charges `n` stall cycles to the instruction waiting at `pc` — the
+    /// bulk form the fast-forward engine uses when it skips a span of
+    /// cycles whose issue scan would have charged this site every cycle.
+    pub fn record_stall_n(&mut self, pc: u32, word: impl FnOnce() -> u32, scoreboard: bool, n: u64) {
         let s = self.site(pc, word);
         if scoreboard {
-            s.stall_scoreboard += 1;
+            s.stall_scoreboard += n;
         } else {
-            s.stall_fu_busy += 1;
+            s.stall_fu_busy += n;
         }
     }
 

@@ -128,6 +128,13 @@ impl Telemetry {
         cycle >= self.next_at
     }
 
+    /// The cycle at which the next sample falls due. The fast-forward
+    /// engine clamps its skip horizon here so a window closing inside a
+    /// skipped span is still sampled exactly at its boundary.
+    pub fn next_due(&self) -> u64 {
+        self.next_at
+    }
+
     /// Records one window. `cores` are the *cumulative* per-core counter
     /// snapshots, `ibuffer`/`mshr` the instantaneous occupancies, and the
     /// DRAM counts cumulative; deltas against the previous window are

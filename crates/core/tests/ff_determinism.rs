@@ -1,0 +1,221 @@
+//! Fast-forward ≡ live ticking: skipping idle cycles is a pure host
+//! optimization, so simulated cycles, every `GpuStats` counter, the final
+//! memory image, the telemetry time series, the rendered
+//! `vortex-profile-v1` document, fault-site draw counts, and snapshot
+//! bytes must be bit-identical with [`GpuConfig::fast_forward`] on or
+//! off — at any `sim_threads` setting. The workload is memory-bound
+//! (cold strided loads through the D$ into DRAM) precisely so real
+//! multi-hundred-cycle idle spans exist to skip.
+
+use vortex_asm::Assembler;
+use vortex_core::{Gpu, GpuConfig, GpuStats, SimError};
+use vortex_faults::FaultConfig;
+use vortex_isa::{csr, Reg};
+
+const ENTRY: u32 = 0x8000_0000;
+const NUM_CORES: usize = 4;
+const OUT: u32 = 0xA000;
+
+/// Memory-bound kernel: each core walks a core-private region with a
+/// stride larger than a cache line, so every load is a cold D$ miss that
+/// parks the core on the scoreboard for a full DRAM round trip — the
+/// canonical dead span the fast-forward engine must collapse without
+/// changing a single counter.
+fn kernel() -> Assembler {
+    let mut a = Assembler::new();
+    a.csrr(Reg::X5, csr::VX_CID);
+    a.slli(Reg::X6, Reg::X5, 12);
+    a.li(Reg::X7, 0x0001_0000);
+    a.add(Reg::X6, Reg::X6, Reg::X7); // base = 0x10000 + 4096·cid
+    a.li(Reg::X8, 0); // i
+    a.li(Reg::X9, 16); // iterations
+    a.li(Reg::X10, 0); // sum
+    a.label("chase").unwrap();
+    a.lw(Reg::X11, Reg::X6, 0);
+    a.add(Reg::X10, Reg::X10, Reg::X11); // depends on the load
+    a.addi(Reg::X6, Reg::X6, 256); // next (cold) line
+    a.addi(Reg::X8, Reg::X8, 1);
+    a.blt(Reg::X8, Reg::X9, "chase");
+    a.slli(Reg::X12, Reg::X5, 2);
+    a.li(Reg::X13, OUT as i32);
+    a.add(Reg::X12, Reg::X12, Reg::X13);
+    a.sw(Reg::X10, Reg::X12, 0);
+    a.ecall();
+    a
+}
+
+fn config(fast_forward: bool, sim_threads: usize, sample: u64, profile: bool) -> GpuConfig {
+    let mut config = GpuConfig::with_cores(NUM_CORES);
+    config.fast_forward = fast_forward;
+    config.sim_threads = sim_threads;
+    config.sample_interval = sample;
+    config.profile = profile;
+    config
+}
+
+struct RunOutcome {
+    stats: GpuStats,
+    mem: Vec<u8>,
+    series: Option<vortex_core::TimeSeries>,
+    fault_draws: Vec<u64>,
+    snapshot: Vec<u8>,
+    profile_doc: Option<String>,
+}
+
+fn run_with(
+    fast_forward: bool,
+    sim_threads: usize,
+    sample: u64,
+    profile: bool,
+    faults: Option<&FaultConfig>,
+) -> RunOutcome {
+    let prog = kernel().assemble(ENTRY).expect("kernel assembles");
+    let mut gpu = Gpu::new(config(fast_forward, sim_threads, sample, profile));
+    if let Some(f) = faults {
+        gpu.apply_faults(f);
+    }
+    gpu.ram.write_bytes(prog.base, &prog.to_bytes());
+    gpu.launch(prog.entry);
+    let stats = gpu.run(5_000_000).expect("kernel completes");
+    let mem = (OUT..OUT + 4 * NUM_CORES as u32)
+        .map(|addr| gpu.ram.read_u8(addr))
+        .collect();
+    RunOutcome {
+        mem,
+        series: gpu.time_series().cloned(),
+        fault_draws: gpu.fault_draws(),
+        snapshot: gpu.save_snapshot(),
+        profile_doc: gpu
+            .profile()
+            .map(|p| vortex_obs::render_profile_json("ff", &p)),
+        stats,
+    }
+}
+
+/// Everything invariant between a skipping and a live run must agree.
+fn assert_same(label: &str, live: &RunOutcome, ff: &RunOutcome) {
+    assert_eq!(live.stats.cycles, ff.stats.cycles, "{label}: cycle count");
+    assert_eq!(live.stats, ff.stats, "{label}: GpuStats");
+    assert_eq!(live.mem, ff.mem, "{label}: final memory image");
+    assert_eq!(live.series, ff.series, "{label}: telemetry time series");
+    assert_eq!(live.fault_draws, ff.fault_draws, "{label}: fault draws");
+    assert_eq!(live.snapshot, ff.snapshot, "{label}: snapshot bytes");
+    assert_eq!(live.profile_doc, ff.profile_doc, "{label}: profile export");
+}
+
+#[test]
+fn skipping_is_bit_identical_across_sim_threads() {
+    let live = run_with(false, 1, 0, false, None);
+    assert_eq!(
+        live.stats.cycles_skipped, 0,
+        "skipping off must never skip"
+    );
+    assert_eq!(live.stats.skip_events, 0);
+    // Sanity: the kernel did its memory-bound work.
+    let sum0 = u32::from_le_bytes(live.mem[0..4].try_into().unwrap());
+    assert_eq!(sum0, 0, "cold RAM reads sum to zero");
+    assert!(live.stats.merged_dcache().read_misses >= 16 * NUM_CORES as u64 / 4);
+
+    let mut ff_skips = None;
+    for threads in [1, 4] {
+        let ff = run_with(true, threads, 0, false, None);
+        assert_same(&format!("ff on, sim_threads {threads}"), &live, &ff);
+        assert!(
+            ff.stats.cycles_skipped > 0,
+            "memory-bound run must actually skip (threads {threads})"
+        );
+        assert!(ff.stats.skip_events > 0);
+        assert!(
+            ff.stats.cycles_skipped < ff.stats.cycles,
+            "skipped cycles are a subset of simulated cycles"
+        );
+        // The jump schedule is a pure function of simulated state, so the
+        // host-side accounting agrees across thread counts too.
+        match ff_skips {
+            None => ff_skips = Some((ff.stats.cycles_skipped, ff.stats.skip_events)),
+            Some(expect) => assert_eq!(
+                expect,
+                (ff.stats.cycles_skipped, ff.stats.skip_events),
+                "skip accounting across sim_threads"
+            ),
+        }
+        let live_par = run_with(false, threads, 0, false, None);
+        assert_same(&format!("ff off, sim_threads {threads}"), &live, &live_par);
+    }
+}
+
+#[test]
+fn skipping_preserves_telemetry_and_profile() {
+    let live = run_with(false, 1, 64, true, None);
+    let series = live.series.as_ref().expect("sampling enabled");
+    assert!(!series.samples.is_empty(), "run long enough to sample");
+    assert!(live.profile_doc.is_some(), "profiling enabled");
+    for threads in [1, 4] {
+        let ff = run_with(true, threads, 64, true, None);
+        assert_same(&format!("sampled+profiled, threads {threads}"), &live, &ff);
+        assert!(ff.stats.cycles_skipped > 0, "windows don't stop skipping");
+    }
+}
+
+#[test]
+fn fault_draws_identical_with_skipping() {
+    // Fault plans draw at per-tick sites, so faulted components refuse to
+    // fast-forward; the audit chains must come out equal.
+    let faults = FaultConfig::from_spec(
+        "seed=77,elastic_stall=300,dram_stall=400,dram_delay=500,\
+         dram_extra_latency=40,cache_rsp_stall=300",
+    )
+    .expect("valid spec");
+    let live = run_with(false, 1, 0, false, Some(&faults));
+    assert!(
+        live.fault_draws.iter().sum::<u64>() > 0,
+        "fault streams actually consumed"
+    );
+    for threads in [1, 4] {
+        let ff = run_with(true, threads, 0, false, Some(&faults));
+        assert_same(&format!("faulted, threads {threads}"), &live, &ff);
+    }
+}
+
+#[test]
+fn paused_machines_snapshot_identically() {
+    // Interrupt both runs mid-flight (inside the DRAM-bound phase): the
+    // skipping machine must stop on exactly the budget cycle with exactly
+    // the live machine's snapshot bytes.
+    let run_until = |fast_forward: bool, budget: u64| {
+        let prog = kernel().assemble(ENTRY).expect("kernel assembles");
+        let mut gpu = Gpu::new(config(fast_forward, 1, 0, false));
+        gpu.ram.write_bytes(prog.base, &prog.to_bytes());
+        gpu.launch(prog.entry);
+        assert_eq!(
+            gpu.run(budget),
+            Err(SimError::Timeout { cycles: budget }),
+            "budget lands mid-run (ff {fast_forward})"
+        );
+        gpu.save_snapshot()
+    };
+    for budget in [100, 400, 1500] {
+        assert_eq!(
+            run_until(false, budget),
+            run_until(true, budget),
+            "snapshot bytes at paused cycle {budget}"
+        );
+    }
+}
+
+#[test]
+fn gpu_stats_equality_ignores_host_skip_accounting() {
+    // GpuStats equality is simulated-state equality: two identical
+    // simulations that reached the end through different jump schedules
+    // still compare equal, while any architectural divergence does not.
+    let a = run_with(false, 1, 0, false, None).stats;
+    let b = run_with(true, 1, 0, false, None).stats;
+    assert_ne!(
+        (a.cycles_skipped, a.skip_events),
+        (b.cycles_skipped, b.skip_events)
+    );
+    assert_eq!(a, b);
+    let mut c = b.clone();
+    c.cycles += 1;
+    assert_ne!(a, c);
+}

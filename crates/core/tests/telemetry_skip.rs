@@ -1,0 +1,116 @@
+//! Telemetry across fast-forward jumps: a sampling window that opens or
+//! closes inside a skipped span must still be emitted at exactly its
+//! boundary cycle, with exactly the deltas a live run produces. The
+//! sampling interval here (32 cycles) is far below a DRAM round trip, so
+//! several windows close *inside* each idle span the engine skips — the
+//! horizon must clamp at every one of them.
+
+use vortex_asm::Assembler;
+use vortex_core::telemetry::TimeSeries;
+use vortex_core::{Gpu, GpuConfig, GpuStats};
+use vortex_isa::{csr, Reg};
+
+const ENTRY: u32 = 0x8000_0000;
+const NUM_CORES: usize = 2;
+const INTERVAL: u64 = 32;
+
+/// Memory-bound kernel (cold strided loads) — long dead spans between
+/// events, so skipping is actually exercised.
+fn kernel() -> Assembler {
+    let mut a = Assembler::new();
+    a.csrr(Reg::X5, csr::VX_CID);
+    a.slli(Reg::X6, Reg::X5, 12);
+    a.li(Reg::X7, 0x0001_0000);
+    a.add(Reg::X6, Reg::X6, Reg::X7);
+    a.li(Reg::X8, 0);
+    a.li(Reg::X9, 12);
+    a.li(Reg::X10, 0);
+    a.label("chase").unwrap();
+    a.lw(Reg::X11, Reg::X6, 0);
+    a.add(Reg::X10, Reg::X10, Reg::X11);
+    a.addi(Reg::X6, Reg::X6, 256);
+    a.addi(Reg::X8, Reg::X8, 1);
+    a.blt(Reg::X8, Reg::X9, "chase");
+    a.ecall();
+    a
+}
+
+fn run(fast_forward: bool) -> (GpuStats, TimeSeries) {
+    let prog = kernel().assemble(ENTRY).expect("kernel assembles");
+    let mut config = GpuConfig::with_cores(NUM_CORES);
+    config.fast_forward = fast_forward;
+    config.sample_interval = INTERVAL;
+    let mut gpu = Gpu::new(config);
+    gpu.ram.write_bytes(prog.base, &prog.to_bytes());
+    gpu.launch(prog.entry);
+    let stats = gpu.run(1_000_000).expect("kernel completes");
+    let series = gpu.time_series().expect("sampling enabled").clone();
+    (stats, series)
+}
+
+#[test]
+fn windows_inside_skipped_spans_land_on_exact_boundaries() {
+    let (stats, series) = run(true);
+    assert!(stats.cycles_skipped > 0, "spans were actually skipped");
+    assert!(
+        series.samples.len() > 4,
+        "several windows elapsed ({} cycles)",
+        stats.cycles
+    );
+    for (i, s) in series.samples.iter().enumerate() {
+        assert_eq!(
+            s.cycle,
+            (i as u64 + 1) * INTERVAL,
+            "window {i} closes exactly on its boundary"
+        );
+    }
+    // Every window that closed before the end of the run was emitted —
+    // jumping over a boundary may never swallow its sample.
+    assert_eq!(series.samples.len() as u64, stats.cycles / INTERVAL);
+    assert!(!series.truncated);
+    assert!(series.samples.len() <= TimeSeries::MAX_SAMPLES);
+}
+
+#[test]
+fn per_window_deltas_cover_every_cycle() {
+    // Each cycle charges exactly one issue slot (an instruction or one
+    // stall bucket), live or skipped, so every full window's deltas must
+    // sum to the interval — per core, per window.
+    let (_, series) = run(true);
+    for (i, s) in series.samples.iter().enumerate() {
+        for (cid, w) in s.cores.iter().enumerate() {
+            assert_eq!(
+                w.instrs + w.stalls.total(),
+                INTERVAL,
+                "window {i} core {cid}: one issue-slot charge per cycle"
+            );
+        }
+    }
+}
+
+#[test]
+fn whole_run_issue_accounting_is_exact_with_skipping() {
+    let (stats, _) = run(true);
+    for (cid, c) in stats.cores.iter().enumerate() {
+        assert_eq!(
+            c.cycles,
+            c.instrs + c.stalls.total(),
+            "core {cid}: cycles == instrs + stalls with skipping on"
+        );
+    }
+}
+
+#[test]
+fn series_identical_with_and_without_skipping() {
+    let (live_stats, live_series) = run(false);
+    let (ff_stats, ff_series) = run(true);
+    assert_eq!(live_stats, ff_stats, "GpuStats");
+    assert_eq!(live_series, ff_series, "telemetry time series");
+    assert_eq!(live_stats.cycles_skipped, 0);
+    assert!(
+        ff_stats.skip_events as usize > ff_series.samples.len() / 2,
+        "windows inside spans split jumps ({} jumps, {} windows)",
+        ff_stats.skip_events,
+        ff_series.samples.len()
+    );
+}

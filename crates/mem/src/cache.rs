@@ -562,6 +562,28 @@ impl Cache {
         self.banks[self.bank_of(line)].lookup(line, self.config.num_banks)
     }
 
+    /// `true` when a tick (plus the unconditional per-cycle
+    /// [`Cache::begin_cycle`]/[`Cache::offer`] calls the owner makes)
+    /// would change no state and draw no fault decision: no fault plan
+    /// attached (the request interface draws `elastic_stall` on every
+    /// offer, even an empty one), no flush in progress, and nothing
+    /// queued in the memory queue, response queue, or any bank's
+    /// input/pipeline/fill/replay structures. Banks whose only contents
+    /// are MSHR entries parked on in-flight fills qualify — their tick
+    /// body is a no-op until the fill arrives from the next level.
+    pub fn ff_idle(&self) -> bool {
+        self.fault.is_none()
+            && self.flush_busy == 0
+            && self.memq.is_empty()
+            && self.responses.is_empty()
+            && self.banks.iter().all(|b| {
+                b.input.is_empty()
+                    && b.stage.iter().all(Option::is_none)
+                    && b.fills.is_empty()
+                    && b.replays.is_empty()
+            })
+    }
+
     /// Starts a new cycle: clears the per-cycle bank-claim state used by the
     /// selector. Call once per cycle before [`Cache::offer`] / [`Cache::tick`].
     pub fn begin_cycle(&mut self) {

@@ -162,6 +162,38 @@ impl Dram {
         self.input.is_empty() && self.in_flight.is_empty() && self.responses.is_empty()
     }
 
+    /// `true` while a fault plan is attached. The plan draws a
+    /// `stall_dram` decision on every tick, so a fault-armed controller
+    /// is never fast-forward idle (the draw audit chain must advance
+    /// cycle by cycle).
+    pub fn has_fault(&self) -> bool {
+        self.fault.is_some()
+    }
+
+    /// The earliest cycle whose tick would do more than advance the
+    /// clock. With queued input, pending responses, or a fault plan
+    /// attached that is the current cycle; with only in-flight accesses
+    /// it is the tick on which the oldest one retires (`tick` increments
+    /// the clock before retiring, so that is `done - 1`); when fully
+    /// idle, `u64::MAX`.
+    pub fn next_event_cycle(&self) -> u64 {
+        if self.fault.is_some() || !self.input.is_empty() || !self.responses.is_empty() {
+            return self.cycle;
+        }
+        match self.in_flight.front() {
+            Some(&(done, _)) => done.saturating_sub(1).max(self.cycle),
+            None => u64::MAX,
+        }
+    }
+
+    /// Advances the clock by `delta` cycles at once — the bulk
+    /// equivalent of `delta` [`Dram::tick`] calls on a controller whose
+    /// ticks are certified idle (empty input, no retirement due, no
+    /// fault plan) for the whole span.
+    pub fn advance(&mut self, delta: u64) {
+        self.cycle += delta;
+    }
+
     /// The configured parameters.
     pub fn config(&self) -> DramConfig {
         self.config

@@ -204,6 +204,17 @@ impl SharedLevel {
             && self.rsp_out.iter().all(VecDeque::is_empty)
     }
 
+    /// `true` when a tick would change no state and draw no fault
+    /// decision: nothing staged for the selector, nothing routed back
+    /// upstream, and the cache itself fast-forward idle (which also
+    /// rules out an attached fault plan). MSHR entries parked on
+    /// in-flight fills do not disqualify — the fill wakes the level.
+    fn ff_idle(&self) -> bool {
+        self.pending.is_empty()
+            && self.cache.ff_idle()
+            && self.rsp_out.iter().all(VecDeque::is_empty)
+    }
+
     fn save_state(&self, w: &mut Writer) {
         self.cache.save_state(w);
         self.tags.save_state(w);
@@ -458,6 +469,39 @@ impl MemHierarchy {
             && self.l2.iter().all(SharedLevel::is_idle)
             && self.l3.as_ref().is_none_or(SharedLevel::is_idle)
             && self.core_rsp.iter().all(VecDeque::is_empty)
+    }
+
+    /// The earliest cycle whose [`MemHierarchy::tick`] could change
+    /// state above the L1s. With work queued in any shared level (or a
+    /// fault plan attached to one), fill responses waiting on core
+    /// ports, or queued/fault work at the DRAM, that is `now`; with
+    /// only DRAM accesses in flight it is the tick on which the oldest
+    /// one retires; when everything above the L1s is drained,
+    /// `u64::MAX` (outstanding routing tags alone hold no event — they
+    /// wait on DRAM in-flight entries, which are accounted here).
+    pub fn next_event_cycle(&self, now: u64) -> u64 {
+        let levels_idle = self.l2.iter().all(SharedLevel::ff_idle)
+            && self.l3.as_ref().is_none_or(SharedLevel::ff_idle)
+            && self.core_rsp.iter().all(VecDeque::is_empty);
+        if !levels_idle {
+            return now;
+        }
+        self.dram.next_event_cycle()
+    }
+
+    /// The bulk equivalent of `delta` certified-idle ticks (see
+    /// [`MemHierarchy::next_event_cycle`]): every queue above the L1s
+    /// is empty, so the only per-tick effects are the shared levels'
+    /// `begin_cycle` (a no-op on an idle selector) and the DRAM clock
+    /// advancing.
+    pub fn bulk_advance(&mut self, delta: u64) {
+        for l2 in &mut self.l2 {
+            l2.begin_cycle();
+        }
+        if let Some(l3) = &mut self.l3 {
+            l3.begin_cycle();
+        }
+        self.dram.advance(delta);
     }
 
     /// Total DRAM reads serviced.

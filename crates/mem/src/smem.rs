@@ -115,6 +115,20 @@ impl SharedMem {
         self.in_flight.is_empty()
     }
 
+    /// The `ready` stamp of the oldest in-flight response, if any. The
+    /// core turns this into an event horizon: its tick advances the
+    /// scratchpad clock before draining responses, so the oldest one
+    /// pops during the tick that starts at `ready - 1`.
+    pub fn front_ready(&self) -> Option<u64> {
+        self.in_flight.front().map(|&(ready, _)| ready)
+    }
+
+    /// Advances the scratchpad clock by `delta` cycles at once — the
+    /// bulk equivalent of `delta` [`SharedMem::tick`] calls.
+    pub fn advance(&mut self, delta: u64) {
+        self.cycle += delta;
+    }
+
     /// The configured geometry.
     pub fn config(&self) -> SharedMemConfig {
         self.config

@@ -141,6 +141,8 @@ pub fn render_stats_with_recovery(
     let _ = writeln!(out, "  \"schema\": {},", quote(STATS_SCHEMA));
     let _ = writeln!(out, "  \"label\": {},", quote(label));
     let _ = writeln!(out, "  \"cycles\": {},", stats.cycles);
+    let _ = writeln!(out, "  \"cycles_skipped\": {},", stats.cycles_skipped);
+    let _ = writeln!(out, "  \"skip_events\": {},", stats.skip_events);
     let _ = writeln!(out, "  \"total_instrs\": {},", stats.total_instrs());
     let _ = writeln!(
         out,
@@ -187,13 +189,16 @@ pub fn render_sweep(title: &str, rows: &[(String, GpuStats)]) -> String {
         let comma = if i + 1 == rows.len() { "" } else { "," };
         let _ = writeln!(
             out,
-            "    {{\"label\": {}, \"cycles\": {}, \"instrs\": {}, \
+            "    {{\"label\": {}, \"cycles\": {}, \"cycles_skipped\": {}, \
+             \"skip_events\": {}, \"instrs\": {}, \
              \"thread_instrs\": {}, \"ipc\": {}, \"thread_ipc\": {}, \
              \"divergences\": {}, \
              \"dram_reads\": {}, \"dram_writes\": {}, \"dcache_hit_rate\": {}, \
              \"stalls\": {}}}{comma}",
             quote(label),
             stats.cycles,
+            stats.cycles_skipped,
+            stats.skip_events,
             stats.total_instrs(),
             stats.total_thread_instrs(),
             num(stats.ipc()),
@@ -235,6 +240,8 @@ mod tests {
             cores: vec![core; 2],
             dram_reads: 12,
             dram_writes: 3,
+            cycles_skipped: 120,
+            skip_events: 4,
         }
     }
 
@@ -244,6 +251,8 @@ mod tests {
         let v = Value::parse(&doc).expect("valid JSON");
         assert_eq!(v.get("schema").unwrap().as_str(), Some(STATS_SCHEMA));
         assert_eq!(v.get("cycles").unwrap().as_num(), Some(1000.0));
+        assert_eq!(v.get("cycles_skipped").unwrap().as_num(), Some(120.0));
+        assert_eq!(v.get("skip_events").unwrap().as_num(), Some(4.0));
         assert_eq!(v.get("total_instrs").unwrap().as_num(), Some(800.0));
         assert_eq!(v.get("total_thread_instrs").unwrap().as_num(), Some(3200.0));
         assert_eq!(v.get("divergences").unwrap().as_num(), Some(18.0));
@@ -306,6 +315,8 @@ mod tests {
         assert_eq!(points.len(), 2);
         assert_eq!(points[1].get("label").unwrap().as_str(), Some("8W-2T"));
         assert_eq!(points[0].get("cycles").unwrap().as_num(), Some(1000.0));
+        assert_eq!(points[0].get("cycles_skipped").unwrap().as_num(), Some(120.0));
+        assert_eq!(points[0].get("skip_events").unwrap().as_num(), Some(4.0));
         assert_eq!(points[0].get("divergences").unwrap().as_num(), Some(18.0));
     }
 }

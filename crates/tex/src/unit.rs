@@ -406,6 +406,59 @@ impl TexUnit {
         }
     }
 
+    /// The earliest cycle whose tick could do more than replicate an
+    /// idle bump (counting a busy/idle cycle, decrementing sampler
+    /// countdowns). `now` when the unit would issue texel fetches,
+    /// complete a batch, pop a queued batch into the scheduler, or has
+    /// pending output / memory traffic / a fault plan (plans draw a
+    /// `tex_stall` decision every tick); otherwise the tick on which
+    /// the sampler's front batch emerges; `u64::MAX` when nothing is
+    /// scheduled (a batch parked on outstanding cache fills wakes via
+    /// the data cache, which reports its own horizon).
+    pub fn next_event_cycle(&self, now: u64) -> u64 {
+        if self.fault.is_some() || !self.mem_out.is_empty() || !self.output.is_empty() {
+            return now;
+        }
+        match &self.current {
+            Some(batch) => {
+                if !batch.to_issue.is_empty() || batch.outstanding == 0 {
+                    return now;
+                }
+            }
+            None => {
+                if !self.input.is_empty() {
+                    return now;
+                }
+            }
+        }
+        match self.sampler.front() {
+            // The tick decrements before popping, so a batch entering
+            // with `count` remaining emerges on the tick that starts
+            // `count - 1` cycles from now.
+            Some(&(count, _)) => now + u64::from(count).saturating_sub(1),
+            None => u64::MAX,
+        }
+    }
+
+    /// The bulk equivalent of `delta` certified-idle ticks (see
+    /// [`TexUnit::next_event_cycle`]): sampler countdowns shrink by
+    /// `delta` without any batch emerging, and the busy/idle cycle
+    /// counters advance exactly as `delta` single ticks would have.
+    pub fn bulk_advance(&mut self, delta: u64) {
+        let d32 = u32::try_from(delta.min(u64::from(u32::MAX))).expect("clamped to u32 range");
+        for entry in &mut self.sampler {
+            entry.0 = entry.0.saturating_sub(d32);
+        }
+        match &self.current {
+            Some(_) => self.stats.mem_busy_cycles += delta,
+            None => {
+                if self.sampler.is_empty() && self.output.is_empty() {
+                    self.stats.idle_cycles += delta;
+                }
+            }
+        }
+    }
+
     /// `true` when nothing is in flight.
     pub fn is_idle(&self) -> bool {
         self.input.is_empty()
