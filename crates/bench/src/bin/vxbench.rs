@@ -215,6 +215,13 @@ fn measure_mc(name: &'static str, bench: &dyn Benchmark) -> Measurement {
     }
 }
 
+/// Logical CPUs the host exposes. The multi-core tier's `speedup_t4` only
+/// means anything when threads have real CPUs to land on; a 1-CPU host
+/// time-slices the 4-thread leg and legitimately measures speedup < 1.
+fn host_cpus() -> usize {
+    std::thread::available_parallelism().map_or(0, |n| n.get())
+}
+
 fn to_json(mode: &str, results: &[Measurement]) -> String {
     // Hand-rolled, line-oriented JSON: one workload object per line so the
     // (dependency-free) baseline reader in `--check` can parse it with
@@ -227,10 +234,7 @@ fn to_json(mode: &str, results: &[Measurement]) -> String {
     // Interpretation key for the multi-core tier's speedup_t4: threads
     // beyond the host's CPU count cannot speed anything up, so a baseline
     // recorded on a 1-CPU host legitimately shows speedup below 1.
-    out.push_str(&format!(
-        "  \"host_cpus\": {},\n",
-        std::thread::available_parallelism().map_or(0, |n| n.get())
-    ));
+    out.push_str(&format!("  \"host_cpus\": {},\n", host_cpus()));
     out.push_str("  \"workloads\": [\n");
     for (i, m) in results.iter().enumerate() {
         let comma = if i + 1 == results.len() { "" } else { "," };
@@ -261,25 +265,47 @@ fn parse_baseline_mode(json: &str) -> Option<String> {
         .map(|v| v.trim().trim_matches(',').trim_matches('"').to_string())
 }
 
-/// Extracts `(name, cps)` pairs from a baseline produced by [`to_json`].
-fn parse_baseline(json: &str) -> Vec<(String, f64)> {
-    let field = |line: &str, key: &str| -> Option<String> {
-        let pat = format!("\"{key}\": ");
-        let start = line.find(&pat)? + pat.len();
-        let rest = &line[start..];
-        let end = rest
-            .find(|c: char| c == ',' || c == '}')
-            .unwrap_or(rest.len());
-        Some(rest[..end].trim().trim_matches('"').to_string())
-    };
+fn json_field(line: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": ");
+    let start = line.find(&pat)? + pat.len();
+    let rest = &line[start..];
+    let end = rest
+        .find(|c: char| c == ',' || c == '}')
+        .unwrap_or(rest.len());
+    Some(rest[..end].trim().trim_matches('"').to_string())
+}
+
+/// One workload's gated numbers from a [`to_json`] baseline.
+struct BaselineEntry {
+    name: String,
+    cps: f64,
+    /// Absent for single-core workloads and in pre-PR10 baselines.
+    speedup_t4: Option<f64>,
+}
+
+/// Extracts the per-workload entries from a baseline produced by
+/// [`to_json`].
+fn parse_baseline(json: &str) -> Vec<BaselineEntry> {
     json.lines()
         .filter(|l| l.contains("\"name\"") && l.contains("\"cps\""))
         .filter_map(|l| {
-            let name = field(l, "name")?;
-            let cps: f64 = field(l, "cps")?.parse().ok()?;
-            Some((name, cps))
+            Some(BaselineEntry {
+                name: json_field(l, "name")?,
+                cps: json_field(l, "cps")?.parse().ok()?,
+                speedup_t4: json_field(l, "speedup_t4").and_then(|s| s.parse().ok()),
+            })
         })
         .collect()
+}
+
+/// Extracts the `"host_cpus"` a baseline was recorded on (0 / absent in
+/// baselines that predate the field).
+fn parse_baseline_host_cpus(json: &str) -> usize {
+    json.lines()
+        .find(|l| l.trim_start().starts_with("\"host_cpus\""))
+        .and_then(|l| json_field(l, "host_cpus"))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
 }
 
 fn main() {
@@ -378,11 +404,26 @@ fn main() {
             ),
             format!("{:.1}", m.wall_ms),
             format!("{:.2}", m.cps / 1e6),
-            m.speedup_t4
-                .map_or_else(|| "-".to_string(), |s| format!("{s:.2}x")),
+            m.speedup_t4.map_or_else(
+                || "-".to_string(),
+                |s| {
+                    if host_cpus() <= 1 {
+                        format!("{s:.2}x*")
+                    } else {
+                        format!("{s:.2}x")
+                    }
+                },
+            ),
         ]);
     }
     println!("{}", t.to_markdown());
+    if host_cpus() <= 1 && results.iter().any(|m| m.speedup_t4.is_some()) {
+        eprintln!(
+            "* host has {} CPU(s): the sim_threads={MC_THREADS} leg time-slices, so \
+             speedup_t4 is informational only and exempt from --check",
+            host_cpus()
+        );
+    }
 
     if let Some(path) = out_file {
         std::fs::write(&path, to_json(mode, &results)).unwrap_or_else(|e| {
@@ -412,20 +453,48 @@ fn main() {
             );
             std::process::exit(1);
         }
+        let base_cpus = parse_baseline_host_cpus(&json);
         let mut failed = false;
-        for (name, base_cps) in &baseline {
+        for entry in &baseline {
+            let name = &entry.name;
             let Some(m) = results.iter().find(|m| m.name == name.as_str()) else {
                 continue; // baseline workload not in this suite selection
             };
-            let floor = base_cps * (1.0 - REGRESSION_TOLERANCE);
+            let floor = entry.cps * (1.0 - REGRESSION_TOLERANCE);
             let verdict = if m.cps >= floor { "ok" } else { "REGRESSED" };
             eprintln!(
                 "  {name}: {:.2} Mcps vs baseline {:.2} Mcps (floor {:.2}) — {verdict}",
                 m.cps / 1e6,
-                base_cps / 1e6,
+                entry.cps / 1e6,
                 floor / 1e6
             );
             failed |= m.cps < floor;
+            // The commit-parallel scaling gate: compare speedup_t4 against
+            // the baseline's only when both sides ran on hosts with spare
+            // CPUs — a 1-CPU host time-slices the 4-thread leg, so its
+            // speedup says nothing about the parallel path.
+            if let (Some(base_s), Some(run_s)) = (entry.speedup_t4, m.speedup_t4) {
+                if host_cpus() <= 1 {
+                    eprintln!(
+                        "  {name}: speedup_t4 {run_s:.2}x exempt from check — \
+                         this host has {} CPU(s)",
+                        host_cpus()
+                    );
+                } else if base_cpus <= 1 {
+                    eprintln!(
+                        "  {name}: speedup_t4 {run_s:.2}x exempt from check — \
+                         baseline was recorded on a {base_cpus}-CPU host"
+                    );
+                } else {
+                    let s_floor = base_s * (1.0 - REGRESSION_TOLERANCE);
+                    let s_verdict = if run_s >= s_floor { "ok" } else { "REGRESSED" };
+                    eprintln!(
+                        "  {name}: speedup_t4 {run_s:.2}x vs baseline {base_s:.2}x \
+                         (floor {s_floor:.2}x) — {s_verdict}"
+                    );
+                    failed |= run_s < s_floor;
+                }
+            }
         }
         if failed {
             eprintln!(

@@ -107,7 +107,7 @@ const EXIT_TIMEOUT: i32 = 14;
 fn usage() -> ! {
     eprintln!(
         "usage: vxsim <kernel.s> [--cores N] [--warps W] [--threads T] \
-         [--ports P] [--trace N] [--disasm] [--max-cycles N] \
+         [--ports P] [--clusters N] [--l2] [--l3] [--trace N] [--disasm] [--max-cycles N] \
          [--sample N] [--stats-json FILE] [--timeline FILE] \
          [--trace-out FILE] [--inject k=v,...] [--sim-threads N] \
          [--checkpoint-every N] [--checkpoint-dir DIR] [--resume FILE] \
@@ -165,6 +165,8 @@ fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut file = None;
     let (mut cores, mut warps, mut threads, mut ports) = (1usize, 4usize, 4usize, 1usize);
+    let mut clusters: Option<usize> = None;
+    let (mut l2, mut l3) = (false, false);
     let mut trace = 0usize;
     let mut disasm = false;
     let mut max_cycles = 100_000_000u64;
@@ -189,6 +191,9 @@ fn main() {
             "--warps" => warps = positive(&mut it, "--warps") as usize,
             "--threads" => threads = positive(&mut it, "--threads") as usize,
             "--ports" => ports = positive(&mut it, "--ports") as usize,
+            "--clusters" => clusters = Some(positive(&mut it, "--clusters") as usize),
+            "--l2" => l2 = true,
+            "--l3" => l3 = true,
             "--trace" => trace = positive(&mut it, "--trace") as usize,
             "--max-cycles" => max_cycles = positive(&mut it, "--max-cycles"),
             "--sample" => sample = positive(&mut it, "--sample"),
@@ -237,6 +242,25 @@ fn main() {
     let mut config = GpuConfig::with_cores(cores);
     config.core = CoreConfig::with_dims(warps, threads);
     config.core.dcache.ports = ports;
+    // Clustered topology: `--clusters N` splits the cores into N equal
+    // clusters and `--l2`/`--l3` hang the default shared levels behind
+    // them — the configuration whose commit phase shards across
+    // `--sim-threads` host threads (DESIGN.md §15). All three are timing
+    // knobs like `--cores`: results stay bit-identical at any
+    // `--sim-threads`.
+    if let Some(n) = clusters {
+        if cores % n != 0 {
+            eprintln!("vxsim: --clusters {n} must divide --cores {cores}");
+            usage()
+        }
+        config.cores_per_cluster = cores / n;
+    }
+    if l2 {
+        config.l2 = Some(vortex_mem::hierarchy::l2_default());
+    }
+    if l3 {
+        config.l3 = Some(vortex_mem::hierarchy::l3_default());
+    }
     config.sample_interval = sample;
     // --profile-out and --annotate imply collection; all three are
     // observation-only (cycles and stats are bit-identical on or off).

@@ -50,6 +50,37 @@ struct Completion {
     wb: Writeback,
 }
 
+/// Deferred state of a *parked* core: a core whose own
+/// [`Core::next_event_cycle`] proved that every tick until `until` is a
+/// pure idle bump. While parked, [`Core::tick`] reduces to two counter
+/// increments and the per-tick side effects (stall bucket, profiler
+/// attribution, shared-memory clock, texture countdowns) accumulate in
+/// `delta`, to be replayed in one batch by [`Core::unpark`] — the same
+/// replay [`Core::bulk_advance`] performs, and legal for the same
+/// reason: any state change that could alter the memoized classification
+/// is an event that would have kept the horizon at "now", or arrives
+/// through an external entry point that unparks first.
+///
+/// Parking is host-side scheduling, invisible to the simulated machine:
+/// it is never serialized, and every run loop flushes all parks before
+/// returning so snapshots and profiles observe fully-replayed state.
+#[derive(Debug, Clone, Copy)]
+struct Park {
+    /// First cycle whose tick must run live (`u64::MAX`: only an
+    /// external event — fill response, barrier release — can wake the
+    /// core).
+    until: u64,
+    /// Idle ticks taken while parked but not yet replayed.
+    delta: u64,
+    /// Memoized no-pick classification (see [`IssueScan`]) — constant
+    /// over the span by the fast-forward contract.
+    blocked_scoreboard: bool,
+    blocked_fu: bool,
+    /// Memoized profiler attribution site `(pc, encoded word)`; `None`
+    /// when the stall is `ibuffer_empty` or profiling is off.
+    site: Option<(u32, u32)>,
+}
+
 /// Outcome of the pure issue-candidate scan. One scan is shared by the
 /// issue stage, the fast-forward horizon probe, and the bulk advance so
 /// all three classify a no-pick cycle identically (same bucket, same
@@ -165,6 +196,15 @@ pub struct Core {
     /// decision streams even on empty offers, so skipping ticks would
     /// desynchronize them.
     drained: bool,
+    /// Active park, when the core is locally fast-forwarding (see
+    /// [`Park`]). Host-side scheduling state: never serialized, always
+    /// `None` outside a run loop.
+    park: Option<Park>,
+    /// Issued-instruction count at the last park probe — probing only
+    /// makes sense on ticks that issued nothing.
+    park_mark: u64,
+    /// Remaining ticks before the next park probe after a failed one.
+    park_backoff: u32,
     /// `true` once [`Core::apply_faults`] attached non-noop fault plans.
     has_faults: bool,
     /// Performance counters. Holds only the directly-incremented issue-side
@@ -184,6 +224,15 @@ pub struct Core {
 impl Core {
     /// Instruction-buffer depth per wavefront.
     pub const IBUFFER_DEPTH: usize = 2;
+
+    /// Shortest proven-idle span worth parking for: below this the
+    /// park/replay bookkeeping costs about as much as the live idle
+    /// ticks it would skip (short fetch bubbles in particular).
+    const PARK_MIN_SPAN: u64 = 4;
+    /// Ticks to wait before re-probing after a failed park probe, so a
+    /// core bouncing between short bubbles doesn't pay the probe every
+    /// cycle. A successful issue resets the gate (see `park_mark`).
+    const PARK_PROBE_BACKOFF: u32 = 3;
 
     /// `true` for instructions the front end must not fetch past: PC
     /// redirects (branch/jump/`join`) and instructions that may halt or
@@ -244,6 +293,9 @@ impl Core {
             store_log: WriteLog::new(),
             cycle: 0,
             drained: false,
+            park: None,
+            park_mark: u64::MAX,
+            park_backoff: 0,
             has_faults: false,
             stats: CoreStats::default(),
             profile: None,
@@ -283,6 +335,9 @@ impl Core {
         self.tex_mem_pending.clear();
         self.store_log.clear();
         self.drained = false;
+        self.park = None;
+        self.park_mark = u64::MAX;
+        self.park_backoff = 0;
         self.wavefronts[0].spawn(pc, 1);
     }
 
@@ -799,6 +854,8 @@ impl Core {
     /// Unstalls a wavefront released from a (local or global) barrier or
     /// fence.
     pub fn release_wavefront(&mut self, wid: usize) {
+        // A release can wake a core parked on a barrier wait.
+        self.unpark();
         if self.wavefronts[wid].active {
             self.wavefronts[wid].stall = StallReason::None;
         }
@@ -911,6 +968,18 @@ impl Core {
             self.cycle += 1;
             return Ok(());
         }
+        if let Some(p) = &mut self.park {
+            if self.cycle < p.until {
+                // Proven-idle tick: defer its side effects into the park
+                // and pay two increments instead of the pipeline walk.
+                p.delta += 1;
+                self.cycle += 1;
+                return Ok(());
+            }
+            // First live cycle of the horizon: replay the span, then run
+            // the tick below normally.
+            self.unpark();
+        }
         self.icache.begin_cycle();
         self.dcache.begin_cycle();
 
@@ -1010,8 +1079,89 @@ impl Core {
         // for the few cycles between its last retirement and idle caches.
         if self.quiescent() {
             self.drained = true;
+        } else if self.stats.instrs == self.park_mark {
+            // Nothing issued since the last probe: the core may be
+            // stalled. Probe for a parkable span, rate-limited after
+            // failures.
+            if self.park_backoff == 0 {
+                self.try_park();
+            } else {
+                self.park_backoff -= 1;
+            }
+        } else {
+            self.park_mark = self.stats.instrs;
+            self.park_backoff = 0;
         }
         Ok(())
+    }
+
+    /// Park probe: asks [`Core::next_event_cycle`]'s horizon logic for
+    /// the first live cycle and parks the core when the proven-idle span
+    /// is long enough to beat the replay bookkeeping.
+    fn try_park(&mut self) {
+        if self.has_faults {
+            // Fault plans draw on every live tick; parking would desync
+            // their decision streams (same rule as the GPU fast-forward).
+            return;
+        }
+        let (horizon, scan) = self.horizon_probe();
+        if horizon < self.cycle + Self::PARK_MIN_SPAN {
+            self.park_backoff = Self::PARK_PROBE_BACKOFF;
+            return;
+        }
+        let scan = scan.expect("a future horizon implies the scan ran");
+        let stall_wid = if scan.blocked_scoreboard {
+            scan.first_scoreboard_wid
+        } else if scan.blocked_fu {
+            scan.first_fu_wid
+        } else {
+            usize::MAX
+        };
+        let site = if self.profile.is_some() && stall_wid != usize::MAX {
+            self.ibuffer[stall_wid]
+                .front()
+                .map(|&(ref instr, pc, _need)| (pc, vortex_isa::encode(instr)))
+        } else {
+            None
+        };
+        self.park = Some(Park {
+            until: horizon,
+            delta: 0,
+            blocked_scoreboard: scan.blocked_scoreboard,
+            blocked_fu: scan.blocked_fu,
+            site,
+        });
+    }
+
+    /// Replays a park's deferred ticks — the exact per-cycle effects
+    /// [`Core::bulk_advance`] applies for a skipped span, except the
+    /// cycle counter, which already advanced tick by tick. Idempotent;
+    /// called from every external entry point that could invalidate the
+    /// memoized horizon, and by the run loops before they return.
+    pub(crate) fn unpark(&mut self) {
+        let Some(p) = self.park.take() else { return };
+        if p.delta == 0 {
+            return;
+        }
+        // Live idle ticks open each cycle by clearing the caches'
+        // serialized arbitration claims; replay that so snapshots taken
+        // after a parked span match the unskipped bytes.
+        self.icache.begin_cycle();
+        self.dcache.begin_cycle();
+        if p.blocked_scoreboard {
+            self.stats.stalls.scoreboard += p.delta;
+        } else if p.blocked_fu {
+            self.stats.stalls.fu_busy += p.delta;
+        } else {
+            self.stats.stalls.ibuffer_empty += p.delta;
+        }
+        if let Some(prof) = self.profile.as_deref_mut() {
+            if let Some((pc, word)) = p.site {
+                prof.record_stall_n(pc, || word, p.blocked_scoreboard, p.delta);
+            }
+        }
+        self.smem.advance(p.delta);
+        self.tex_unit.bulk_advance(p.delta);
     }
 
     /// Whether the core has fully wound down (the condition under which
@@ -1047,10 +1197,25 @@ impl Core {
     /// [`Core::push_l1_mem_rsp`], which the GPU-level hierarchy horizon
     /// bounds).
     pub fn next_event_cycle(&self) -> u64 {
+        if let Some(p) = &self.park {
+            // Return the horizon memoized at park time rather than
+            // recomputing: the texture sampler countdowns are *relative*
+            // and stale while their decrements sit deferred in the park,
+            // so a live recomputation would over-report the horizon.
+            return p.until;
+        }
+        self.horizon_probe().0
+    }
+
+    /// The horizon computation behind [`Core::next_event_cycle`], also
+    /// returning the [`IssueScan`] when the probe got far enough to run
+    /// it (`Some` exactly when the returned horizon is in the future) —
+    /// the park probe memoizes that scan's classification.
+    fn horizon_probe(&self) -> (u64, Option<IssueScan>) {
         let now = self.cycle;
         if self.drained {
             // The drained tick is exactly `ibuffer_empty += 1; cycle += 1`.
-            return u64::MAX;
+            return (u64::MAX, None);
         }
         // Any fault plan attached to this core draws at fixed per-tick
         // sites (cache offers, texture tick) — skipping would desync the
@@ -1065,7 +1230,7 @@ impl Core {
             || !self.icache.ff_idle()
             || !self.dcache.ff_idle()
         {
-            return now;
+            return (now, None);
         }
         // Fence release would fire this tick.
         if !self.fence_waiters.is_empty()
@@ -1073,20 +1238,20 @@ impl Core {
             && self.dcache.is_idle()
             && self.smem.is_idle()
         {
-            return now;
+            return (now, None);
         }
         // Quiescence transition pending: take one live tick so `drained`
         // latches on the same cycle with skipping on or off.
         if self.quiescent() {
-            return now;
+            return (now, None);
         }
         // Fetch would engage the (stateful) scheduler.
         if self.fetch_ready_mask() != 0 {
-            return now;
+            return (now, None);
         }
         let scan = self.issue_scan();
         if scan.picked.is_some() {
-            return now;
+            return (now, Some(scan));
         }
         // Timed events only from here down. Each bound is the exact cycle
         // whose live tick first observes the event, matching the stage's
@@ -1096,28 +1261,28 @@ impl Core {
         let mut horizon = scan.next_fu_ready;
         if let Some(ready) = self.completions.iter().map(|c| c.ready).min() {
             if ready <= now {
-                return now;
+                return (now, Some(scan));
             }
             horizon = horizon.min(ready);
         }
         if let Some(&(ready, _, _)) = self.fast_fetch.front() {
             if ready <= now {
-                return now;
+                return (now, Some(scan));
             }
             horizon = horizon.min(ready);
         }
         if let Some(ready) = self.smem.front_ready() {
             let h = ready.saturating_sub(1);
             if h <= now {
-                return now;
+                return (now, Some(scan));
             }
             horizon = horizon.min(h);
         }
         let tex = self.tex_unit.next_event_cycle(now);
         if tex <= now {
-            return now;
+            return (now, Some(scan));
         }
-        horizon.min(tex)
+        (horizon.min(tex), Some(scan))
     }
 
     /// Advances the core by `delta` cycles in one step, reproducing bit for
@@ -1128,6 +1293,16 @@ impl Core {
     pub fn bulk_advance(&mut self, delta: u64) {
         if self.drained {
             self.stats.stalls.ibuffer_empty += delta;
+            self.cycle += delta;
+            return;
+        }
+        if let Some(p) = &mut self.park {
+            // The GPU-level horizon consulted this core's memoized
+            // `until`, so `delta` keeps us inside the parked span: defer
+            // the whole jump into the park (every replayed effect is
+            // additive over sub-spans).
+            debug_assert!(self.cycle + delta <= p.until);
+            p.delta += delta;
             self.cycle += delta;
             return;
         }
@@ -1199,6 +1374,19 @@ impl Core {
     /// demand keeps ~250 bytes of copies out of the hot loop.
     pub fn stats_snapshot(&self) -> CoreStats {
         let mut stats = self.stats;
+        // A parked span's stall bucket is deferred in the park; fold it
+        // in here (without flushing) so mid-run observers — telemetry
+        // samples in particular — see the same counters a live run
+        // would.
+        if let Some(p) = &self.park {
+            if p.blocked_scoreboard {
+                stats.stalls.scoreboard += p.delta;
+            } else if p.blocked_fu {
+                stats.stalls.fu_busy += p.delta;
+            } else {
+                stats.stalls.ibuffer_empty += p.delta;
+            }
+        }
         stats.cycles = self.cycle;
         stats.icache = self.icache.stats;
         stats.dcache = self.dcache.stats;
@@ -1234,7 +1422,9 @@ impl Core {
             return;
         }
         // Fault plans draw from their decision streams even on empty
-        // offers, so the drained-core tick skip must stay off.
+        // offers, so the drained-core tick skip must stay off — and any
+        // in-progress park must replay before the plans attach.
+        self.unpark();
         self.has_faults = true;
         self.icache.set_fault(faults.plan(site::icache(self.id)));
         self.dcache.set_fault(faults.plan(site::dcache(self.id)));
@@ -1285,6 +1475,9 @@ impl Core {
 
     /// Delivers a fill response to the right L1.
     pub fn push_l1_mem_rsp(&mut self, rsp: MemRsp, icache: bool) {
+        // A fill is exactly the external event a memory-stalled park
+        // waits for: replay the deferred span before accepting it.
+        self.unpark();
         // A drained core has no outstanding reads, so no response should
         // reach it — but if one ever does, resume full ticking so the fill
         // is processed rather than stranded.
@@ -1314,6 +1507,29 @@ impl Core {
     /// Pops the next D-cache memory request.
     pub fn pop_dcache_mem_req(&mut self) -> Option<MemReq> {
         self.dcache.pop_mem_req()
+    }
+
+    /// Queued I-cache memory requests (for batched draining).
+    pub fn icache_mem_req_count(&self) -> usize {
+        self.icache.mem_req_count()
+    }
+
+    /// Queued D-cache memory requests (for batched draining).
+    pub fn dcache_mem_req_count(&self) -> usize {
+        self.dcache.mem_req_count()
+    }
+
+    /// Removes and yields the `n` oldest I-cache memory requests in one
+    /// batched transfer — the caller has already secured `n` downstream
+    /// slots, so no per-request handshake is needed.
+    pub fn drain_icache_mem_reqs(&mut self, n: usize) -> impl Iterator<Item = MemReq> + '_ {
+        self.icache.drain_mem_reqs(n)
+    }
+
+    /// Removes and yields the `n` oldest D-cache memory requests in one
+    /// batched transfer.
+    pub fn drain_dcache_mem_reqs(&mut self, n: usize) -> impl Iterator<Item = MemReq> + '_ {
+        self.dcache.drain_mem_reqs(n)
     }
 
     /// Drains this core's pending global-barrier arrivals.
@@ -1355,6 +1571,9 @@ impl Core {
     /// and re-decoded on restore.
     pub fn save_state(&self, w: &mut vortex_snapshot::Writer) {
         use vortex_snapshot::Snap;
+        // Parks are host-side scheduling, flushed by the run loops before
+        // they return; a snapshot must never observe one mid-span.
+        debug_assert!(self.park.is_none(), "save_state with an active park");
         for wf in &self.wavefronts {
             wf.save_state(w);
         }
@@ -1512,6 +1731,9 @@ impl Core {
         }
         // Host-side scratch: rebuilt lazily, never part of simulated state.
         self.fetch_req.clear();
+        self.park = None;
+        self.park_mark = u64::MAX;
+        self.park_backoff = 0;
         Ok(())
     }
 }

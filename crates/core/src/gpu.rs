@@ -33,7 +33,7 @@ use crate::stats::GpuStats;
 use crate::telemetry::{Telemetry, TimeSeries};
 use std::sync::{Mutex, MutexGuard, RwLock};
 use vortex_faults::FaultConfig;
-use vortex_mem::hierarchy::{HierarchyConfig, MemHierarchy};
+use vortex_mem::hierarchy::{ClusterShard, HierarchyConfig, MemHierarchy};
 use vortex_mem::{MemReq, MemRsp, Ram, Tag};
 
 /// Tag bit distinguishing I-cache from D-cache fills above the L1s.
@@ -114,6 +114,84 @@ impl CoreArray for [MutexGuard<'_, Core>] {
     }
     fn core_mut(&mut self, i: usize) -> &mut Core {
         &mut self[i]
+    }
+}
+
+/// Moves one core's L1 miss traffic into its cluster shard, I-cache
+/// stream first. Shard admission is a pure capacity handshake (no fault
+/// gate), so both streams transfer as batches against secured space.
+fn drain_core_into_shard(shard: &mut ClusterShard, core: &mut Core, port: usize) {
+    let n = core.icache_mem_req_count().min(shard.req_space());
+    for req in core.drain_icache_mem_reqs(n) {
+        shard.admit(
+            port,
+            MemReq {
+                tag: req.tag | ICACHE_BIT,
+                ..req
+            },
+        );
+    }
+    let n = core.dcache_mem_req_count().min(shard.req_space());
+    for req in core.drain_dcache_mem_reqs(n) {
+        shard.admit(port, req);
+    }
+}
+
+/// Delivers a shard's routed fill responses to the owning L1s.
+fn deliver_shard_rsps(shard: &mut ClusterShard, core: &mut Core, port: usize) {
+    while let Some(rsp) = shard.pop_rsp(port) {
+        let icache = rsp.tag & ICACHE_BIT != 0;
+        core.push_l1_mem_rsp(
+            MemRsp {
+                tag: rsp.tag & !ICACHE_BIT,
+            },
+            icache,
+        );
+    }
+}
+
+/// One shard's slice of the commit phase: drain its cores' L1 miss
+/// traffic in, tick the shard, deliver its routed responses back — all
+/// in ascending core-id order. The responses delivered here are the
+/// ones this tick produced; the merge that follows only feeds fills
+/// into the shard's bank queues, which surface as responses on the
+/// *next* tick, so delivering before the merge is order-equivalent to
+/// the historical tick-then-deliver sequence. A quiescent shard with no
+/// incoming traffic costs one branch: its tick would change no state
+/// and its response queues are provably empty.
+fn commit_shard<A: CoreArray + ?Sized>(shard: &mut ClusterShard, cores: &mut A) {
+    let range = shard.core_range();
+    for cid in range.clone() {
+        drain_core_into_shard(shard, cores.core_mut(cid), cid - range.start);
+    }
+    if shard.quiet() {
+        return;
+    }
+    shard.begin_and_tick();
+    for cid in range.clone() {
+        deliver_shard_rsps(shard, cores.core_mut(cid), cid - range.start);
+    }
+}
+
+/// [`commit_shard`] against the parallel run's mutex slots: locks the
+/// shard for the duration and each of its cores one at a time. Shards
+/// touch disjoint core sets and nothing shared, so concurrent calls on
+/// distinct shards are race-free and the cycle's outcome is independent
+/// of their interleaving.
+pub(crate) fn commit_shard_slots(shard: &Mutex<ClusterShard>, slots: &[Mutex<Core>]) {
+    let mut shard = shard.lock().expect("shard not poisoned");
+    let range = shard.core_range();
+    for cid in range.clone() {
+        let mut core = slots[cid].lock().expect("core slot not poisoned");
+        drain_core_into_shard(&mut shard, &mut core, cid - range.start);
+    }
+    if shard.quiet() {
+        return;
+    }
+    shard.begin_and_tick();
+    for cid in range.clone() {
+        let mut core = slots[cid].lock().expect("core slot not poisoned");
+        deliver_shard_rsps(&mut shard, &mut core, cid - range.start);
     }
 }
 
@@ -255,30 +333,73 @@ impl Gpu {
             cores.core_mut(cid).commit_stores(ram);
         }
 
-        // L1 miss traffic → hierarchy (only pop what the hierarchy takes).
-        for cid in 0..cores.len() {
-            let core = cores.core_mut(cid);
-            while let Some(req) = core.peek_icache_mem_req().copied() {
-                let wrapped = MemReq {
-                    tag: req.tag | ICACHE_BIT,
-                    ..req
-                };
-                if hierarchy.push_req(cid, wrapped).is_ok() {
-                    core.pop_icache_mem_req();
-                } else {
-                    break;
-                }
+        // L1 miss traffic in, shard/DRAM ticks, fill responses out.
+        if hierarchy.num_shards() == 0 {
+            Self::commit_flat(cores, hierarchy);
+        } else {
+            for si in 0..hierarchy.num_shards() {
+                commit_shard(hierarchy.shard_mut(si), cores);
             }
-            while let Some(req) = core.peek_dcache_mem_req().copied() {
-                if hierarchy.push_req(cid, req).is_ok() {
-                    core.pop_dcache_mem_req();
-                } else {
-                    break;
+            hierarchy.merge();
+        }
+
+        Self::commit_barriers(nw, cores, global_barriers, releases);
+    }
+
+    /// The flat-topology commit: L1 miss traffic drains straight into
+    /// the DRAM input queue — one batched transfer when the queue
+    /// guarantees capacity, the per-request handshake when it is full or
+    /// a fault plan draws a decision per push — then the DRAM ticks and
+    /// routed responses deliver back to the owning L1s.
+    fn commit_flat<A: CoreArray + ?Sized>(cores: &mut A, hierarchy: &mut MemHierarchy) {
+        let mut space = hierarchy.flat_space();
+        for cid in 0..cores.len() {
+            if space > 0 {
+                let core = cores.core_mut(cid);
+                let n = core.icache_mem_req_count().min(space);
+                for req in core.drain_icache_mem_reqs(n) {
+                    hierarchy.admit_flat(
+                        cid,
+                        MemReq {
+                            tag: req.tag | ICACHE_BIT,
+                            ..req
+                        },
+                    );
+                }
+                space -= n;
+                let n = core.dcache_mem_req_count().min(space);
+                for req in core.drain_dcache_mem_reqs(n) {
+                    hierarchy.admit_flat(cid, req);
+                }
+                space -= n;
+            } else {
+                // No guaranteed capacity: the queue is full (every push
+                // below fails cheaply, as the batch would have) or a
+                // fault plan gates each handshake (each push must draw
+                // its own decision).
+                let core = cores.core_mut(cid);
+                while let Some(req) = core.peek_icache_mem_req().copied() {
+                    let wrapped = MemReq {
+                        tag: req.tag | ICACHE_BIT,
+                        ..req
+                    };
+                    if hierarchy.push_req(cid, wrapped).is_ok() {
+                        core.pop_icache_mem_req();
+                    } else {
+                        break;
+                    }
+                }
+                while let Some(req) = core.peek_dcache_mem_req().copied() {
+                    if hierarchy.push_req(cid, req).is_ok() {
+                        core.pop_dcache_mem_req();
+                    } else {
+                        break;
+                    }
                 }
             }
         }
 
-        hierarchy.tick();
+        hierarchy.merge();
 
         // Fill responses → owning L1.
         for cid in 0..cores.len() {
@@ -293,9 +414,16 @@ impl Gpu {
                 );
             }
         }
+    }
 
-        // Global barriers (barrier ids with the MSB set): participants are
-        // wavefronts across all cores, identified as core*NW + wid.
+    /// Global barriers (barrier ids with the MSB set): participants are
+    /// wavefronts across all cores, identified as core*NW + wid.
+    fn commit_barriers<A: CoreArray + ?Sized>(
+        nw: usize,
+        cores: &mut A,
+        global_barriers: &mut BarrierTable,
+        releases: &mut Vec<usize>,
+    ) {
         releases.clear();
         for cid in 0..cores.len() {
             let core = cores.core_mut(cid);
@@ -435,6 +563,18 @@ impl Gpu {
         if threads > 1 {
             return self.run_par(max_cycles, threads);
         }
+        let result = self.run_seq_loop(max_cycles);
+        // Parks are a host-side replay optimization scoped to the run
+        // loops: flush them on every exit path so callers (snapshots,
+        // checkpoint drills, stats consumers) always see fully material-
+        // ized core state.
+        for core in &mut self.cores {
+            core.unpark();
+        }
+        result
+    }
+
+    fn run_seq_loop(&mut self, max_cycles: u64) -> Result<GpuStats, SimError> {
         self.last_progress_token = self.progress_token();
         self.last_progress_cycle = self.cycle;
         while !self.is_done() {
@@ -591,19 +731,39 @@ impl Gpu {
         let chunk = num_cores.div_ceil(threads);
         let slots: Vec<Mutex<Core>> = self.cores.drain(..).map(Mutex::new).collect();
         let ram_cell = RwLock::new(std::mem::take(&mut self.ram));
+        // The hierarchy moves into a lock for the run so commit-phase
+        // workers can reach the shards; a minimal flat placeholder keeps
+        // `self` whole in the meantime.
+        let nshards = self.hierarchy.num_shards();
+        let placeholder = MemHierarchy::new(HierarchyConfig::flat(0, self.config.dram));
+        let hier_cell = RwLock::new(std::mem::replace(&mut self.hierarchy, placeholder));
+        let shard_chunk = nshards.div_ceil(threads);
         let ctl = PoolCtl::new(threads - 1);
 
         let outcome = std::thread::scope(|scope| {
             for w in 0..threads - 1 {
-                // Worker `w` owns cores [chunk·(w+1), chunk·(w+2)); the
-                // main thread keeps chunk 0 so it computes rather than
-                // idles during the fan-out.
+                // Worker `w` owns cores [chunk·(w+1), chunk·(w+2)) and
+                // the matching shard chunk; the main thread keeps chunk
+                // 0 of each so it works rather than idles during either
+                // fan-out.
                 let start = (chunk * (w + 1)).min(num_cores);
                 let end = (chunk * (w + 2)).min(num_cores);
-                let (ctl, slots, ram_cell) = (&ctl, &slots, &ram_cell);
-                scope.spawn(move || pool::worker_loop(ctl, w, start..end, slots, ram_cell));
+                let s_start = (shard_chunk * (w + 1)).min(nshards);
+                let s_end = (shard_chunk * (w + 2)).min(nshards);
+                let (ctl, slots, ram_cell, hier_cell) = (&ctl, &slots, &ram_cell, &hier_cell);
+                scope.spawn(move || {
+                    pool::worker_loop(ctl, w, start..end, s_start..s_end, slots, ram_cell, hier_cell)
+                });
             }
-            let result = self.run_par_loop(max_cycles, &ctl, &slots, &ram_cell, 0..chunk);
+            let result = self.run_par_loop(
+                max_cycles,
+                &ctl,
+                &slots,
+                &ram_cell,
+                &hier_cell,
+                0..chunk,
+                0..shard_chunk.min(nshards),
+            );
             ctl.shutdown();
             result
         });
@@ -613,6 +773,11 @@ impl Gpu {
             .map(|m| m.into_inner().expect("core slot not poisoned"))
             .collect();
         self.ram = ram_cell.into_inner().expect("ram lock not poisoned");
+        self.hierarchy = hier_cell.into_inner().expect("hierarchy lock not poisoned");
+        // Same exit-path park flush as the sequential leg (see `run_leg`).
+        for core in &mut self.cores {
+            core.unpark();
+        }
         outcome
     }
 
@@ -626,9 +791,18 @@ impl Gpu {
         ctl: &PoolCtl,
         slots: &[Mutex<Core>],
         ram_cell: &RwLock<Ram>,
+        hier_cell: &RwLock<MemHierarchy>,
         main_range: std::ops::Range<usize>,
+        main_shards: std::ops::Range<usize>,
     ) -> Result<GpuStats, SimError> {
         let nw = self.config.core.num_wavefronts;
+        // Fan the commit phase out only when at least two shards can
+        // overlap; flat and single-cluster topologies commit serially.
+        let split_commit = hier_cell
+            .read()
+            .expect("hierarchy lock not poisoned")
+            .num_shards()
+            >= 2;
         fn lock_all<'a>(slots: &'a [Mutex<Core>]) -> Vec<MutexGuard<'a, Core>> {
             slots
                 .iter()
@@ -639,18 +813,21 @@ impl Gpu {
         // Watchdog baseline + already-done check (run() may be re-entered
         // on a finished machine).
         {
+            let mut hier = hier_cell.write().expect("hierarchy lock not poisoned");
             let mut guards = lock_all(slots);
             self.last_progress_token =
-                Self::progress_token_with(&self.hierarchy, guards.iter().map(|g| &**g));
+                Self::progress_token_with(&hier, guards.iter().map(|g| &**g));
             self.last_progress_cycle = self.cycle;
-            if guards.iter().all(|c| c.is_done()) && self.hierarchy.is_idle() {
-                return Ok(self.stats_with_cores(guards.iter().map(|g| &**g)));
+            if guards.iter().all(|c| c.is_done()) && hier.is_idle() {
+                return Ok(self.stats_with_cores(guards.iter().map(|g| &**g), &hier));
             }
             // Same fast-forward opportunity the sequential loop sees on
             // its first iteration — identical jump schedules keep the
             // skip accounting equal across `sim_threads` settings.
-            while self.cycle < max_cycles && self.try_fast_forward_par(max_cycles, &mut guards) {
-                self.after_cycle_checks_with(&guards)?;
+            while self.cycle < max_cycles
+                && self.try_fast_forward_par(max_cycles, &mut guards, &mut hier)
+            {
+                self.after_cycle_checks_with(&guards, &hier)?;
             }
         }
 
@@ -690,31 +867,69 @@ impl Gpu {
                 return Err(e);
             }
 
-            // ---- Commit phase + per-cycle serial work, one lock round. ----
-            let mut ram = ram_cell.write().expect("ram lock not poisoned");
+            // ---- Commit phase. ----
+            if split_commit {
+                // Serial prologue: buffered stores apply to RAM in
+                // core-id order before any shard moves miss traffic.
+                {
+                    let mut ram = ram_cell.write().expect("ram lock not poisoned");
+                    for slot in slots {
+                        slot.lock()
+                            .expect("core slot not poisoned")
+                            .commit_stores(&mut ram);
+                    }
+                }
+                // Fan the shard ticks out: workers + this thread's own
+                // shard chunk, each under the shared hierarchy read lock.
+                ctl.start_commit();
+                {
+                    let hier = hier_cell.read().expect("hierarchy lock not poisoned");
+                    let shards = hier.shards();
+                    for si in main_shards.clone() {
+                        commit_shard_slots(&shards[si], slots);
+                    }
+                }
+                ctl.wait_workers();
+            }
+
+            // ---- Serial epilogue + per-cycle checks, one lock round. ----
+            let mut hier = hier_cell.write().expect("hierarchy lock not poisoned");
             let mut guards = lock_all(slots);
-            Self::commit_cycle(
-                nw,
-                guards.as_mut_slice(),
-                &mut ram,
-                &mut self.hierarchy,
-                &mut self.global_barriers,
-                &mut self.release_scratch,
-            );
+            if split_commit {
+                hier.merge();
+                Self::commit_barriers(
+                    nw,
+                    guards.as_mut_slice(),
+                    &mut self.global_barriers,
+                    &mut self.release_scratch,
+                );
+            } else {
+                let mut ram = ram_cell.write().expect("ram lock not poisoned");
+                Self::commit_cycle(
+                    nw,
+                    guards.as_mut_slice(),
+                    &mut ram,
+                    &mut hier,
+                    &mut self.global_barriers,
+                    &mut self.release_scratch,
+                );
+            }
             self.cycle += 1;
 
-            self.after_cycle_checks_with(&guards)?;
+            self.after_cycle_checks_with(&guards, &hier)?;
 
-            if guards.iter().all(|c| c.is_done()) && self.hierarchy.is_idle() {
-                return Ok(self.stats_with_cores(guards.iter().map(|g| &**g)));
+            if guards.iter().all(|c| c.is_done()) && hier.is_idle() {
+                return Ok(self.stats_with_cores(guards.iter().map(|g| &**g), &hier));
             }
 
             // Fast-forward while the commit-phase lock round is still
             // held: mirrors the sequential loop's attempt at the top of
             // its next iteration (the jump schedule must match so the
             // skip accounting is identical across `sim_threads`).
-            while self.cycle < max_cycles && self.try_fast_forward_par(max_cycles, &mut guards) {
-                self.after_cycle_checks_with(&guards)?;
+            while self.cycle < max_cycles
+                && self.try_fast_forward_par(max_cycles, &mut guards, &mut hier)
+            {
+                self.after_cycle_checks_with(&guards, &hier)?;
             }
         }
     }
@@ -727,25 +942,21 @@ impl Gpu {
     fn after_cycle_checks_with(
         &mut self,
         guards: &[MutexGuard<'_, Core>],
+        hierarchy: &MemHierarchy,
     ) -> Result<(), SimError> {
         if let Some(tel) = self.telemetry.as_mut() {
             if tel.due(self.cycle) {
-                Self::take_sample_with(
-                    tel,
-                    self.cycle,
-                    &self.hierarchy,
-                    guards.iter().map(|g| &**g),
-                );
+                Self::take_sample_with(tel, self.cycle, hierarchy, guards.iter().map(|g| &**g));
             }
         }
         let window = self.config.watchdog_cycles;
         if window != 0 && self.cycle - self.last_progress_cycle >= window {
-            let token = Self::progress_token_with(&self.hierarchy, guards.iter().map(|g| &**g));
+            let token = Self::progress_token_with(hierarchy, guards.iter().map(|g| &**g));
             if token == self.last_progress_token {
                 return Err(SimError::Hang(Box::new(Self::hang_report_with(
                     self.cycle,
                     window,
-                    &self.hierarchy,
+                    hierarchy,
                     guards.iter().map(|g| &**g),
                 ))));
             }
@@ -761,6 +972,7 @@ impl Gpu {
         &mut self,
         max_cycles: u64,
         guards: &mut [MutexGuard<'_, Core>],
+        hierarchy: &mut MemHierarchy,
     ) -> bool {
         if !self.config.fast_forward {
             return false;
@@ -775,7 +987,7 @@ impl Gpu {
             max_cycles,
             self.watchdog_deadline(),
             self.telemetry.as_ref().map(Telemetry::next_due),
-            &self.hierarchy,
+            hierarchy,
             guards.iter().map(|g| &**g),
         );
         if horizon <= now.saturating_add(1) {
@@ -786,7 +998,7 @@ impl Gpu {
         for core in guards.iter_mut() {
             core.bulk_advance(delta);
         }
-        self.hierarchy.bulk_advance(delta);
+        hierarchy.bulk_advance(delta);
         self.cycle = horizon;
         self.cycles_skipped += delta;
         self.skip_events += 1;
@@ -848,17 +1060,22 @@ impl Gpu {
 
     /// Snapshot of all counters.
     pub fn stats(&self) -> GpuStats {
-        self.stats_with_cores(self.cores.iter())
+        self.stats_with_cores(self.cores.iter(), &self.hierarchy)
     }
 
-    /// [`Gpu::stats`] over an explicit core iterator, so the parallel run
-    /// loop (cores moved into mutex slots) can share it.
-    fn stats_with_cores<'a>(&self, cores: impl Iterator<Item = &'a Core>) -> GpuStats {
+    /// [`Gpu::stats`] over an explicit core iterator and hierarchy, so
+    /// the parallel run loop (cores and hierarchy moved into locks) can
+    /// share it.
+    fn stats_with_cores<'a>(
+        &self,
+        cores: impl Iterator<Item = &'a Core>,
+        hierarchy: &MemHierarchy,
+    ) -> GpuStats {
         GpuStats {
             cycles: self.cycle,
             cores: cores.map(Core::stats_snapshot).collect(),
-            dram_reads: self.hierarchy.dram_reads(),
-            dram_writes: self.hierarchy.dram_writes(),
+            dram_reads: hierarchy.dram_reads(),
+            dram_writes: hierarchy.dram_writes(),
             cycles_skipped: self.cycles_skipped,
             skip_events: self.skip_events,
         }

@@ -24,10 +24,11 @@
 
 use crate::core::Core;
 use crate::error::SimError;
+use crate::gpu;
 use std::ops::Range;
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicU8, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex, RwLock};
-use vortex_mem::Ram;
+use vortex_mem::{MemHierarchy, Ram};
 
 /// Spin iterations before a waiting thread backs off, when the host has a
 /// CPU per pool thread. Sized so the inter-cycle gap (serial commit on the
@@ -41,9 +42,17 @@ const SPIN_BUDGET: u32 = 1 << 14;
 /// the fast path; parking only happens when the gap outlasts many quanta.
 const YIELD_BUDGET: u32 = 1 << 6;
 
+/// What the next released generation asks the workers to do.
+const PHASE_COMPUTE: u8 = 0;
+const PHASE_COMMIT: u8 = 1;
+
 /// Shared coordination state between the main thread and the workers.
 pub(crate) struct PoolCtl {
-    /// Compute-phase generation; a bump releases every worker once.
+    /// Per-generation phase: compute (tick cores) or commit (tick the
+    /// hierarchy shards). Written before the generation bump that
+    /// releases the workers, read after they observe the bump.
+    phase: AtomicU8,
+    /// Phase generation; a bump releases every worker once.
     generation: AtomicU64,
     /// Workers that have finished the current compute phase.
     done: AtomicUsize,
@@ -68,6 +77,7 @@ impl PoolCtl {
     /// Coordination state for `workers` pool threads (main not included).
     pub fn new(workers: usize) -> Self {
         Self {
+            phase: AtomicU8::new(PHASE_COMPUTE),
             generation: AtomicU64::new(0),
             done: AtomicUsize::new(0),
             shutdown: AtomicBool::new(false),
@@ -87,6 +97,17 @@ impl PoolCtl {
 
     /// Releases every worker into the next compute phase.
     pub fn start_cycle(&self) {
+        self.release(PHASE_COMPUTE);
+    }
+
+    /// Releases every worker into a commit phase: each ticks its chunk of
+    /// hierarchy shards instead of its cores.
+    pub fn start_commit(&self) {
+        self.release(PHASE_COMMIT);
+    }
+
+    fn release(&self, phase: u8) {
+        self.phase.store(phase, Ordering::Release);
         self.done.store(0, Ordering::Release);
         self.generation.fetch_add(1, Ordering::Release);
         // Take the park lock before notifying: a worker only ever waits
@@ -97,8 +118,8 @@ impl PoolCtl {
         self.park_cv.notify_all();
     }
 
-    /// Waits until every worker has finished the current compute phase:
-    /// spins within the host-sized budget, then yields so an oversubscribed
+    /// Waits until every worker has finished the current phase: spins
+    /// within the host-sized budget, then yields so an oversubscribed
     /// CPU goes to the workers being waited for.
     pub fn wait_workers(&self) {
         let mut spins = 0u32;
@@ -125,15 +146,19 @@ impl PoolCtl {
     }
 }
 
-/// Body of one pool thread: waits for each compute-phase generation, ticks
-/// its contiguous chunk of cores against the RAM read-snapshot, records at
-/// most one trap (the chunk's lowest core id), and reports done.
+/// Body of one pool thread: waits for each generation, runs the released
+/// phase — compute (tick its contiguous chunk of cores against the RAM
+/// read-snapshot, recording at most one trap, the chunk's lowest core id)
+/// or commit (tick its contiguous chunk of hierarchy shards) — and
+/// reports done.
 pub(crate) fn worker_loop(
     ctl: &PoolCtl,
     worker: usize,
     cores: Range<usize>,
+    shards: Range<usize>,
     slots: &[Mutex<Core>],
     ram: &RwLock<Ram>,
+    hier: &RwLock<MemHierarchy>,
 ) {
     let mut seen = 0u64;
     loop {
@@ -164,6 +189,23 @@ pub(crate) fn worker_loop(
                 // Spurious wakeups are fine: the outer loop re-checks.
                 drop(ctl.park_cv.wait(guard).expect("park wait not poisoned"));
             }
+        }
+
+        if ctl.phase.load(Ordering::Acquire) == PHASE_COMMIT {
+            // Commit phase: tick this worker's hierarchy shards. The
+            // shard mutexes are uncontended (disjoint chunks) and the
+            // main thread takes the hierarchy write lock only for the
+            // serial merge, after `done`.
+            {
+                let hier = hier.read().expect("hierarchy lock not poisoned");
+                let all = hier.shards();
+                for si in shards.clone() {
+                    gpu::commit_shard_slots(&all[si], slots);
+                }
+            }
+            // Guard dropped before signalling done (see the compute note).
+            ctl.done.fetch_add(1, Ordering::Release);
+            continue;
         }
 
         // Compute phase for this worker's chunk. The slot mutexes are

@@ -53,6 +53,18 @@ fn config(fast_forward: bool, sim_threads: usize, sample: u64, profile: bool) ->
     config
 }
 
+/// Same knobs on a clustered topology: 2 clusters of 2 cores behind
+/// per-cluster L2s and a shared L3 — the commit phase itself shards, and
+/// `sim_threads ≥ 2` engages the split-commit protocol whose quiet-shard
+/// early-outs must agree byte-for-byte with live ticking.
+fn clustered_config(fast_forward: bool, sim_threads: usize, sample: u64, profile: bool) -> GpuConfig {
+    let mut config = config(fast_forward, sim_threads, sample, profile);
+    config.cores_per_cluster = 2;
+    config.l2 = Some(vortex_mem::hierarchy::l2_default());
+    config.l3 = Some(vortex_mem::hierarchy::l3_default());
+    config
+}
+
 struct RunOutcome {
     stats: GpuStats,
     mem: Vec<u8>,
@@ -69,8 +81,12 @@ fn run_with(
     profile: bool,
     faults: Option<&FaultConfig>,
 ) -> RunOutcome {
+    run_cfg(config(fast_forward, sim_threads, sample, profile), faults)
+}
+
+fn run_cfg(config: GpuConfig, faults: Option<&FaultConfig>) -> RunOutcome {
     let prog = kernel().assemble(ENTRY).expect("kernel assembles");
-    let mut gpu = Gpu::new(config(fast_forward, sim_threads, sample, profile));
+    let mut gpu = Gpu::new(config);
     if let Some(f) = faults {
         gpu.apply_faults(f);
     }
@@ -174,6 +190,49 @@ fn fault_draws_identical_with_skipping() {
     for threads in [1, 4] {
         let ff = run_with(true, threads, 0, false, Some(&faults));
         assert_same(&format!("faulted, threads {threads}"), &live, &ff);
+    }
+}
+
+#[test]
+fn clustered_l2_l3_skipping_is_bit_identical() {
+    let live = run_cfg(clustered_config(false, 1, 64, true), None);
+    assert_eq!(live.stats.cycles_skipped, 0, "skipping off never skips");
+    assert!(
+        live.stats.dram_reads > 0,
+        "traffic must reach DRAM through the L2/L3 levels"
+    );
+    assert!(live.profile_doc.is_some(), "profiling enabled");
+    for threads in [1, 2, 4] {
+        let ff = run_cfg(clustered_config(true, threads, 64, true), None);
+        assert_same(&format!("clustered ff on, threads {threads}"), &live, &ff);
+        assert!(
+            ff.stats.cycles_skipped > 0,
+            "clustered memory-bound run must actually skip (threads {threads})"
+        );
+        let live_par = run_cfg(clustered_config(false, threads, 64, true), None);
+        assert_same(
+            &format!("clustered ff off, threads {threads}"),
+            &live,
+            &live_par,
+        );
+    }
+}
+
+#[test]
+fn clustered_fault_draws_identical_with_skipping() {
+    let faults = FaultConfig::from_spec(
+        "seed=99,elastic_stall=300,dram_stall=400,dram_delay=500,\
+         dram_extra_latency=40,cache_rsp_stall=300",
+    )
+    .expect("valid spec");
+    let live = run_cfg(clustered_config(false, 1, 0, false), Some(&faults));
+    assert!(
+        live.fault_draws.iter().sum::<u64>() > 0,
+        "fault streams actually consumed"
+    );
+    for threads in [1, 2, 4] {
+        let ff = run_cfg(clustered_config(true, threads, 0, false), Some(&faults));
+        assert_same(&format!("clustered faulted, threads {threads}"), &live, &ff);
     }
 }
 

@@ -1,15 +1,18 @@
 //! Parallel ≡ sequential: the two-phase tick must make simulated cycles,
 //! every `GpuStats` counter, the final memory image, the telemetry time
-//! series, and each fault site's RNG draw count bit-identical at any
-//! `sim_threads` setting. These tests run one multi-core workload (global
-//! barriers, divergence, cross-core memory traffic) across
-//! `sim_threads ∈ {1, 2, 3, 8}` — 3 exercises uneven core chunking — and
-//! compare everything.
+//! series, the post-run snapshot bytes, the rendered profile document, and
+//! each fault site's RNG draw count bit-identical at any `sim_threads`
+//! setting. These tests run one multi-core workload (global barriers,
+//! divergence, cross-core memory traffic) across `sim_threads ∈ {1, 2, 3,
+//! 8}` — 3 exercises uneven core chunking — and compare everything. Each
+//! scenario also runs on a clustered L2+L3 topology (4 clusters of 2
+//! cores), where the commit phase itself shards across host threads.
 
 use vortex_asm::Assembler;
 use vortex_core::{Gpu, GpuConfig, GpuStats};
 use vortex_faults::FaultConfig;
 use vortex_isa::{csr, vx, Reg};
+use vortex_mem::hierarchy::{l2_default, l3_default};
 
 const ENTRY: u32 = 0x8000_0000;
 const NUM_CORES: usize = 8;
@@ -101,16 +104,55 @@ struct RunOutcome {
     mem: Vec<u8>,
     series: Option<vortex_core::TimeSeries>,
     fault_draws: Vec<u64>,
+    snapshot: Vec<u8>,
+    profile_doc: Option<String>,
 }
 
-/// Runs [`kernel`] on an 8-core GPU with the given host-thread count and
-/// optional fault injection / telemetry sampling, returning everything
-/// that must be invariant across `sim_threads`.
-fn run_with(sim_threads: usize, faults: Option<&FaultConfig>, sample: u64) -> RunOutcome {
+/// What to vary per run. `clustered` switches the 8 cores from a flat
+/// shared-cache topology to 4 clusters of 2 cores behind per-cluster L2s
+/// and a shared L3 — the topology where the commit phase itself shards
+/// across host threads (`sim_threads ≥ 2` engages the split-commit path).
+#[derive(Clone, Copy)]
+struct RunSpec {
+    sim_threads: usize,
+    sample: u64,
+    clustered: bool,
+    profile: bool,
+}
+
+impl RunSpec {
+    fn flat(sim_threads: usize) -> Self {
+        Self {
+            sim_threads,
+            sample: 0,
+            clustered: false,
+            profile: false,
+        }
+    }
+
+    fn clustered(sim_threads: usize) -> Self {
+        Self {
+            clustered: true,
+            ..Self::flat(sim_threads)
+        }
+    }
+}
+
+/// Runs [`kernel`] on an 8-core GPU per `spec`, returning everything that
+/// must be invariant across `sim_threads` — including the full snapshot
+/// byte stream taken after completion (the config fingerprint normalizes
+/// `sim_threads`, so identical end states must serialize identically).
+fn run_spec(spec: RunSpec, faults: Option<&FaultConfig>) -> RunOutcome {
     let prog = kernel().assemble(ENTRY).expect("kernel assembles");
     let mut config = GpuConfig::with_cores(NUM_CORES);
-    config.sim_threads = sim_threads;
-    config.sample_interval = sample;
+    config.sim_threads = spec.sim_threads;
+    config.sample_interval = spec.sample;
+    config.profile = spec.profile;
+    if spec.clustered {
+        config.cores_per_cluster = 2;
+        config.l2 = Some(l2_default());
+        config.l3 = Some(l3_default());
+    }
     // Injected DRAM delays can stretch quiet periods; keep the watchdog
     // well clear of them (same margin as the fault-matrix harness).
     config.watchdog_cycles = 50_000;
@@ -129,7 +171,21 @@ fn run_with(sim_threads: usize, faults: Option<&FaultConfig>, sample: u64) -> Ru
         mem,
         series: gpu.time_series().cloned(),
         fault_draws: gpu.fault_draws(),
+        snapshot: gpu.save_snapshot(),
+        profile_doc: gpu
+            .profile()
+            .map(|p| vortex_obs::render_profile_json("par-determinism", &p)),
     }
+}
+
+fn run_with(sim_threads: usize, faults: Option<&FaultConfig>, sample: u64) -> RunOutcome {
+    run_spec(
+        RunSpec {
+            sample,
+            ..RunSpec::flat(sim_threads)
+        },
+        faults,
+    )
 }
 
 /// Asserts two outcomes are bit-identical, with a readable label.
@@ -139,6 +195,8 @@ fn assert_same(label: &str, a: &RunOutcome, b: &RunOutcome) {
     assert_eq!(a.mem, b.mem, "{label}: final memory image");
     assert_eq!(a.series, b.series, "{label}: telemetry time series");
     assert_eq!(a.fault_draws, b.fault_draws, "{label}: fault-site draws");
+    assert_eq!(a.snapshot, b.snapshot, "{label}: snapshot bytes");
+    assert_eq!(a.profile_doc, b.profile_doc, "{label}: profile document");
 }
 
 #[test]
@@ -194,4 +252,70 @@ fn telemetry_sampling_bit_identical_across_sim_threads() {
     // Sampling itself must not perturb simulation: unsampled run agrees.
     let unsampled = run_with(2, None, 0);
     assert_eq!(unsampled.stats, baseline.stats, "sampling is read-only");
+}
+
+#[test]
+fn clustered_l2_l3_bit_identical_across_sim_threads() {
+    let baseline = run_spec(RunSpec::clustered(1), None);
+    let total = u32::from_le_bytes(baseline.mem[0..4].try_into().unwrap());
+    assert_eq!(total, 16, "gtid 0 bumped its slot 16 times");
+    assert!(
+        baseline.stats.dram_reads > 0,
+        "traffic must actually flow through the L2/L3 levels to DRAM"
+    );
+    // Thread counts straddling the 4 shards: 2 (2 shards each), 3 (uneven
+    // shard chunking), 4 (one shard per thread), 8 (more threads than
+    // shards).
+    for threads in [2, 3, 4, 8] {
+        let run = run_spec(RunSpec::clustered(threads), None);
+        assert_same(
+            &format!("clustered sim_threads {threads} vs 1"),
+            &baseline,
+            &run,
+        );
+    }
+}
+
+#[test]
+fn clustered_fault_injection_bit_identical_across_sim_threads() {
+    let faults = FaultConfig::from_spec(
+        "seed=5678,elastic_stall=300,dram_stall=400,dram_delay=500,\
+         dram_extra_latency=40,cache_rsp_stall=300",
+    )
+    .expect("valid spec");
+    let baseline = run_spec(RunSpec::clustered(1), Some(&faults));
+    assert!(
+        baseline.fault_draws.iter().sum::<u64>() > 0,
+        "fault sites must actually consume their decision streams"
+    );
+    for threads in [2, 4] {
+        let run = run_spec(RunSpec::clustered(threads), Some(&faults));
+        assert_same(
+            &format!("clustered faulted sim_threads {threads} vs 1"),
+            &baseline,
+            &run,
+        );
+    }
+}
+
+#[test]
+fn clustered_telemetry_and_profile_bit_identical_across_sim_threads() {
+    let spec = RunSpec {
+        sample: 64,
+        profile: true,
+        ..RunSpec::clustered(1)
+    };
+    let baseline = run_spec(spec, None);
+    let series = baseline.series.as_ref().expect("sampling enabled");
+    assert!(!series.samples.is_empty(), "run is long enough to sample");
+    let doc = baseline.profile_doc.as_ref().expect("profiling enabled");
+    assert!(doc.contains("vortex-profile-v1"), "profile doc renders");
+    for threads in [2, 4] {
+        let run = run_spec(RunSpec { sim_threads: threads, ..spec }, None);
+        assert_same(
+            &format!("clustered sampled+profiled sim_threads {threads} vs 1"),
+            &baseline,
+            &run,
+        );
+    }
 }

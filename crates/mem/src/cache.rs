@@ -350,6 +350,17 @@ impl Bank {
             || !self.replays.is_empty()
     }
 
+    /// `true` when a tick would move any state in this bank. Unlike
+    /// [`Bank::in_flight`], MSHR-only occupancy does not count: entries
+    /// parked on an in-flight fill are untouched until the fill lands in
+    /// `fills`, so the whole tick body is a no-op until then.
+    fn tick_work(&self) -> bool {
+        !self.input.is_empty()
+            || self.stage.iter().any(Option::is_some)
+            || !self.fills.is_empty()
+            || !self.replays.is_empty()
+    }
+
     fn save_state(&self, w: &mut Writer) {
         self.input.save_state(w);
         for stage in &self.stage {
@@ -426,6 +437,11 @@ pub struct Cache {
     responses: VecDeque<MemRsp>,
     /// Remaining busy cycles of an in-progress flush.
     flush_busy: u32,
+    /// `true` while any bank may hold a per-cycle claim, i.e. since the
+    /// last [`Cache::offer`] that accepted a request. Lets
+    /// [`Cache::begin_cycle`] skip the bank walk on the (very common)
+    /// cycles where no claim was made.
+    claims_dirty: bool,
     fault: Option<FaultPlan>,
     /// Retired sub-request buffers kept for reuse: the selector builds one
     /// `subs` vector per accepted bank request, so pooling them keeps the
@@ -491,8 +507,13 @@ impl Cache {
             banks,
             memq: Queue::new(config.memq_size),
             memq_reserved: 0,
-            responses: VecDeque::new(),
+            // Each tick retires at most one bank request per bank, each
+            // carrying up to `ports` coalesced subs; owners drain the
+            // queue every cycle, so two ticks' worth of headroom keeps
+            // the steady state allocation-free.
+            responses: VecDeque::with_capacity(config.num_banks * config.ports * 2),
             flush_busy: 0,
+            claims_dirty: false,
             fault: None,
             spare_subs: Vec::new(),
             stats: CacheStats::default(),
@@ -587,8 +608,11 @@ impl Cache {
     /// Starts a new cycle: clears the per-cycle bank-claim state used by the
     /// selector. Call once per cycle before [`Cache::offer`] / [`Cache::tick`].
     pub fn begin_cycle(&mut self) {
-        for bank in &mut self.banks {
-            bank.claimed = None;
+        if self.claims_dirty {
+            for bank in &mut self.banks {
+                bank.claimed = None;
+            }
+            self.claims_dirty = false;
         }
     }
 
@@ -599,6 +623,13 @@ impl Cache {
     ///
     /// Returns the number of requests accepted.
     pub fn offer(&mut self, reqs: &mut Vec<MemReq>) -> usize {
+        if reqs.is_empty() && self.fault.is_none() {
+            // Nothing offered and no fault plan to draw from (a plan's
+            // `elastic_stall` stream consumes one decision per offer,
+            // even an empty one): exactly equivalent to falling through
+            // the selector loop zero times.
+            return 0;
+        }
         if self.flush_busy > 0 {
             return 0;
         }
@@ -677,6 +708,11 @@ impl Cache {
                 i += 1;
             }
         }
+        if accepted > 0 {
+            // At least one bank took a claim this cycle; the next
+            // `begin_cycle` must walk the banks to clear it.
+            self.claims_dirty = true;
+        }
         accepted
     }
 
@@ -688,13 +724,15 @@ impl Cache {
         let num_banks = self.config.num_banks;
         let line_bytes = self.config.line_bytes;
         for bank in &mut self.banks {
-            // Idle banks have nothing to shuffle: every stage move and the
-            // scheduler below are no-ops, so skipping them changes no state
-            // and no stats. Most banks are idle most cycles (the I-cache
-            // answers warm fetches via `lookup_for_fetch`, the D-cache
-            // sleeps through compute phases), so this is a large fraction
-            // of the simulator's per-cycle cost.
-            if !bank.in_flight() {
+            // Workless banks have nothing to shuffle: every stage move and
+            // the scheduler below are no-ops, so skipping them changes no
+            // state and no stats. Most banks are workless most cycles (the
+            // I-cache answers warm fetches via `lookup_for_fetch`, the
+            // D-cache sleeps through compute phases, and banks whose only
+            // contents are MSHR entries spend whole DRAM round trips
+            // waiting for a fill), so this is a large fraction of the
+            // simulator's per-cycle cost.
+            if !bank.tick_work() {
                 continue;
             }
             // Response stage: emit one response per sub (reads only), then
@@ -845,6 +883,22 @@ impl Cache {
         self.memq.front()
     }
 
+    /// Outgoing memory requests currently queued.
+    pub fn mem_req_count(&self) -> usize {
+        self.memq.len()
+    }
+
+    /// Removes and yields the `n` oldest outgoing memory requests in one
+    /// batched transfer — equivalent to `n` `pop_mem_req` calls. Callers
+    /// size `n` against the next level's guaranteed admission count so
+    /// the per-request peek/pop handshake disappears from the drain path.
+    ///
+    /// # Panics
+    /// Panics if `n` exceeds [`Cache::mem_req_count`].
+    pub fn drain_mem_reqs(&mut self, n: usize) -> impl Iterator<Item = MemReq> + '_ {
+        self.memq.drain_front(n)
+    }
+
     /// Delivers a memory fill response (tag = line address). An attached
     /// fault plan may corrupt the fill tag, filling the wrong line and
     /// stranding the requests parked on the real one — the MSHR-starvation
@@ -909,11 +963,20 @@ impl Cache {
         if self.memq_reserved > self.config.memq_size {
             return Err(SnapError::BadValue("memq reservations"));
         }
-        self.responses = VecDeque::load(r)?;
+        // Load responses into the existing backing buffer so the
+        // construction-time capacity reservation survives a restore.
+        let n = r.len(8)?;
+        self.responses.clear();
+        for _ in 0..n {
+            self.responses.push_back(MemRsp::load(r)?);
+        }
         self.flush_busy = r.u32()?;
         self.fault = Option::load(r)?;
         self.stats = CacheStats::load(r)?;
         self.spare_subs.clear();
+        // Bank claims are part of the snapshot; recompute the host-side
+        // dirty flag so the next `begin_cycle` clears any restored claim.
+        self.claims_dirty = self.banks.iter().any(|b| b.claimed.is_some());
         Ok(())
     }
 }

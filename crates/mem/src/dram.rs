@@ -101,6 +101,13 @@ impl Dram {
         !self.input.is_full()
     }
 
+    /// Free input-queue slots. With no fault plan attached this many
+    /// pushes are guaranteed to succeed back to back, so callers can
+    /// batch-drain upstream queues without per-request handshakes.
+    pub fn space(&self) -> usize {
+        self.input.space()
+    }
+
     /// Advances one cycle: starts up to `channels` queued requests and
     /// retires the ones whose latency elapsed (reads produce responses;
     /// writes complete silently).

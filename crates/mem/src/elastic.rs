@@ -116,6 +116,17 @@ impl<T> Queue<T> {
         self.items.iter()
     }
 
+    /// Removes and yields the `n` oldest elements in one slice-based
+    /// transfer — the batched form of `n` `pop` calls. The handshake is
+    /// the *push* side; draining is always ready, so no fault gate
+    /// applies here.
+    ///
+    /// # Panics
+    /// Panics if `n` exceeds the current occupancy.
+    pub fn drain_front(&mut self, n: usize) -> impl Iterator<Item = T> + '_ {
+        self.items.drain(..n)
+    }
+
     /// Removes all elements.
     pub fn clear(&mut self) {
         self.items.clear();
@@ -138,13 +149,18 @@ impl<T: Snap> Queue<T> {
 
     /// Restores contents and fault-plan position in place. The queue keeps
     /// its configured capacity; a payload holding more elements than fit is
-    /// a [`SnapError::BadValue`].
+    /// a [`SnapError::BadValue`]. Elements load into the existing backing
+    /// buffer (reserved to `capacity` at construction), so a restored
+    /// queue stays allocation-free exactly like a freshly built one.
     pub fn restore_state(&mut self, r: &mut Reader<'_>) -> SnapResult<()> {
-        let items = VecDeque::<T>::load(r)?;
-        if items.len() > self.capacity {
+        let n = r.len(1)?;
+        if n > self.capacity {
             return Err(SnapError::BadValue("queue occupancy"));
         }
-        self.items = items;
+        self.items.clear();
+        for _ in 0..n {
+            self.items.push_back(T::load(r)?);
+        }
         self.fault = Option::<FaultPlan>::load(r)?;
         Ok(())
     }

@@ -32,7 +32,9 @@ impl Mshr {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "MSHR capacity must be non-zero");
         Self {
-            entries: VecDeque::new(),
+            // At most one entry per pending request, so this reservation
+            // keeps allocation out of the steady state entirely.
+            entries: VecDeque::with_capacity(capacity),
             pending: 0,
             capacity,
         }
@@ -114,12 +116,20 @@ impl Mshr {
         r: &mut vortex_snapshot::Reader<'_>,
     ) -> vortex_snapshot::SnapResult<()> {
         use vortex_snapshot::Snap;
-        let entries = VecDeque::<(u32, Vec<BankReq>)>::load(r)?;
-        let pending: usize = entries.iter().map(|(_, reqs)| reqs.len()).sum();
+        let n = r.len(5)?;
+        self.entries.clear();
+        let mut pending = 0usize;
+        for _ in 0..n {
+            let entry = <(u32, Vec<BankReq>)>::load(r)?;
+            pending += entry.1.len();
+            // Loading into the existing backing buffer (reserved to
+            // `capacity` at construction) keeps a restored MSHR as
+            // allocation-free as a freshly built one.
+            self.entries.push_back(entry);
+        }
         if pending > self.capacity {
             return Err(vortex_snapshot::SnapError::BadValue("mshr occupancy"));
         }
-        self.entries = entries;
         self.pending = pending;
         Ok(())
     }
